@@ -1,0 +1,72 @@
+//! Figure 5(a): single-threaded insert-time breakdown (clflush / search /
+//! node update) while raising symmetric PM latency.
+//!
+//! Paper result: FAST+FAIR, FP-tree and WORT are comparable and beat
+//! wB+-tree and SkipList by a large margin; wB+-tree issues ~1.7× the
+//! flushes of FAST+FAIR; FAST+Logging is 7–18 % slower than FAST+FAIR;
+//! flush time dominates as latency grows.
+
+use fastfair_bench::common::*;
+use pmem::{stats, LatencyProfile};
+use pmindex::workload::{generate_keys, value_for, KeyDist};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 5(a)", "insert time breakdown by PM latency", scale);
+    let n = scale.n(10_000_000); // paper: 10M
+    let preload = generate_keys(n, KeyDist::Uniform, 3);
+    let extra = generate_keys(n / 5, KeyDist::Uniform, 4);
+
+    let kinds = [
+        ("F", IndexKind::FastFair),
+        ("L", IndexKind::FastLogging),
+        ("P", IndexKind::FpTree),
+        ("W", IndexKind::WbTree),
+        ("O", IndexKind::Wort),
+        ("S", IndexKind::SkipList),
+    ];
+
+    stats::set_phase_timing(true);
+    for lat in [0u32, 120, 300, 600, 900] {
+        let label = if lat == 0 {
+            "DRAM".to_string()
+        } else {
+            format!("{lat}/{lat}ns")
+        };
+        println!("\n-- latency {label} --");
+        header(&[
+            "index",
+            "total us/insert",
+            "clflush us",
+            "search us",
+            "update us",
+            "flushes/insert",
+        ]);
+        for &(tag, kind) in &kinds {
+            let pool = pool_with(LatencyProfile::symmetric(lat), n + n / 5);
+            let idx = build_index(kind, &pool, 512);
+            load(idx.as_ref(), &preload);
+            stats::reset();
+            let (secs, ()) = timeit(|| {
+                for &k in &extra {
+                    idx.insert(k, value_for(k)).expect("insert");
+                }
+            });
+            let s = stats::take();
+            let per = extra.len() as f64;
+            row(&[
+                format!("{tag} {}", idx.name()),
+                format!("{:.3}", us_per_op(extra.len(), secs)),
+                format!("{:.3}", s.flush_ns as f64 / per / 1e3),
+                format!("{:.3}", (s.search_ns as f64 / per / 1e3).max(0.0)),
+                format!(
+                    "{:.3}",
+                    ((s.update_ns as f64 - s.flush_ns as f64) / per / 1e3).max(0.0)
+                ),
+                format!("{:.2}", s.flushes as f64 / per),
+            ]);
+        }
+    }
+    stats::set_phase_timing(false);
+    println!("\npaper shape: F/P/O comparable and ahead of W and S; wB+ ~1.7x the flushes of F; L is 7-18% slower than F.");
+}

@@ -1,0 +1,56 @@
+//! Figure 5(c): insert time vs. PM *write* latency on a TSO machine.
+//!
+//! Paper result: as write latency rises the number of cache-line flushes
+//! dominates, so WORT (fewest flushes) overtakes everyone; FAST+FAIR stays
+//! ahead of FAST+Logging (7–18 %), FP-tree, wB+-tree and SkipList.
+
+use fastfair_bench::common::*;
+use pmem::LatencyProfile;
+use pmindex::workload::{generate_keys, value_for, KeyDist};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 5(c)", "insert time vs PM write latency (TSO)", scale);
+    let n = scale.n(10_000_000);
+    let preload = generate_keys(n, KeyDist::Uniform, 9);
+    let extra = generate_keys(n / 5, KeyDist::Uniform, 10);
+
+    let kinds = [
+        IndexKind::FastFair,
+        IndexKind::FastLogging,
+        IndexKind::FpTree,
+        IndexKind::WbTree,
+        IndexKind::Wort,
+        IndexKind::SkipList,
+    ];
+    header(&[
+        "write latency",
+        "FAST+FAIR",
+        "FAST+Logging",
+        "FP-tree",
+        "wB+-tree",
+        "WORT",
+        "SkipList",
+    ]);
+    for wlat in [0u32, 120, 300, 600, 900] {
+        let mut cells = vec![if wlat == 0 {
+            "DRAM".into()
+        } else {
+            format!("{wlat}ns")
+        }];
+        for kind in kinds {
+            // Read latency fixed at 300ns, as in the symmetric baseline.
+            let pool = pool_with(LatencyProfile::new(300, wlat), n + n / 5);
+            let idx = build_index(kind, &pool, 512);
+            load(idx.as_ref(), &preload);
+            let (secs, ()) = timeit(|| {
+                for &k in &extra {
+                    idx.insert(k, value_for(k)).expect("insert");
+                }
+            });
+            cells.push(format!("{:.3}us", us_per_op(extra.len(), secs)));
+        }
+        row(&cells);
+    }
+    println!("\npaper shape: WORT wins at high write latency (fewest flushes); FAST+FAIR beats Logging/FP/wB+/SkipList throughout.");
+}

@@ -1,0 +1,38 @@
+//! Figure 6: TPC-C throughput across the mixes W1–W4, PM latency
+//! 300/300 ns.
+//!
+//! Paper result: FAST+FAIR is fastest on every mix (good inserts + sorted
+//! leaves for the Stock-Level/Order-Status range scans); WORT inserts fast
+//! but sinks on range scans; SkipList trails everywhere.
+
+use fastfair_bench::common::*;
+use pmem::LatencyProfile;
+use pmindex::PmIndex;
+use tpcc::{Mix, TpccConfig, TpccDb};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 6", "TPC-C throughput, mixes W1-W4", scale);
+    let (cfg, txns) = match scale {
+        Scale::Smoke => (TpccConfig::small(), 2_000usize),
+        Scale::Full => (TpccConfig::paper(), 20_000),
+        Scale::Paper => (TpccConfig::paper(), 200_000),
+    };
+
+    header(&["mix", "FAST+FAIR", "FP-tree", "wB+-tree", "WORT", "SkipList"]);
+    for (name, mix) in Mix::paper_mixes() {
+        let mut cells = vec![name.to_string()];
+        for kind in IndexKind::SINGLE_THREADED {
+            let pool = pool_with(LatencyProfile::symmetric(300), 4_000_000);
+            let db: TpccDb<Box<dyn PmIndex>> =
+                TpccDb::build(cfg, || Ok(build_index(kind, &pool, 512))).expect("populate");
+            let (secs, stats) = timeit(|| db.run(mix, txns, 2024).expect("run"));
+            cells.push(format!(
+                "{:.1} Kops/s",
+                stats.total() as f64 / secs / 1e3
+            ));
+        }
+        row(&cells);
+    }
+    println!("\npaper shape: FAST+FAIR fastest on all mixes; WORT falls behind on the range-heavy queries; SkipList last.");
+}

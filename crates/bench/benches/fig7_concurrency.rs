@@ -1,0 +1,138 @@
+//! Figure 7: multithreaded scalability — (a) search, (b) insert, (c) the
+//! mixed 16 searches : 4 inserts : 1 delete workload.
+//!
+//! Paper result (16 vCPUs): lock-free FAST+FAIR search scales 11.7× and
+//! insert 12.5×; FAST+FAIR+LeafLock is comparable; FP-tree (TSX) beats
+//! B-link, whose read latches saturate first; SkipList scales from a much
+//! lower base. On this host the sweep is capped near the available cores,
+//! so expect saturation earlier at the same *relative ordering*.
+//!
+//! Setting follows §5.7: write latency 300 ns, read latency as DRAM.
+
+use fastfair_bench::common::*;
+use pmem::LatencyProfile;
+use pmindex::workload::{generate_keys, mixed_ops, partition, value_for, KeyDist, Op};
+use pmindex::PmIndex;
+
+fn thread_counts() -> Vec<usize> {
+    let cores = std::thread::available_parallelism().map_or(2, |c| c.get());
+    let mut v = vec![1usize];
+    let mut t = 2;
+    while t <= cores * 2 && t <= 32 {
+        v.push(t);
+        t *= 2;
+    }
+    v
+}
+
+fn bench_search(idx: &dyn PmIndex, probes: &[u64], threads: usize) -> f64 {
+    let chunks = partition(probes, threads);
+    let (secs, ()) = timeit(|| {
+        std::thread::scope(|s| {
+            for chunk in &chunks {
+                s.spawn(move || {
+                    for &k in chunk {
+                        std::hint::black_box(idx.get(k));
+                    }
+                });
+            }
+        });
+    });
+    mops(probes.len(), secs) * 1e3 // Kops/s
+}
+
+fn bench_insert(idx: &dyn PmIndex, keys: &[u64], threads: usize) -> f64 {
+    let chunks = partition(keys, threads);
+    let (secs, ()) = timeit(|| {
+        std::thread::scope(|s| {
+            for chunk in &chunks {
+                s.spawn(move || {
+                    for &k in chunk {
+                        idx.insert(k, value_for(k)).expect("insert");
+                    }
+                });
+            }
+        });
+    });
+    mops(keys.len(), secs) * 1e3
+}
+
+fn bench_mixed(idx: &dyn PmIndex, preload: &[u64], fresh: &[u64], threads: usize) -> f64 {
+    let chunks = partition(fresh, threads);
+    let mut total_ops = 0usize;
+    let ops_per_thread: Vec<Vec<Op>> = chunks
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let ops = mixed_ops(preload, c, c.len() / 4, i as u64);
+            ops
+        })
+        .collect();
+    for o in &ops_per_thread {
+        total_ops += o.len();
+    }
+    let (secs, ()) = timeit(|| {
+        std::thread::scope(|s| {
+            for ops in &ops_per_thread {
+                s.spawn(move || {
+                    for op in ops {
+                        match *op {
+                            Op::Insert(k) => {
+                                idx.insert(k, value_for(k)).expect("insert");
+                            }
+                            Op::Search(k) => {
+                                std::hint::black_box(idx.get(k));
+                            }
+                            Op::Delete(k) => {
+                                idx.remove(k);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    });
+    mops(total_ops, secs) * 1e3
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 7", "thread scalability (search / insert / mixed)", scale);
+    let n = scale.n(50_000_000); // paper: 50M preload
+    let threads = thread_counts();
+    let preload = generate_keys(n, KeyDist::Uniform, 21);
+    let fresh = generate_keys(n, KeyDist::Uniform, 22);
+    let latency = LatencyProfile::new(0, 300);
+
+    for (panel, which) in [("(a) search", 0usize), ("(b) insert", 1), ("(c) mixed", 2)] {
+        println!("\n-- Fig 7{panel}, Kops/s --");
+        let mut head = vec!["index"];
+        let labels: Vec<String> = threads.iter().map(|t| format!("{t}T")).collect();
+        head.extend(labels.iter().map(String::as_str));
+        header(&head);
+        for kind in IndexKind::CONCURRENT {
+            // LeafLock only appears in the read panels, as in the paper.
+            if which == 1 && kind == IndexKind::FastFairLeafLock {
+                continue;
+            }
+            let mut cells = vec![format!("{kind:?}")];
+            for &t in &threads {
+                let pool = pool_with(latency, n * 3);
+                let idx = build_index(kind, &pool, 512);
+                load(idx.as_ref(), &preload);
+                let v = match which {
+                    0 => bench_search(idx.as_ref(), &fresh_probes(&preload), t),
+                    1 => bench_insert(idx.as_ref(), &fresh, t),
+                    _ => bench_mixed(idx.as_ref(), &preload, &fresh, t),
+                };
+                cells.push(format!("{v:.0}"));
+            }
+            row(&cells);
+        }
+    }
+    println!("\npaper shape: lock-free FAST+FAIR scales best; LeafLock comparable on reads; FP-tree > B-link; SkipList scales from a low base.");
+}
+
+fn fresh_probes(preload: &[u64]) -> Vec<u64> {
+    preload.to_vec()
+}

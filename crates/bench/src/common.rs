@@ -1,0 +1,195 @@
+//! Scale knobs, index construction and table printing shared by the bench
+//! targets.
+//!
+//! Every bench accepts `FF_BENCH_SCALE` in the environment:
+//!
+//! * `smoke` — seconds-scale sanity run (default under `cargo bench` so CI
+//!   completes);
+//! * `full`  — minutes-scale run with crisper separation;
+//! * `paper` — the paper's population sizes (10–50 M keys); expect long
+//!   runtimes and ensure tens of GiB of RAM.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pmem::{LatencyProfile, Pool, PoolConfig};
+use pmindex::PmIndex;
+
+/// The index structures compared throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// FAST+FAIR (the paper's contribution).
+    FastFair,
+    /// FAST shifts + legacy logging splits (Fig. 5 baseline).
+    FastLogging,
+    /// FAST+FAIR with leaf read locks (serializable reads, Fig. 7).
+    FastFairLeafLock,
+    /// FP-tree (selective persistence + fingerprints).
+    FpTree,
+    /// wB+-tree (slot + bitmap).
+    WbTree,
+    /// WORT (persistent radix tree).
+    Wort,
+    /// Persistent skip list.
+    SkipList,
+    /// Volatile B-link tree (concurrency reference).
+    Blink,
+}
+
+impl IndexKind {
+    /// The single-threaded field of Figures 4–6.
+    pub const SINGLE_THREADED: [IndexKind; 5] = [
+        IndexKind::FastFair,
+        IndexKind::FpTree,
+        IndexKind::WbTree,
+        IndexKind::Wort,
+        IndexKind::SkipList,
+    ];
+
+    /// The concurrent field of Figure 7.
+    pub const CONCURRENT: [IndexKind; 5] = [
+        IndexKind::FastFair,
+        IndexKind::FastFairLeafLock,
+        IndexKind::FpTree,
+        IndexKind::Blink,
+        IndexKind::SkipList,
+    ];
+}
+
+/// Builds one index of the given kind inside `pool`.
+///
+/// FAST+FAIR variants honour `node_size`; the fixed-layout baselines ignore
+/// it (wB+-tree and FP-tree are pinned at their papers' 1 KB).
+pub fn build_index(
+    kind: IndexKind,
+    pool: &Arc<Pool>,
+    node_size: u32,
+) -> Box<dyn PmIndex> {
+    match kind {
+        IndexKind::FastFair => Box::new(
+            fastfair::FastFairTree::create(
+                Arc::clone(pool),
+                fastfair::TreeOptions::new().node_size(node_size),
+            )
+            .expect("fastfair"),
+        ),
+        IndexKind::FastLogging => Box::new(
+            fastfair::FastFairTree::create(
+                Arc::clone(pool),
+                fastfair::TreeOptions::new()
+                    .node_size(node_size)
+                    .split(fastfair::SplitStrategy::Logging),
+            )
+            .expect("fastlogging"),
+        ),
+        IndexKind::FastFairLeafLock => Box::new(
+            fastfair::FastFairTree::create(
+                Arc::clone(pool),
+                fastfair::TreeOptions::new()
+                    .node_size(node_size)
+                    .leaf_locks(true),
+            )
+            .expect("leaflock"),
+        ),
+        IndexKind::FpTree => Box::new(fptree::FpTree::create(Arc::clone(pool)).expect("fptree")),
+        IndexKind::WbTree => Box::new(wbtree::WbTree::create(Arc::clone(pool)).expect("wbtree")),
+        IndexKind::Wort => Box::new(wort::Wort::create(Arc::clone(pool)).expect("wort")),
+        IndexKind::SkipList => {
+            Box::new(pskiplist::PSkipList::create(Arc::clone(pool)).expect("skiplist"))
+        }
+        IndexKind::Blink => Box::new(blink::BlinkTree::new()),
+    }
+}
+
+/// Benchmark scale selected via `FF_BENCH_SCALE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-scale sanity run.
+    Smoke,
+    /// Minutes-scale run.
+    Full,
+    /// Paper-scale populations.
+    Paper,
+}
+
+impl Scale {
+    /// Reads the scale from the environment (default: smoke).
+    pub fn from_env() -> Scale {
+        match std::env::var("FF_BENCH_SCALE").as_deref() {
+            Ok("full") => Scale::Full,
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Smoke,
+        }
+    }
+
+    /// Scales a population size: `smoke` divides the paper size by 100,
+    /// `full` by 10, `paper` by 1.
+    pub fn n(&self, paper_n: usize) -> usize {
+        match self {
+            Scale::Smoke => (paper_n / 100).max(1_000),
+            Scale::Full => (paper_n / 10).max(10_000),
+            Scale::Paper => paper_n,
+        }
+    }
+}
+
+/// Pool size that comfortably fits `n` keys across all index layouts.
+pub fn pool_bytes_for(n: usize) -> usize {
+    (n * 160).next_power_of_two().max(64 << 20)
+}
+
+/// Creates a pool with the given latency profile, sized for `n` keys.
+pub fn pool_with(latency: LatencyProfile, n: usize) -> Arc<Pool> {
+    Arc::new(
+        Pool::new(PoolConfig::new().size(pool_bytes_for(n)).latency(latency))
+            .expect("pool allocation"),
+    )
+}
+
+/// Times `f` and returns (elapsed seconds, result).
+pub fn timeit<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let t0 = Instant::now();
+    let out = f();
+    (t0.elapsed().as_secs_f64(), out)
+}
+
+/// Mops/s for `ops` operations in `secs`.
+pub fn mops(ops: usize, secs: f64) -> f64 {
+    ops as f64 / secs / 1e6
+}
+
+/// Average microseconds per operation.
+pub fn us_per_op(ops: usize, secs: f64) -> f64 {
+    secs * 1e6 / ops as f64
+}
+
+/// Prints a markdown-ish table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a header row plus separator.
+pub fn header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+}
+
+/// Loads `keys` into an index, panicking on failure.
+pub fn load(index: &dyn PmIndex, keys: &[u64]) {
+    for &k in keys {
+        index
+            .insert(k, pmindex::workload::value_for(k))
+            .expect("bench insert");
+    }
+}
+
+/// The standard banner each bench prints first.
+pub fn banner(figure: &str, what: &str, scale: Scale) {
+    println!("\n=== {figure}: {what} ===");
+    println!(
+        "scale = {scale:?} (set FF_BENCH_SCALE=smoke|full|paper)  date = reproduction run"
+    );
+}

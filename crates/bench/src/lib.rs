@@ -1,0 +1,6 @@
+//! Shared helpers for the benchmark harness (see the `benches/` directory).
+//!
+//! Each bench target regenerates one figure of the paper; `common` holds
+//! the scale knobs, index construction and table printing they share.
+
+pub mod common;

@@ -1,0 +1,460 @@
+//! Volatile B-link tree (Lehman & Yao, TODS 1981) — the concurrency
+//! reference of Fig. 7.
+//!
+//! The paper presents B-link as the classic latch-based alternative: it is
+//! **not** failure-atomic for PM (nothing is flushed; the structure lives
+//! in DRAM) and it does **not** allow lock-free search — readers take
+//! shared latches on every node they traverse, which is exactly why its
+//! read scalability saturates first in Fig. 7(a). Writers take exclusive
+//! latches one node at a time and use the high-key/right-link protocol to
+//! tolerate concurrent splits.
+
+#![warn(missing_docs)]
+
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+use parking_lot::{Mutex, RwLock};
+use pmindex::{check_value, IndexError, Key, PmIndex, Value};
+
+const CAP: usize = 32;
+
+struct Inner {
+    leaf: bool,
+    keys: Vec<Key>,
+    /// Leaf: values. Internal: child pointers (as raw addresses).
+    vals: Vec<u64>,
+    /// Internal nodes: child for keys below `keys[0]`.
+    leftmost: *mut Node,
+    /// Right sibling (B-link pointer).
+    next: *mut Node,
+    /// Upper bound of this node's key range (None = +inf).
+    high_key: Option<Key>,
+    level: u32,
+}
+
+struct Node {
+    lock: RwLock<Inner>,
+}
+
+// SAFETY: nodes are only mutated under their RwLock; raw pointers are
+// stable for the tree's lifetime (nodes are never freed until Drop).
+unsafe impl Send for Node {}
+unsafe impl Sync for Node {}
+
+/// A volatile, latch-based B-link tree.
+pub struct BlinkTree {
+    root: AtomicPtr<Node>,
+    /// Serializes root growth.
+    root_lock: Mutex<()>,
+    /// All allocated nodes, freed on Drop.
+    registry: Mutex<Vec<*mut Node>>,
+}
+
+// SAFETY: all shared state is behind locks/atomics.
+unsafe impl Send for BlinkTree {}
+unsafe impl Sync for BlinkTree {}
+
+impl std::fmt::Debug for BlinkTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlinkTree")
+            .field("nodes", &self.registry.lock().len())
+            .finish()
+    }
+}
+
+impl Default for BlinkTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlinkTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        let t = BlinkTree {
+            root: AtomicPtr::new(ptr::null_mut()),
+            root_lock: Mutex::new(()),
+            registry: Mutex::new(Vec::new()),
+        };
+        let root = t.alloc(Inner {
+            leaf: true,
+            keys: Vec::new(),
+            vals: Vec::new(),
+            leftmost: ptr::null_mut(),
+            next: ptr::null_mut(),
+            high_key: None,
+            level: 0,
+        });
+        t.root.store(root, Ordering::Release);
+        t
+    }
+
+    fn alloc(&self, inner: Inner) -> *mut Node {
+        let p = Box::into_raw(Box::new(Node {
+            lock: RwLock::new(inner),
+        }));
+        self.registry.lock().push(p);
+        p
+    }
+
+    fn root_node(&self) -> *mut Node {
+        self.root.load(Ordering::Acquire)
+    }
+
+    /// Read-latched descent to the leaf covering `key` (the B-link read
+    /// protocol: shared latch per node, move right past concurrent splits).
+    fn find_leaf_shared(&self, key: Key) -> *mut Node {
+        let mut cur = self.root_node();
+        loop {
+            // SAFETY: nodes live until Drop.
+            let node = unsafe { &*cur };
+            let g = node.lock.read();
+            if let Some(h) = g.high_key {
+                if key >= h {
+                    cur = g.next;
+                    continue;
+                }
+            }
+            if g.leaf {
+                return cur;
+            }
+            let idx = g.keys.partition_point(|&k| k <= key);
+            cur = if idx == 0 {
+                g.leftmost
+            } else {
+                g.vals[idx - 1] as *mut Node
+            };
+        }
+    }
+
+    /// Inserts `(key, value)` at `level`, write-latching and moving right.
+    fn insert_at_level(&self, level: u32, key: Key, value: u64) {
+        loop {
+            // Descend (shared latches) to the target level.
+            let mut cur = self.root_node();
+            {
+                let g = unsafe { &*cur }.lock.read();
+                if g.level < level {
+                    drop(g);
+                    self.grow_root(level, key, value);
+                    return;
+                }
+            }
+            loop {
+                let node = unsafe { &*cur };
+                let g = node.lock.read();
+                if let Some(h) = g.high_key {
+                    if key >= h {
+                        cur = g.next;
+                        continue;
+                    }
+                }
+                if g.level == level {
+                    break;
+                }
+                let idx = g.keys.partition_point(|&k| k <= key);
+                cur = if idx == 0 {
+                    g.leftmost
+                } else {
+                    g.vals[idx - 1] as *mut Node
+                };
+            }
+            // Write-latch, moving right as needed.
+            let mut node = unsafe { &*cur };
+            let mut g = node.lock.write();
+            loop {
+                if let Some(h) = g.high_key {
+                    if key >= h {
+                        let next = g.next;
+                        drop(g);
+                        node = unsafe { &*next };
+                        g = node.lock.write();
+                        continue;
+                    }
+                }
+                break;
+            }
+            match g.keys.binary_search(&key) {
+                Ok(i) => {
+                    g.vals[i] = value; // upsert
+                    return;
+                }
+                Err(i) => {
+                    g.keys.insert(i, key);
+                    g.vals.insert(i, value);
+                }
+            }
+            if g.keys.len() <= CAP {
+                return;
+            }
+            // Split: move the upper half right.
+            let mid = g.keys.len() / 2;
+            let (sep, up_keys, up_vals, up_leftmost) = if g.leaf {
+                let sep = g.keys[mid];
+                (
+                    sep,
+                    g.keys.split_off(mid),
+                    g.vals.split_off(mid),
+                    ptr::null_mut(),
+                )
+            } else {
+                let sep = g.keys[mid];
+                let up_keys = g.keys.split_off(mid + 1);
+                let up_vals = g.vals.split_off(mid + 1);
+                let lm = g.vals.pop().unwrap() as *mut Node;
+                g.keys.pop();
+                (sep, up_keys, up_vals, lm)
+            };
+            let sib = self.alloc(Inner {
+                leaf: g.leaf,
+                keys: up_keys,
+                vals: up_vals,
+                leftmost: up_leftmost,
+                next: g.next,
+                high_key: g.high_key,
+                level: g.level,
+            });
+            g.next = sib;
+            g.high_key = Some(sep);
+            let lvl = g.level;
+            drop(g);
+            // Insert the separator into the parent (retraversal from root,
+            // Lehman-Yao style).
+            self.insert_at_level(lvl + 1, sep, sib as u64);
+            return;
+        }
+    }
+
+    fn grow_root(&self, level: u32, key: Key, right: u64) {
+        let _g = self.root_lock.lock();
+        let cur = self.root_node();
+        let cur_level = unsafe { &*cur }.lock.read().level;
+        if cur_level >= level {
+            drop(_g);
+            self.insert_at_level(level, key, right);
+            return;
+        }
+        let new_root = self.alloc(Inner {
+            leaf: false,
+            keys: vec![key],
+            vals: vec![right],
+            leftmost: cur,
+            next: ptr::null_mut(),
+            high_key: None,
+            level,
+        });
+        self.root.store(new_root, Ordering::Release);
+    }
+}
+
+impl Drop for BlinkTree {
+    fn drop(&mut self) {
+        for &p in self.registry.lock().iter() {
+            // SAFETY: each pointer came from Box::into_raw and is freed
+            // exactly once here.
+            unsafe {
+                drop(Box::from_raw(p));
+            }
+        }
+    }
+}
+
+impl PmIndex for BlinkTree {
+    fn insert(&self, key: Key, value: Value) -> Result<(), IndexError> {
+        check_value(value)?;
+        self.insert_at_level(0, key, value);
+        Ok(())
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        let leaf = self.find_leaf_shared(key);
+        let g = unsafe { &*leaf }.lock.read();
+        // Re-check the range under the latch (a split may have raced).
+        if let Some(h) = g.high_key {
+            if key >= h {
+                drop(g);
+                return self.get(key);
+            }
+        }
+        g.keys.binary_search(&key).ok().map(|i| g.vals[i])
+    }
+
+    fn remove(&self, key: Key) -> bool {
+        let mut cur = self.find_leaf_shared(key);
+        loop {
+            let node = unsafe { &*cur };
+            let mut g = node.lock.write();
+            if let Some(h) = g.high_key {
+                if key >= h {
+                    cur = g.next;
+                    continue;
+                }
+            }
+            return match g.keys.binary_search(&key) {
+                Ok(i) => {
+                    g.keys.remove(i);
+                    g.vals.remove(i);
+                    true
+                }
+                Err(_) => false,
+            };
+        }
+    }
+
+    fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) {
+        if lo >= hi {
+            return;
+        }
+        let mut cur = self.find_leaf_shared(lo);
+        while !cur.is_null() {
+            let g = unsafe { &*cur }.lock.read();
+            for (i, &k) in g.keys.iter().enumerate() {
+                if k >= hi {
+                    return;
+                }
+                if k >= lo {
+                    out.push((k, g.vals[i]));
+                }
+            }
+            cur = g.next;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "B-link"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmindex::workload::{generate_keys, value_for, KeyDist};
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let t = BlinkTree::new();
+        let keys = generate_keys(20_000, KeyDist::Uniform, 1);
+        for &k in &keys {
+            t.insert(k, value_for(k)).unwrap();
+        }
+        for &k in &keys {
+            assert_eq!(t.get(k), Some(value_for(k)));
+        }
+        assert_eq!(t.get(999), None);
+    }
+
+    #[test]
+    fn upsert_and_remove() {
+        let t = BlinkTree::new();
+        t.insert(1, 10).unwrap();
+        t.insert(1, 11).unwrap();
+        assert_eq!(t.get(1), Some(11));
+        assert!(t.remove(1));
+        assert!(!t.remove(1));
+    }
+
+    #[test]
+    fn range_matches_model() {
+        let t = BlinkTree::new();
+        let keys = generate_keys(8000, KeyDist::Uniform, 2);
+        let mut model = BTreeMap::new();
+        for &k in &keys {
+            t.insert(k, value_for(k)).unwrap();
+            model.insert(k, value_for(k));
+        }
+        let mut sorted = keys;
+        sorted.sort_unstable();
+        let (lo, hi) = (sorted[100], sorted[7000]);
+        let mut got = Vec::new();
+        t.range(lo, hi, &mut got);
+        let want: Vec<_> = model.range(lo..hi).map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sequential_and_reverse_fill() {
+        let t = BlinkTree::new();
+        for k in 1..=5000u64 {
+            t.insert(k, k + 1).unwrap();
+        }
+        for k in (5001..=10000u64).rev() {
+            t.insert(k, k + 1).unwrap();
+        }
+        for k in 1..=10000u64 {
+            assert_eq!(t.get(k), Some(k + 1));
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts() {
+        let t = Arc::new(BlinkTree::new());
+        let keys = generate_keys(40_000, KeyDist::Uniform, 3);
+        let chunks = pmindex::workload::partition(&keys, 4);
+        std::thread::scope(|s| {
+            for chunk in &chunks {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    for &k in chunk {
+                        t.insert(k, value_for(k)).unwrap();
+                    }
+                });
+            }
+        });
+        for &k in &keys {
+            assert_eq!(t.get(k), Some(value_for(k)));
+        }
+    }
+
+    #[test]
+    fn concurrent_reads_during_writes() {
+        let t = Arc::new(BlinkTree::new());
+        let preload = generate_keys(10_000, KeyDist::Uniform, 4);
+        for &k in &preload {
+            t.insert(k, value_for(k)).unwrap();
+        }
+        let fresh = generate_keys(10_000, KeyDist::Uniform, 5);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            {
+                let t = Arc::clone(&t);
+                let stop = Arc::clone(&stop);
+                let fresh = &fresh;
+                s.spawn(move || {
+                    for &k in fresh {
+                        t.insert(k, value_for(k)).unwrap();
+                    }
+                    stop.store(true, std::sync::atomic::Ordering::Release);
+                });
+            }
+            for _ in 0..2 {
+                let t = Arc::clone(&t);
+                let stop = Arc::clone(&stop);
+                let preload = &preload;
+                s.spawn(move || {
+                    let mut i = 0;
+                    while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                        let k = preload[i % preload.len()];
+                        assert_eq!(t.get(k), Some(value_for(k)));
+                        i += 1;
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn full_scan_sorted() {
+        let t = BlinkTree::new();
+        let keys = generate_keys(5000, KeyDist::Uniform, 6);
+        for &k in &keys {
+            t.insert(k, value_for(k)).unwrap();
+        }
+        let mut out = Vec::new();
+        t.range(0, u64::MAX, &mut out);
+        assert_eq!(out.len(), keys.len());
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

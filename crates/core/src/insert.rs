@@ -1,0 +1,236 @@
+//! FAST insertion (Algorithm 1) and the shared write-path entry point.
+//!
+//! The FAST shift inserts a `(key, ptr)` record into the middle of a sorted
+//! node by moving records one slot to the right, **pointer before key**, in
+//! dependent 8-byte stores:
+//!
+//! * copying a record's pointer into the next slot makes that slot a
+//!   *duplicate* of its left neighbour — invalid to readers — while the
+//!   original stays valid;
+//! * the final store of the new pointer is the commit: one atomic 8-byte
+//!   write that simultaneously validates the new entry (its pointer now
+//!   differs from the left neighbour's) without ever exposing a torn
+//!   record;
+//! * cache lines are flushed in shift order whenever the shift crosses a
+//!   line boundary, so the persist order matches the store order.
+//!
+//! Under TSO the `fence_if_not_tso` calls compile to nothing; on non-TSO
+//! hardware they become `dmb` barriers (Fig. 5(d)).
+
+use pmem::{stats, NULL_OFFSET};
+use pmindex::{IndexError, Key, Value};
+
+use crate::layout::NodeRef;
+use crate::lock::WriteGuard;
+use crate::tree::{FastFairTree, SplitStrategy};
+
+/// Public write path: inserts `key → value` at the leaf level.
+pub(crate) fn tree_insert(tree: &FastFairTree, key: Key, value: Value) -> Result<(), IndexError> {
+    insert_entry(tree, 0, key, value)
+}
+
+/// Inserts an entry at an arbitrary tree level.
+///
+/// Level 0 means the leaf level (upsert semantics); higher levels are used
+/// by FAIR parent updates, where an already-present key means another
+/// thread (or a pre-crash writer) finished the update first — the
+/// idempotence §4.2 relies on.
+pub(crate) fn insert_entry(
+    tree: &FastFairTree,
+    level: u32,
+    key: Key,
+    value: Value,
+) -> Result<(), IndexError> {
+    'retry: loop {
+        // Phase 1: lock-free descent to the target level.
+        let off = match stats::timed(stats::Phase::Search, || descend_to_level(tree, level, key)) {
+            Some(off) => off,
+            None => {
+                // The tree is shorter than `level`: the split node was the
+                // root, so grow the tree (Algorithm 2's implicit case).
+                crate::split::grow_root(tree, level, key, value)?;
+                return Ok(());
+            }
+        };
+
+        // Phase 2: lock, repair leftovers, move right as needed.
+        let mut guard = WriteGuard::lock(&tree.pool, tree.node(off).lock_word_off());
+        let mut node = tree.node(off);
+        let mut redirected = None;
+        loop {
+            if node.is_deleted() {
+                guard.unlock();
+                continue 'retry;
+            }
+            // Lazy recovery (§4.2): only writers repair tolerable
+            // inconsistency, and they do it before using the node.
+            crate::delete::repair_node_locked(tree, node);
+            match tree.covering_sibling(node, key) {
+                Some(sib) => {
+                    // Hand-over-hand to the right (B-link).
+                    let next = WriteGuard::lock(&tree.pool, tree.node(sib).lock_word_off());
+                    guard.unlock();
+                    guard = next;
+                    node = tree.node(sib);
+                    redirected = Some(sib);
+                }
+                None => break,
+            }
+        }
+
+        // Phase 3: the actual modification.
+        if let Some(slot) = find_valid_slot(node, key) {
+            if level == 0 && node.ptr(slot) != value {
+                // In-place value update: a single atomic pointer store.
+                stats::timed(stats::Phase::Update, || {
+                    node.set_ptr(slot, value);
+                    tree.pool.persist(node.ptr_off(slot), 8);
+                });
+            }
+            // At internal levels an existing key means the parent update
+            // already happened; nothing to do.
+            guard.unlock();
+        } else {
+            let cnt = node.count_records();
+            if cnt < tree.cap {
+                stats::timed(stats::Phase::Update, || {
+                    fast_insert_locked(tree, node, key, value, cnt)
+                });
+                guard.unlock();
+            } else {
+                match tree.opts.split {
+                    SplitStrategy::Fair => stats::timed(stats::Phase::Update, || {
+                        crate::split::fair_split_insert(tree, node, guard, key, value)
+                    })?,
+                    SplitStrategy::Logging => stats::timed(stats::Phase::Update, || {
+                        crate::split::logging_split_insert(tree, node, guard, key, value)
+                    })?,
+                }
+            }
+        }
+
+        // Reaching a node through its sibling pointer triggers the parent
+        // update of a dangling sibling (§4.2); idempotent if already done.
+        if let Some(sib) = redirected {
+            crate::split::ensure_parent_entry(tree, sib, level + 1)?;
+        }
+        return Ok(());
+    }
+}
+
+/// Lock-free descent to the node at `level` covering `key`.
+///
+/// Returns `None` if the root is below the requested level.
+fn descend_to_level(tree: &FastFairTree, level: u32, key: Key) -> Option<u64> {
+    let mut off = tree.root();
+    let mut node = tree.node(off);
+    node.charge_hop();
+    if node.level() < level {
+        return None;
+    }
+    while node.level() > level {
+        off = tree.route(node, key);
+        node = tree.node(off);
+        node.charge_hop();
+    }
+    Some(off)
+}
+
+/// Finds the slot of a *valid* entry with exactly `key`, scanning under the
+/// node lock.
+pub(crate) fn find_valid_slot(node: NodeRef<'_>, key: Key) -> Option<u16> {
+    let mut i = 0u16;
+    while i <= node.capacity() {
+        let p = node.ptr(i);
+        if p == NULL_OFFSET {
+            return None;
+        }
+        if node.key(i) == key && p != node.left_ptr(i) {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The FAST shift insert (Algorithm 1), on a node that is locked, repaired
+/// and known to have room (`cnt < capacity`).
+///
+/// `cnt` is the exact record count; the terminator sits at slot `cnt`.
+pub(crate) fn fast_insert_locked(
+    tree: &FastFairTree,
+    node: NodeRef<'_>,
+    key: Key,
+    value: Value,
+    cnt: u16,
+) {
+    debug_assert!(cnt < tree.cap);
+    let pool = node.pool();
+
+    // If the last writer was deleting, flip the scan direction so lock-free
+    // readers scan left-to-right, the direction of this right shift.
+    let sc = node.switch_counter();
+    if sc % 2 == 1 {
+        node.set_switch_counter(sc + 1);
+    }
+
+    // Pre-extend the NULL terminator (Algorithm 1 writes records[cnt+1]
+    // before the shift): slot cnt+1 may hold a stale record from an earlier
+    // delete or FAIR truncation, and the shift is about to overwrite the
+    // terminator at slot cnt. If slot cnt+1 starts a new cache line it can
+    // persist independently of slot cnt, so it must be flushed before the
+    // shift; otherwise TSO's per-line store order covers it.
+    node.set_ptr(cnt + 1, NULL_OFFSET);
+    pool.fence_if_not_tso();
+    if node.key_off(cnt + 1) % 64 == 0 {
+        pool.persist(node.key_off(cnt + 1), 8);
+    }
+
+    let mut inserted = false;
+    let mut i = i32::from(cnt) - 1;
+    while i >= 0 {
+        let iu = i as u16;
+        if node.key(iu) > key {
+            // Shift record i → i+1: pointer first, then key. The duplicate
+            // pointer keeps exactly one of the two copies valid at every
+            // instant (Fig. 1).
+            node.set_ptr(iu + 1, node.ptr(iu));
+            pool.fence_if_not_tso();
+            node.set_key(iu + 1, node.key(iu));
+            pool.fence_if_not_tso();
+            if node.key_off(iu + 1) % 64 == 0 {
+                // The line above this record is complete: flush it before
+                // dirtying the next line down (§3.1).
+                pool.persist(node.key_off(iu + 1), 8);
+            }
+        } else {
+            // Insert at slot i+1. Copying ptr(i) into ptr(i+1) atomically
+            // moves the old occupant of slot i+1 to its shifted copy at
+            // i+2; the final store of `value` is the commit.
+            node.set_ptr(iu + 1, node.ptr(iu));
+            pool.fence_if_not_tso();
+            node.set_key(iu + 1, key);
+            pool.fence_if_not_tso();
+            node.set_ptr(iu + 1, value);
+            pool.persist(node.key_off(iu + 1), 16);
+            inserted = true;
+            break;
+        }
+        i -= 1;
+    }
+
+    if !inserted {
+        // Smallest key in the node: slot 0. Storing the left anchor
+        // (leftmost child for internal nodes, LEAF_ANCHOR for leaves)
+        // invalidates slot 0 while its shifted copy at slot 1 stays valid;
+        // the final pointer store commits.
+        node.set_ptr(0, node.leftmost());
+        pool.fence_if_not_tso();
+        node.set_key(0, key);
+        pool.fence_if_not_tso();
+        node.set_ptr(0, value);
+        pool.persist(node.key_off(0), 16);
+    }
+
+    node.set_count_hint(cnt + 1);
+}

@@ -1,0 +1,473 @@
+//! Persistent node layout and the entry-validity rules of FAST.
+//!
+//! A node is a `node_size`-byte, cache-line-aligned region in the pool:
+//!
+//! ```text
+//! offset  field
+//! ------  -----------------------------------------------------------
+//!   0     leftmost_child  (internal: child for keys < key(0);
+//!                          leaf: the constant LEAF_ANCHOR)
+//!   8     sibling_ptr     (B-link right sibling, 0 = none)
+//!  16     switch_counter  (even: last writer inserted → readers scan L→R;
+//!                          odd:  last writer deleted  → readers scan R→L)
+//!  24     level_flags     (low 32 bits: level, 0 = leaf; bit 32: deleted)
+//!  32     count_hint      (writer-maintained entry count; advisory only —
+//!                          correctness always re-derives from the
+//!                          NULL-pointer terminator)
+//!  40     lock_word       (volatile embedded RW spin lock; reset on open)
+//!  48..64 reserved
+//!  64     records[0].key
+//!  72     records[0].ptr
+//!  80     records[1].key ...
+//! ```
+//!
+//! Entry `i` is **valid** iff `ptr(i) != NULL && ptr(i) != left_ptr(i)`,
+//! where `left_ptr(i)` is `ptr(i-1)` for `i > 0` and `leftmost_child` for
+//! `i == 0`. A NULL pointer terminates the array. These two rules are the
+//! entire crash-detection mechanism of FAST: a duplicated pointer marks the
+//! garbage entry a crashed (or in-flight) shift left behind, and a single
+//! 8-byte pointer store atomically invalidates one entry while validating
+//! its neighbour.
+//!
+//! ## Deviation from the original C++ implementation (documented)
+//!
+//! The original gives leaves a NULL `leftmost_ptr`, so invalidating entry 0
+//! of a leaf writes a NULL pointer — which readers cannot distinguish from
+//! the array terminator, creating a transient (and, if the line is evicted
+//! before the crash, persistent) window in which *all* entries of the leaf
+//! are unreachable. We instead anchor leaves with the reserved non-NULL
+//! constant [`LEAF_ANCHOR`]: entry 0 of a leaf is invalidated by storing the
+//! anchor, which readers skip like any duplicate pointer and recovery
+//! removes like any garbage entry. The mechanism of the paper is unchanged;
+//! only the sentinel differs. This is why values may not be `u64::MAX`.
+
+use pmem::{PmOffset, Pool, CACHE_LINE, NULL_OFFSET};
+
+/// Size of the per-node header in bytes (one cache line).
+pub const HEADER_SIZE: u64 = 64;
+
+/// Size of one `(key, ptr)` record in bytes.
+pub const RECORD_SIZE: u64 = 16;
+
+/// Reserved non-NULL pointer that anchors the left edge of a leaf node.
+pub const LEAF_ANCHOR: u64 = u64::MAX;
+
+const LEFTMOST_OFF: u64 = 0;
+const SIBLING_OFF: u64 = 8;
+const SWITCH_OFF: u64 = 16;
+const LEVEL_OFF: u64 = 24;
+const COUNT_OFF: u64 = 32;
+/// Offset of the volatile lock word within a node header.
+pub const LOCK_OFF: u64 = 40;
+
+const DELETED_BIT: u64 = 1 << 32;
+
+/// Number of record slots in a node of `node_size` bytes.
+///
+/// The last two slots are never counted as capacity: one is the permanent
+/// NULL terminator and one is slack for the terminator pre-extension done by
+/// the FAST shift (Algorithm 1 writes `records[cnt+1]` before shifting).
+pub fn capacity(node_size: u32) -> u16 {
+    let slots = (u64::from(node_size) - HEADER_SIZE) / RECORD_SIZE;
+    assert!(slots >= 4, "node size {node_size} too small");
+    (slots - 2) as u16
+}
+
+/// A borrowed view of one persistent node.
+///
+/// All accessors go through the pool's atomic load/store primitives; the
+/// view itself holds no mutable state, so it is freely copyable and safe to
+/// use from concurrent readers.
+#[derive(Clone, Copy)]
+pub struct NodeRef<'a> {
+    pool: &'a Pool,
+    off: PmOffset,
+    node_size: u32,
+}
+
+impl std::fmt::Debug for NodeRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeRef")
+            .field("off", &self.off)
+            .field("level", &self.level())
+            .field("count_hint", &self.count_hint())
+            .field("sibling", &self.sibling())
+            .finish()
+    }
+}
+
+impl<'a> NodeRef<'a> {
+    /// Creates a view of the node at `off`.
+    pub fn new(pool: &'a Pool, off: PmOffset, node_size: u32) -> Self {
+        debug_assert!(off != NULL_OFFSET && off % CACHE_LINE as u64 == 0);
+        NodeRef {
+            pool,
+            off,
+            node_size,
+        }
+    }
+
+    /// The pool this node lives in.
+    pub fn pool(&self) -> &'a Pool {
+        self.pool
+    }
+
+    /// Pool offset of the node.
+    pub fn offset(&self) -> PmOffset {
+        self.off
+    }
+
+    /// Node size in bytes.
+    pub fn node_size(&self) -> u32 {
+        self.node_size
+    }
+
+    /// Usable record capacity.
+    pub fn capacity(&self) -> u16 {
+        capacity(self.node_size)
+    }
+
+    // ---- header ----------------------------------------------------------
+
+    /// Leftmost child pointer (internal) / leaf anchor (leaf).
+    pub fn leftmost(&self) -> PmOffset {
+        self.pool.load_u64(self.off + LEFTMOST_OFF)
+    }
+
+    /// Stores the leftmost child pointer.
+    pub fn set_leftmost(&self, v: PmOffset) {
+        self.pool.store_u64(self.off + LEFTMOST_OFF, v);
+    }
+
+    /// Right sibling pointer (0 = none).
+    pub fn sibling(&self) -> PmOffset {
+        self.pool.load_u64(self.off + SIBLING_OFF)
+    }
+
+    /// Stores the sibling pointer (does not flush).
+    pub fn set_sibling(&self, v: PmOffset) {
+        self.pool.store_u64(self.off + SIBLING_OFF, v);
+    }
+
+    /// Pool offset of the sibling pointer field (for targeted flushes).
+    pub fn sibling_field_off(&self) -> PmOffset {
+        self.off + SIBLING_OFF
+    }
+
+    /// Current switch counter (even = insert direction, odd = delete).
+    pub fn switch_counter(&self) -> u64 {
+        self.pool.load_u64(self.off + SWITCH_OFF)
+    }
+
+    /// Stores the switch counter.
+    pub fn set_switch_counter(&self, v: u64) {
+        self.pool.store_u64(self.off + SWITCH_OFF, v);
+    }
+
+    /// Tree level: 0 for leaves.
+    pub fn level(&self) -> u32 {
+        (self.pool.load_u64(self.off + LEVEL_OFF) & 0xffff_ffff) as u32
+    }
+
+    /// True if this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.level() == 0
+    }
+
+    /// True if the node has been logically deleted (unlinked).
+    pub fn is_deleted(&self) -> bool {
+        self.pool.load_u64(self.off + LEVEL_OFF) & DELETED_BIT != 0
+    }
+
+    /// Sets the level field, clearing flags.
+    pub fn set_level(&self, level: u32) {
+        self.pool.store_u64(self.off + LEVEL_OFF, u64::from(level));
+    }
+
+    /// Marks the node logically deleted.
+    pub fn mark_deleted(&self) {
+        let v = self.pool.load_u64(self.off + LEVEL_OFF);
+        self.pool.store_u64(self.off + LEVEL_OFF, v | DELETED_BIT);
+    }
+
+    /// Writer-maintained count hint. Advisory: may be stale after a crash.
+    pub fn count_hint(&self) -> u16 {
+        let c = self.pool.load_u64(self.off + COUNT_OFF);
+        (c.min(u64::from(self.capacity()))) as u16
+    }
+
+    /// Stores the count hint.
+    pub fn set_count_hint(&self, v: u16) {
+        self.pool.store_u64(self.off + COUNT_OFF, u64::from(v));
+    }
+
+    /// Pool offset of the embedded lock word.
+    pub fn lock_word_off(&self) -> PmOffset {
+        self.off + LOCK_OFF
+    }
+
+    // ---- records ---------------------------------------------------------
+
+    /// Pool offset of record `i`'s key field.
+    #[inline]
+    pub fn key_off(&self, i: u16) -> PmOffset {
+        self.off + HEADER_SIZE + u64::from(i) * RECORD_SIZE
+    }
+
+    /// Pool offset of record `i`'s pointer field.
+    #[inline]
+    pub fn ptr_off(&self, i: u16) -> PmOffset {
+        self.key_off(i) + 8
+    }
+
+    /// Loads record `i`'s key.
+    #[inline]
+    pub fn key(&self, i: u16) -> u64 {
+        self.pool.load_u64(self.key_off(i))
+    }
+
+    /// Loads record `i`'s pointer.
+    #[inline]
+    pub fn ptr(&self, i: u16) -> u64 {
+        self.pool.load_u64(self.ptr_off(i))
+    }
+
+    /// Stores record `i`'s key.
+    #[inline]
+    pub fn set_key(&self, i: u16, k: u64) {
+        self.pool.store_u64(self.key_off(i), k);
+    }
+
+    /// Stores record `i`'s pointer.
+    #[inline]
+    pub fn set_ptr(&self, i: u16, p: u64) {
+        self.pool.store_u64(self.ptr_off(i), p);
+    }
+
+    /// The pointer to the *left* of entry `i` — the comparand of the FAST
+    /// validity rule.
+    #[inline]
+    pub fn left_ptr(&self, i: u16) -> u64 {
+        if i == 0 {
+            self.leftmost()
+        } else {
+            self.ptr(i - 1)
+        }
+    }
+
+    /// FAST entry validity: non-NULL pointer that differs from the left
+    /// neighbour's pointer.
+    #[inline]
+    pub fn entry_valid(&self, i: u16) -> bool {
+        let p = self.ptr(i);
+        p != NULL_OFFSET && p != self.left_ptr(i)
+    }
+
+    /// Exact number of records before the NULL terminator (counts invalid
+    /// entries too, since they occupy slots). O(n) scan; used by writers
+    /// that hold the node lock.
+    pub fn count_records(&self) -> u16 {
+        let cap = self.capacity();
+        // Start from the hint and self-heal in either direction.
+        let mut c = self.count_hint();
+        if c > cap {
+            c = cap;
+        }
+        // The terminator may be earlier than the hint…
+        while c > 0 && self.ptr(c - 1) == NULL_OFFSET {
+            c -= 1;
+        }
+        // …or later.
+        while c < cap + 1 && self.ptr(c) != NULL_OFFSET {
+            c += 1;
+        }
+        c
+    }
+
+    /// Collects the valid `(key, ptr)` entries in slot order.
+    pub fn valid_entries(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut i = 0u16;
+        while i <= self.capacity() {
+            let p = self.ptr(i);
+            if p == NULL_OFFSET {
+                break;
+            }
+            if p != self.left_ptr(i) {
+                out.push((self.key(i), p));
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Key of the first *valid* entry, if any.
+    pub fn first_key(&self) -> Option<u64> {
+        let mut i = 0u16;
+        while i <= self.capacity() {
+            let p = self.ptr(i);
+            if p == NULL_OFFSET {
+                return None;
+            }
+            if p != self.left_ptr(i) {
+                return Some(self.key(i));
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Initializes a freshly allocated node (zeroing all record slots).
+    ///
+    /// Writes are plain stores; the caller persists the node when the
+    /// algorithm requires it (e.g. FAIR flushes the whole sibling before
+    /// linking it).
+    pub fn init(&self, level: u32) {
+        self.pool
+            .zero_region(self.off, u64::from(self.node_size));
+        self.set_level(level);
+        if level == 0 {
+            self.set_leftmost(LEAF_ANCHOR);
+        }
+    }
+
+    /// Charges the read-latency cost of landing on this node (one serial
+    /// miss for the header line).
+    #[inline]
+    pub fn charge_hop(&self) {
+        self.pool.charge_serial_reads(1);
+    }
+
+    /// Charges a linear scan that touched records `[0, n)` of this node as
+    /// prefetch-friendly adjacent lines.
+    #[inline]
+    pub fn charge_linear_scan(&self, n: u16) {
+        if n == 0 {
+            return;
+        }
+        let lines = (u64::from(n) * RECORD_SIZE).div_ceil(CACHE_LINE as u64) as u32;
+        self.pool.charge_parallel_lines(lines);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PoolConfig;
+
+    fn pool() -> Pool {
+        Pool::new(PoolConfig::new().size(1 << 20)).unwrap()
+    }
+
+    fn fresh_node(pool: &Pool, size: u32, level: u32) -> NodeRef<'_> {
+        let off = pool.alloc(u64::from(size), 64).unwrap();
+        let n = NodeRef::new(pool, off, size);
+        n.init(level);
+        n
+    }
+
+    #[test]
+    fn capacity_matches_paper_geometry() {
+        // 512-byte node: (512-64)/16 = 28 slots, 26 usable.
+        assert_eq!(capacity(512), 26);
+        assert_eq!(capacity(256), 10);
+        assert_eq!(capacity(1024), 58);
+        assert_eq!(capacity(4096), 250);
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let p = pool();
+        let n = fresh_node(&p, 512, 3);
+        assert_eq!(n.level(), 3);
+        assert!(!n.is_leaf());
+        assert!(!n.is_deleted());
+        n.set_sibling(4096);
+        assert_eq!(n.sibling(), 4096);
+        n.set_switch_counter(5);
+        assert_eq!(n.switch_counter(), 5);
+        n.set_count_hint(7);
+        assert_eq!(n.count_hint(), 7);
+        n.mark_deleted();
+        assert!(n.is_deleted());
+        assert_eq!(n.level(), 3);
+    }
+
+    #[test]
+    fn leaf_gets_anchor() {
+        let p = pool();
+        let n = fresh_node(&p, 512, 0);
+        assert!(n.is_leaf());
+        assert_eq!(n.leftmost(), LEAF_ANCHOR);
+        assert_eq!(n.left_ptr(0), LEAF_ANCHOR);
+    }
+
+    #[test]
+    fn validity_rules() {
+        let p = pool();
+        let n = fresh_node(&p, 512, 0);
+        // Empty: entry 0 has NULL ptr -> invalid.
+        assert!(!n.entry_valid(0));
+        n.set_key(0, 10);
+        n.set_ptr(0, 100);
+        assert!(n.entry_valid(0));
+        // Duplicate pointer marks entry 1 invalid.
+        n.set_key(1, 20);
+        n.set_ptr(1, 100);
+        assert!(!n.entry_valid(1));
+        n.set_ptr(1, 200);
+        assert!(n.entry_valid(1));
+        // Anchor in entry 0 marks it invalid (leaf pos-0 shift state).
+        n.set_ptr(0, LEAF_ANCHOR);
+        assert!(!n.entry_valid(0));
+        assert!(n.entry_valid(1)); // left ptr is now ANCHOR != 200
+    }
+
+    #[test]
+    fn count_records_self_heals_stale_hint() {
+        let p = pool();
+        let n = fresh_node(&p, 512, 0);
+        for i in 0..5u16 {
+            n.set_key(i, u64::from(i) * 10 + 10);
+            n.set_ptr(i, u64::from(i) + 100);
+        }
+        n.set_count_hint(0); // stale low
+        assert_eq!(n.count_records(), 5);
+        n.set_count_hint(20); // stale high
+        assert_eq!(n.count_records(), 5);
+    }
+
+    #[test]
+    fn valid_entries_skips_duplicates() {
+        let p = pool();
+        let n = fresh_node(&p, 512, 0);
+        n.set_key(0, 10);
+        n.set_ptr(0, 100);
+        n.set_key(1, 15);
+        n.set_ptr(1, 100); // dup of left -> garbage
+        n.set_key(2, 20);
+        n.set_ptr(2, 200);
+        assert_eq!(n.valid_entries(), vec![(10, 100), (20, 200)]);
+        assert_eq!(n.first_key(), Some(10));
+    }
+
+    #[test]
+    fn first_key_none_for_empty() {
+        let p = pool();
+        let n = fresh_node(&p, 512, 0);
+        assert_eq!(n.first_key(), None);
+    }
+
+    #[test]
+    fn init_clears_stale_records() {
+        let p = pool();
+        let off = p.alloc(512, 64).unwrap();
+        let n = NodeRef::new(&p, off, 512);
+        n.set_key(3, 333);
+        n.set_ptr(3, 334);
+        n.init(0);
+        assert_eq!(n.key(3), 0);
+        assert_eq!(n.ptr(3), 0);
+        assert_eq!(n.count_records(), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Embedded per-node reader-writer spin lock.
+//!
+//! The paper's implementation guards each node with a `std::mutex` for
+//! writers; readers are lock-free by default, or take *leaf read locks* in
+//! the serializable `FAST+FAIR+LeafLock` variant (§4.1, Fig. 7). We embed a
+//! word-sized RW spin lock in the node header. The lock word is volatile
+//! state: it is never flushed, never crash-logged, and is reset when a pool
+//! is reopened (see `recovery`).
+//!
+//! Layout of the lock word: bit 63 = writer held; bits 0..62 = reader count.
+
+use pmem::{PmOffset, Pool};
+
+const WRITER: u64 = 1 << 63;
+
+/// Acquires the write lock at `off`, spinning until free.
+pub fn lock_write(pool: &Pool, off: PmOffset) {
+    loop {
+        if pool.cas_u64_volatile(off, 0, WRITER).is_ok() {
+            return;
+        }
+        while pool.load_u64(off) != 0 {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Tries once to acquire the write lock; returns `true` on success.
+pub fn try_lock_write(pool: &Pool, off: PmOffset) -> bool {
+    pool.cas_u64_volatile(off, 0, WRITER).is_ok()
+}
+
+/// Releases the write lock.
+pub fn unlock_write(pool: &Pool, off: PmOffset) {
+    debug_assert_eq!(pool.load_u64(off) & WRITER, WRITER);
+    pool.store_u64_volatile(off, 0);
+}
+
+/// Acquires a shared read lock (used only by the LeafLock variant).
+pub fn lock_read(pool: &Pool, off: PmOffset) {
+    loop {
+        let w = pool.load_u64(off);
+        if w & WRITER == 0 && pool.cas_u64_volatile(off, w, w + 1).is_ok() {
+            return;
+        }
+        std::hint::spin_loop();
+    }
+}
+
+/// Releases a shared read lock.
+pub fn unlock_read(pool: &Pool, off: PmOffset) {
+    let prev = pool.fetch_sub_u64_volatile(off, 1);
+    debug_assert!(prev & !WRITER > 0, "read-unlock without lock");
+}
+
+/// RAII guard for a node write lock.
+pub struct WriteGuard<'a> {
+    pool: &'a Pool,
+    off: PmOffset,
+    armed: bool,
+}
+
+impl<'a> WriteGuard<'a> {
+    /// Acquires the write lock at `off`.
+    pub fn lock(pool: &'a Pool, off: PmOffset) -> Self {
+        lock_write(pool, off);
+        WriteGuard {
+            pool,
+            off,
+            armed: true,
+        }
+    }
+
+    /// Releases the lock early (before drop).
+    pub fn unlock(mut self) {
+        self.release();
+    }
+
+    fn release(&mut self) {
+        if self.armed {
+            unlock_write(self.pool, self.off);
+            self.armed = false;
+        }
+    }
+}
+
+impl Drop for WriteGuard<'_> {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
+/// RAII guard for a node read lock.
+pub struct ReadGuard<'a> {
+    pool: &'a Pool,
+    off: PmOffset,
+}
+
+impl<'a> ReadGuard<'a> {
+    /// Acquires a read lock at `off`.
+    pub fn lock(pool: &'a Pool, off: PmOffset) -> Self {
+        lock_read(pool, off);
+        ReadGuard { pool, off }
+    }
+}
+
+impl Drop for ReadGuard<'_> {
+    fn drop(&mut self) {
+        unlock_read(self.pool, self.off);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PoolConfig;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn pool() -> Arc<Pool> {
+        Arc::new(Pool::new(PoolConfig::new().size(1 << 16)).unwrap())
+    }
+
+    #[test]
+    fn write_lock_excludes_writers() {
+        let p = pool();
+        let off = p.alloc(8, 8).unwrap();
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let p = Arc::clone(&p);
+            let c = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    let _g = WriteGuard::lock(&p, off);
+                    // Non-atomic-looking RMW protected by the lock.
+                    let v = c.load(Ordering::Relaxed);
+                    c.store(v + 1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 4000);
+        assert_eq!(p.load_u64(off), 0, "lock word released");
+    }
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let p = pool();
+        let off = p.alloc(8, 8).unwrap();
+        lock_read(&p, off);
+        lock_read(&p, off);
+        assert!(!try_lock_write(&p, off));
+        unlock_read(&p, off);
+        assert!(!try_lock_write(&p, off));
+        unlock_read(&p, off);
+        assert!(try_lock_write(&p, off));
+        unlock_write(&p, off);
+    }
+
+    #[test]
+    fn guard_releases_on_drop() {
+        let p = pool();
+        let off = p.alloc(8, 8).unwrap();
+        {
+            let _g = WriteGuard::lock(&p, off);
+            assert!(!try_lock_write(&p, off));
+        }
+        assert!(try_lock_write(&p, off));
+        unlock_write(&p, off);
+    }
+
+    #[test]
+    fn explicit_unlock_consumes_guard() {
+        let p = pool();
+        let off = p.alloc(8, 8).unwrap();
+        let g = WriteGuard::lock(&p, off);
+        g.unlock();
+        assert!(try_lock_write(&p, off));
+    }
+
+    #[test]
+    fn lock_word_not_in_crash_log() {
+        let p = Pool::new(PoolConfig::new().size(1 << 16).crash_log(true)).unwrap();
+        let off = p.alloc(8, 8).unwrap();
+        let before = p.crash_log().unwrap().len();
+        lock_write(&p, off);
+        unlock_write(&p, off);
+        lock_read(&p, off);
+        unlock_read(&p, off);
+        assert_eq!(p.crash_log().unwrap().len(), before);
+    }
+}

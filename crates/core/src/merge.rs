@@ -1,0 +1,140 @@
+//! FAIR-style node merging: reclaiming empty leaves.
+//!
+//! §4.2 of the paper sketches the merge half of lazy recovery: "we check
+//! if the sibling node can be merged with its left node". Like every FAIR
+//! step, unlinking an empty leaf is a sequence of independently tolerable
+//! 8-byte commits:
+//!
+//! 1. delete the parent's routing entry (a FAST delete in the parent —
+//!    itself a single-pointer commit). Keys that routed to the empty node
+//!    now route to its left neighbour and, if needed, pass *through* the
+//!    empty node via the sibling chain, so every intermediate state is
+//!    readable;
+//! 2. bypass the node in the leaf chain: `left.sibling = node.sibling` —
+//!    one persisted 8-byte store;
+//! 3. mark the node logically deleted so writers blocked on its latch
+//!    retraverse.
+//!
+//! A crash between any two steps leaves an empty pass-through node that
+//! readers skip naturally and that never receives new keys (its parent
+//! entry is gone, and `covering_sibling` never redirects into an empty
+//! node). The node's memory is reclaimed only on
+//! [`FastFairTree::recover`], because concurrent readers may still hold
+//! references — the paper likewise leaves physical reclamation out.
+
+use pmem::{PmOffset, NULL_OFFSET};
+use pmindex::Key;
+
+use crate::lock::WriteGuard;
+use crate::tree::FastFairTree;
+
+impl FastFairTree {
+    /// Attempts to unlink the empty leaf at `node_off`; `probe_key` is any
+    /// key that routed to it (the key the caller just deleted). Bails out
+    /// silently whenever the precise preconditions no longer hold — the
+    /// next delete (or `recover`) will try again.
+    pub(crate) fn try_unlink_empty_leaf(&self, node_off: PmOffset, probe_key: Key) {
+        if self.height() == 0 {
+            return; // the root leaf is never unlinked
+        }
+        // Find the parent the same way a writer would.
+        let Some(parent_off) = self.descend_to_parent(probe_key) else {
+            return;
+        };
+        let parent_guard = WriteGuard::lock(&self.pool, self.node(parent_off).lock_word_off());
+        let parent = self.node(parent_off);
+        if parent.is_deleted() || parent.level() != 1 {
+            return; // tree changed shape under us; give up quietly
+        }
+        crate::delete::repair_node_locked(self, parent);
+        // Locate the routing entry for the node and its left neighbour.
+        let cnt = parent.count_records();
+        let mut slot = None;
+        for i in 0..cnt {
+            if parent.entry_valid(i) && parent.ptr(i) == node_off {
+                slot = Some(i);
+                break;
+            }
+        }
+        let Some(s) = slot else {
+            return; // not routed from this parent (moved right, or leftmost child)
+        };
+        let left_off = parent.left_ptr(s);
+        if left_off == NULL_OFFSET || left_off == crate::layout::LEAF_ANCHOR {
+            return;
+        }
+
+        // Lock left-to-right, as all writers do.
+        let left_guard = WriteGuard::lock(&self.pool, self.node(left_off).lock_word_off());
+        let node_guard = WriteGuard::lock(&self.pool, self.node(node_off).lock_word_off());
+        let left = self.node(left_off);
+        let node = self.node(node_off);
+        // Re-verify every precondition under the locks.
+        if node.is_deleted()
+            || left.is_deleted()
+            || left.sibling() != node_off
+            || node.first_key().is_some()
+        {
+            return;
+        }
+
+        // Step 1: remove the parent's routing entry (FAST delete in place —
+        // we already hold the parent lock).
+        let pcnt = parent.count_records();
+        crate::delete::enter_delete_direction(self, parent, pcnt);
+        parent.set_ptr(s, parent.left_ptr(s));
+        self.pool.fence_if_not_tso();
+        crate::delete::shift_left_from(self, parent, s, pcnt);
+        parent.set_count_hint(pcnt - 1);
+
+        // Step 2: bypass the node in the leaf chain — the visibility commit.
+        left.set_sibling(node.sibling());
+        self.pool.persist(left.sibling_field_off(), 8);
+
+        // Step 3: writers blocked on the node's latch must retraverse.
+        node.mark_deleted();
+
+        node_guard.unlock();
+        left_guard.unlock();
+        parent_guard.unlock();
+    }
+
+    /// Lock-free descent to the level-1 node covering `key` (the parent
+    /// level of the leaves). Returns `None` on a single-leaf tree.
+    fn descend_to_parent(&self, key: Key) -> Option<PmOffset> {
+        let mut node = self.node(self.root());
+        if node.level() < 1 {
+            return None;
+        }
+        let mut off = self.root();
+        while node.level() > 1 {
+            off = self.route(node, key);
+            node = self.node(off);
+        }
+        // Move right at level 1 if the key now belongs to a sibling.
+        while let Some(sib) = self.covering_sibling(node, key) {
+            off = sib;
+            node = self.node(off);
+        }
+        Some(off)
+    }
+
+    /// Collapses trivial roots (an internal root with no records routes
+    /// everything through its leftmost child). Called from `recover`.
+    pub(crate) fn shrink_root(&self) -> usize {
+        let mut shrunk = 0;
+        loop {
+            let root = self.node(self.root());
+            if root.is_leaf()
+                || root.count_records() != 0
+                || root.sibling() != NULL_OFFSET
+            {
+                return shrunk;
+            }
+            let child = root.leftmost();
+            self.pool.store_u64(self.meta + crate::tree::META_ROOT, child);
+            self.pool.persist(self.meta + crate::tree::META_ROOT, 8);
+            shrunk += 1;
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Range scans over the leaf chain.
+//!
+//! A range scan descends to the leaf covering the lower bound, then walks
+//! right through the sibling chain reading each leaf with the lock-free
+//! protocol. Two tolerance rules come from the paper:
+//!
+//! * a key may appear twice when the scan crosses a half-finished FAIR
+//!   split — the node and its fresh sibling form a "virtual single node"
+//!   with a duplicated upper half (Fig. 2). The scan detects this exactly
+//!   as the paper describes ("the order of keys is incorrect when reaching
+//!   node B") and drops the duplicates with a monotonicity filter;
+//! * a leaf may be revisited via an old sibling pointer after a concurrent
+//!   split; the same filter handles it.
+
+use pmem::NULL_OFFSET;
+use pmindex::{Key, Value};
+
+use crate::lock::ReadGuard;
+use crate::search::read_leaf_entries;
+use crate::tree::FastFairTree;
+
+/// Appends all `(key, value)` with `lo <= key < hi` to `out`, ascending.
+pub(crate) fn tree_range(tree: &FastFairTree, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) {
+    if lo >= hi {
+        return;
+    }
+    let mut off = tree.find_leaf(lo);
+    let mut last: Option<Key> = None;
+    while off != NULL_OFFSET {
+        let leaf = tree.node(off);
+        let entries = if tree.options().leaf_locks {
+            let _g = ReadGuard::lock(&tree.pool, leaf.lock_word_off());
+            read_leaf_entries(tree, leaf)
+        } else {
+            read_leaf_entries(tree, leaf)
+        };
+        for (k, v) in entries {
+            if k >= hi {
+                return;
+            }
+            if k >= lo && last.map_or(true, |l| k > l) {
+                out.push((k, v));
+                last = Some(k);
+            }
+        }
+        off = leaf.sibling();
+        if off != NULL_OFFSET {
+            tree.node(off).charge_hop();
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Lock-free leaf search (Algorithm 3) and leaf-entry reads.
+//!
+//! Readers never latch a node. Instead they:
+//!
+//! 1. read the node's `switch_counter` and scan **left to right** if it is
+//!    even (the last writer was inserting, shifting entries right) or
+//!    **right to left** if odd (the last writer was deleting, shifting
+//!    left) — scanning in the same direction as the writer guarantees no
+//!    entry is missed, though one may be seen twice;
+//! 2. skip *invalid* entries — those whose pointer equals their left
+//!    neighbour's pointer (the transient duplicate a shift creates, §3.1);
+//! 3. re-read the switch counter, retrying if a writer changed direction
+//!    during the scan.
+//!
+//! A reader that falls off the right edge of a node consults the sibling
+//! pointer (B-link), which also covers the "virtual single node" state of a
+//! half-finished FAIR split.
+
+use pmem::NULL_OFFSET;
+use pmindex::{Key, Value};
+
+use crate::layout::NodeRef;
+use crate::tree::FastFairTree;
+
+/// Lock-free exact-match search within one leaf (Algorithm 3).
+///
+/// Returns the value for `key` or `None` if it is not in this node (the
+/// caller then consults the sibling pointer).
+pub(crate) fn leaf_search_linear(
+    tree: &FastFairTree,
+    node: NodeRef<'_>,
+    key: Key,
+) -> Option<Value> {
+    let cap = tree.cap;
+    loop {
+        let sc = node.switch_counter();
+        let mut ret: Option<Value> = None;
+        let mut scanned: u16 = 0;
+        if sc % 2 == 0 {
+            // Scan left to right, following the insert shift direction.
+            let mut i: u16 = 0;
+            while i <= cap {
+                let p = node.ptr(i);
+                if p == NULL_OFFSET {
+                    break;
+                }
+                scanned = i + 1;
+                if node.key(i) == key && p != node.left_ptr(i) {
+                    // Double-check the key: the entry may be mid-shift.
+                    if node.key(i) == key && node.ptr(i) == p {
+                        ret = Some(p);
+                        break;
+                    }
+                }
+                i += 1;
+            }
+        } else {
+            // Scan right to left, following the delete shift direction.
+            let mut i = cap.min(node.count_hint().saturating_add(2)).min(cap);
+            scanned = i + 1;
+            loop {
+                let p = node.ptr(i);
+                if p != NULL_OFFSET && node.key(i) == key && p != node.left_ptr(i) {
+                    if node.key(i) == key && node.ptr(i) == p {
+                        ret = Some(p);
+                        break;
+                    }
+                }
+                if i == 0 {
+                    break;
+                }
+                i -= 1;
+            }
+        }
+        node.charge_linear_scan(scanned);
+        if node.switch_counter() == sc {
+            return ret;
+        }
+        // A writer changed shift direction mid-scan: retry (Algorithm 3,
+        // the `until prev_switch = node.switch` loop).
+        std::hint::spin_loop();
+    }
+}
+
+/// Binary exact-match search within one leaf.
+///
+/// Only sound when no writer is concurrently shifting this node — the
+/// reason the paper's lock-free design is restricted to linear search (§4).
+/// Exposed for the single-threaded Fig. 3 comparison.
+pub(crate) fn leaf_search_binary(
+    tree: &FastFairTree,
+    node: NodeRef<'_>,
+    key: Key,
+) -> Option<Value> {
+    let cnt = node.count_records();
+    if cnt == 0 {
+        return None;
+    }
+    // Each probe is a dependent (serial) cache miss: binary search defeats
+    // the prefetcher, which is why it loses below 4 KB nodes (§5.2).
+    let probes = (u32::from(cnt) * 16 / 64).max(1).ilog2() + 1;
+    tree.pool.charge_serial_reads(probes);
+    let (mut lo, mut hi) = (0u16, cnt);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if node.key(mid) < key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    if lo < cnt && node.key(lo) == key && node.entry_valid(lo) {
+        Some(node.ptr(lo))
+    } else {
+        None
+    }
+}
+
+/// Reads the valid `(key, value)` entries of a leaf with the lock-free
+/// retry protocol; used by range scans and the full-tree iterator.
+///
+/// Entries are returned in slot order. During an insert shift the same key
+/// can transiently occupy two slots, but only one of them is valid at any
+/// instant, and the switch-counter re-check discards torn scans after a
+/// direction change.
+pub(crate) fn read_leaf_entries(tree: &FastFairTree, node: NodeRef<'_>) -> Vec<(Key, Value)> {
+    let cap = tree.cap;
+    loop {
+        let sc = node.switch_counter();
+        let mut out = Vec::new();
+        let mut i: u16 = 0;
+        while i <= cap {
+            let p = node.ptr(i);
+            if p == NULL_OFFSET {
+                break;
+            }
+            if p != node.left_ptr(i) {
+                let k = node.key(i);
+                if node.ptr(i) == p {
+                    out.push((k, p));
+                }
+            }
+            i += 1;
+        }
+        node.charge_linear_scan(i);
+        if node.switch_counter() == sc {
+            // A scan concurrent with a left-shift (delete) can observe an
+            // entry twice at adjacent slots; keep the last occurrence of
+            // each key and drop local order violations conservatively.
+            out.dedup_by(|b, a| a.0 == b.0);
+            return out;
+        }
+        std::hint::spin_loop();
+    }
+}

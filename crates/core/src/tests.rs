@@ -1,0 +1,475 @@
+//! Unit and property tests for the FAST+FAIR tree.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use pmem::{stats, Pool, PoolConfig};
+use pmindex::workload::{generate_keys, value_for, KeyDist};
+use pmindex::PmIndex;
+use proptest::prelude::*;
+
+use crate::{FastFairTree, InNodeSearch, SplitStrategy, TreeOptions};
+
+fn pool(mb: usize) -> Arc<Pool> {
+    Arc::new(Pool::new(PoolConfig::new().size(mb << 20)).unwrap())
+}
+
+fn tree_with(pool: &Arc<Pool>, opts: TreeOptions) -> FastFairTree {
+    FastFairTree::create(Arc::clone(pool), opts).unwrap()
+}
+
+fn small_tree() -> (Arc<Pool>, FastFairTree) {
+    let p = pool(64);
+    let t = tree_with(&p, TreeOptions::new());
+    (p, t)
+}
+
+#[test]
+fn empty_tree_behaviour() {
+    let (_p, t) = small_tree();
+    assert_eq!(t.get(1), None);
+    assert!(!t.remove(1));
+    assert!(t.is_empty());
+    assert_eq!(t.len(), 0);
+    assert_eq!(t.height(), 0);
+    let mut out = Vec::new();
+    t.range(0, u64::MAX, &mut out);
+    assert!(out.is_empty());
+}
+
+#[test]
+fn single_insert_get_remove() {
+    let (_p, t) = small_tree();
+    t.insert(42, 4242).unwrap();
+    assert_eq!(t.get(42), Some(4242));
+    assert_eq!(t.get(41), None);
+    assert_eq!(t.get(43), None);
+    assert!(!t.is_empty());
+    assert_eq!(t.len(), 1);
+    assert!(t.remove(42));
+    assert_eq!(t.get(42), None);
+    assert!(t.is_empty());
+}
+
+#[test]
+fn reserved_values_rejected() {
+    let (_p, t) = small_tree();
+    assert!(t.insert(1, 0).is_err());
+    assert!(t.insert(1, u64::MAX).is_err());
+}
+
+#[test]
+fn upsert_replaces_value() {
+    let (_p, t) = small_tree();
+    t.insert(7, 100).unwrap();
+    t.insert(7, 200).unwrap();
+    assert_eq!(t.get(7), Some(200));
+    assert_eq!(t.len(), 1);
+}
+
+#[test]
+fn ascending_inserts_split_correctly() {
+    let (_p, t) = small_tree();
+    let n = 5000u64;
+    for k in 1..=n {
+        t.insert(k, k + 1).unwrap();
+    }
+    assert!(t.height() >= 1);
+    for k in 1..=n {
+        assert_eq!(t.get(k), Some(k + 1), "key {k}");
+    }
+    t.check_consistency(true).unwrap();
+}
+
+#[test]
+fn descending_inserts_exercise_slot_zero() {
+    let (_p, t) = small_tree();
+    let n = 3000u64;
+    for k in (1..=n).rev() {
+        t.insert(k, k + 1).unwrap();
+    }
+    for k in 1..=n {
+        assert_eq!(t.get(k), Some(k + 1), "key {k}");
+    }
+    t.check_consistency(true).unwrap();
+}
+
+#[test]
+fn random_inserts_and_lookups() {
+    let (_p, t) = small_tree();
+    let keys = generate_keys(20_000, KeyDist::Uniform, 7);
+    for &k in &keys {
+        t.insert(k, value_for(k)).unwrap();
+    }
+    for &k in &keys {
+        assert_eq!(t.get(k), Some(value_for(k)));
+    }
+    assert_eq!(t.len(), keys.len());
+    t.check_consistency(true).unwrap();
+}
+
+#[test]
+fn deletes_interleaved_with_inserts() {
+    let (_p, t) = small_tree();
+    let keys = generate_keys(8000, KeyDist::Uniform, 13);
+    let mut model = BTreeMap::new();
+    for (i, &k) in keys.iter().enumerate() {
+        t.insert(k, value_for(k)).unwrap();
+        model.insert(k, value_for(k));
+        if i % 3 == 0 {
+            let victim = keys[i / 2];
+            assert_eq!(t.remove(victim), model.remove(&victim).is_some());
+        }
+    }
+    for (&k, &v) in &model {
+        assert_eq!(t.get(k), Some(v), "key {k}");
+    }
+    assert_eq!(t.len(), model.len());
+    t.check_consistency(true).unwrap();
+}
+
+#[test]
+fn delete_all_keys_leaves_empty_tree() {
+    let (_p, t) = small_tree();
+    let keys = generate_keys(2000, KeyDist::DenseShuffled, 3);
+    for &k in &keys {
+        t.insert(k, value_for(k)).unwrap();
+    }
+    for &k in &keys {
+        assert!(t.remove(k), "key {k}");
+    }
+    assert!(t.is_empty());
+    for &k in &keys {
+        assert_eq!(t.get(k), None);
+    }
+    t.check_consistency(true).unwrap();
+}
+
+#[test]
+fn range_scan_matches_model() {
+    let (_p, t) = small_tree();
+    let keys = generate_keys(10_000, KeyDist::Uniform, 17);
+    let mut model = BTreeMap::new();
+    for &k in &keys {
+        t.insert(k, value_for(k)).unwrap();
+        model.insert(k, value_for(k));
+    }
+    let mut sorted: Vec<u64> = keys.clone();
+    sorted.sort_unstable();
+    for (lo_i, span) in [(0usize, 50usize), (100, 1000), (5000, 3000), (9990, 100)] {
+        let lo = sorted[lo_i];
+        let hi = sorted.get(lo_i + span).copied().unwrap_or(u64::MAX);
+        let mut got = Vec::new();
+        t.range(lo, hi, &mut got);
+        let want: Vec<(u64, u64)> = model
+            .range(lo..hi)
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        assert_eq!(got, want, "range [{lo}, {hi})");
+    }
+}
+
+#[test]
+fn full_iteration_is_sorted_and_complete() {
+    let (_p, t) = small_tree();
+    let keys = generate_keys(5000, KeyDist::Uniform, 23);
+    for &k in &keys {
+        t.insert(k, value_for(k)).unwrap();
+    }
+    let mut seen = Vec::new();
+    t.for_each(|k, v| {
+        assert_eq!(v, value_for(k));
+        seen.push(k);
+    });
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(seen, sorted);
+}
+
+#[test]
+fn all_node_sizes_work() {
+    for size in [256u32, 512, 1024, 2048, 4096] {
+        let p = pool(64);
+        let t = tree_with(&p, TreeOptions::new().node_size(size));
+        let keys = generate_keys(3000, KeyDist::Uniform, u64::from(size));
+        for &k in &keys {
+            t.insert(k, value_for(k)).unwrap();
+        }
+        for &k in &keys {
+            assert_eq!(t.get(k), Some(value_for(k)), "size {size} key {k}");
+        }
+        t.check_consistency(true).unwrap();
+    }
+}
+
+#[test]
+fn binary_search_variant_matches_linear() {
+    let p = pool(64);
+    let t = tree_with(&p, TreeOptions::new().search(InNodeSearch::Binary));
+    let keys = generate_keys(5000, KeyDist::Uniform, 29);
+    for &k in &keys {
+        t.insert(k, value_for(k)).unwrap();
+    }
+    for &k in &keys {
+        assert_eq!(t.get(k), Some(value_for(k)));
+    }
+    assert_eq!(t.get(keys[0].wrapping_add(1)).is_some(), keys.contains(&(keys[0].wrapping_add(1))));
+}
+
+#[test]
+fn leaflock_variant_works() {
+    let p = pool(64);
+    let t = tree_with(&p, TreeOptions::new().leaf_locks(true));
+    assert_eq!(t.name(), "FAST+FAIR+LeafLock");
+    let keys = generate_keys(3000, KeyDist::Uniform, 31);
+    for &k in &keys {
+        t.insert(k, value_for(k)).unwrap();
+    }
+    for &k in &keys {
+        assert_eq!(t.get(k), Some(value_for(k)));
+    }
+    let mut out = Vec::new();
+    t.range(0, u64::MAX, &mut out);
+    assert_eq!(out.len(), keys.len());
+}
+
+#[test]
+fn logging_variant_works_and_is_flush_heavier() {
+    let p1 = pool(64);
+    let fair = tree_with(&p1, TreeOptions::new());
+    let p2 = pool(64);
+    let logging = tree_with(&p2, TreeOptions::new().split(SplitStrategy::Logging));
+    assert_eq!(logging.name(), "FAST+Logging");
+    let keys = generate_keys(5000, KeyDist::Uniform, 37);
+
+    stats::reset();
+    for &k in &keys {
+        fair.insert(k, value_for(k)).unwrap();
+    }
+    let fair_flushes = stats::take().flushes;
+
+    stats::reset();
+    for &k in &keys {
+        logging.insert(k, value_for(k)).unwrap();
+    }
+    let logging_flushes = stats::take().flushes;
+
+    for &k in &keys {
+        assert_eq!(logging.get(k), Some(value_for(k)));
+    }
+    logging.check_consistency(true).unwrap();
+    assert!(
+        logging_flushes > fair_flushes,
+        "logging {logging_flushes} vs fair {fair_flushes}"
+    );
+}
+
+#[test]
+fn flush_count_matches_paper_ballpark() {
+    // §5.2: a 512-byte node spans 8 cache lines, so FAST needs at most 8
+    // flushes and ~4 on average per insert (plus amortized split cost).
+    let (_p, t) = small_tree();
+    let keys = generate_keys(20_000, KeyDist::Uniform, 41);
+    for &k in &keys[..10_000] {
+        t.insert(k, value_for(k)).unwrap();
+    }
+    stats::reset();
+    for &k in &keys[10_000..] {
+        t.insert(k, value_for(k)).unwrap();
+    }
+    let s = stats::take();
+    let per_insert = s.flushes as f64 / 10_000.0;
+    assert!(
+        (1.0..=8.0).contains(&per_insert),
+        "avg flushes per insert = {per_insert}"
+    );
+}
+
+#[test]
+fn reopen_after_clean_shutdown() {
+    let p = pool(64);
+    let t = tree_with(&p, TreeOptions::new());
+    let keys = generate_keys(4000, KeyDist::Uniform, 43);
+    for &k in &keys {
+        t.insert(k, value_for(k)).unwrap();
+    }
+    let meta = t.meta_offset();
+    drop(t);
+    let img = p.volatile_image();
+    let p2 = Arc::new(Pool::from_image(&img, PoolConfig::new().size(64 << 20)).unwrap());
+    let t2 = FastFairTree::open(Arc::clone(&p2), meta, TreeOptions::new()).unwrap();
+    for &k in &keys {
+        assert_eq!(t2.get(k), Some(value_for(k)));
+    }
+    t2.check_consistency(true).unwrap();
+    // The reopened tree accepts writes.
+    t2.insert(keys[0].wrapping_add(2), 777).unwrap();
+}
+
+#[test]
+fn open_rejects_bad_magic() {
+    let p = pool(1);
+    let off = p.alloc(64, 64).unwrap();
+    assert!(FastFairTree::open(Arc::clone(&p), off, TreeOptions::new()).is_err());
+}
+
+#[test]
+fn recover_on_healthy_tree_is_noop() {
+    let (_p, t) = small_tree();
+    for k in 1..2000u64 {
+        t.insert(k, k + 1).unwrap();
+    }
+    let r = t.recover().unwrap();
+    assert_eq!(r.garbage_removed, 0);
+    assert_eq!(r.splits_completed, 0);
+    assert_eq!(r.siblings_attached, 0);
+    t.check_consistency(true).unwrap();
+    for k in 1..2000u64 {
+        assert_eq!(t.get(k), Some(k + 1));
+    }
+}
+
+#[test]
+fn concurrent_inserts_are_linearizable() {
+    let p = pool(256);
+    let t = Arc::new(tree_with(&p, TreeOptions::new()));
+    let keys = generate_keys(40_000, KeyDist::Uniform, 47);
+    let chunks = pmindex::workload::partition(&keys, 4);
+    std::thread::scope(|s| {
+        for chunk in &chunks {
+            let t = Arc::clone(&t);
+            s.spawn(move || {
+                for &k in chunk {
+                    t.insert(k, value_for(k)).unwrap();
+                }
+            });
+        }
+    });
+    for &k in &keys {
+        assert_eq!(t.get(k), Some(value_for(k)));
+    }
+    t.check_consistency(true).unwrap();
+}
+
+#[test]
+fn concurrent_readers_during_writes_see_committed_keys() {
+    let p = pool(256);
+    let t = Arc::new(tree_with(&p, TreeOptions::new()));
+    let preload = generate_keys(20_000, KeyDist::Uniform, 53);
+    for &k in &preload {
+        t.insert(k, value_for(k)).unwrap();
+    }
+    let fresh = generate_keys(20_000, KeyDist::Uniform, 59);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    std::thread::scope(|s| {
+        {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                for &k in &fresh {
+                    t.insert(k, value_for(k)).unwrap();
+                }
+                stop.store(true, std::sync::atomic::Ordering::Release);
+            });
+        }
+        for _ in 0..2 {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            let preload = &preload;
+            s.spawn(move || {
+                let mut i = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    let k = preload[i % preload.len()];
+                    // Preloaded keys must always be visible to lock-free
+                    // readers, whatever the concurrent writer is doing.
+                    assert_eq!(t.get(k), Some(value_for(k)), "lost key {k}");
+                    i += 1;
+                }
+            });
+        }
+    });
+    t.check_consistency(true).unwrap();
+}
+
+#[test]
+fn concurrent_mixed_workload() {
+    let p = pool(256);
+    let t = Arc::new(tree_with(&p, TreeOptions::new()));
+    let preload = generate_keys(10_000, KeyDist::Uniform, 61);
+    for &k in &preload {
+        t.insert(k, value_for(k)).unwrap();
+    }
+    let fresh = generate_keys(8_000, KeyDist::Uniform, 67);
+    let chunks = pmindex::workload::partition(&fresh, 4);
+    std::thread::scope(|s| {
+        for (id, chunk) in chunks.iter().enumerate() {
+            let t = Arc::clone(&t);
+            let preload = &preload;
+            s.spawn(move || {
+                let ops = pmindex::workload::mixed_ops(preload, chunk, chunk.len() / 4, id as u64);
+                for op in ops {
+                    match op {
+                        pmindex::workload::Op::Insert(k) => t.insert(k, value_for(k)).unwrap(),
+                        pmindex::workload::Op::Search(k) => {
+                            assert_eq!(t.get(k), Some(value_for(k)));
+                        }
+                        pmindex::workload::Op::Delete(k) => {
+                            assert!(t.remove(k));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    t.check_consistency(true).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_tree_matches_btreemap(ops in prop::collection::vec(
+        (0u8..3, 1u64..500), 1..400)) {
+        let p = pool(16);
+        let t = tree_with(&p, TreeOptions::new().node_size(256));
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (op, key) in ops {
+            match op {
+                0 => {
+                    t.insert(key, value_for(key)).unwrap();
+                    model.insert(key, value_for(key));
+                }
+                1 => {
+                    prop_assert_eq!(t.remove(key), model.remove(&key).is_some());
+                }
+                _ => {
+                    prop_assert_eq!(t.get(key), model.get(&key).copied());
+                }
+            }
+        }
+        // Full-content comparison at the end.
+        let mut got = Vec::new();
+        t.range(0, u64::MAX, &mut got);
+        let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(got, want);
+        prop_assert!(t.check_consistency(true).is_ok());
+    }
+
+    #[test]
+    fn prop_range_bounds(keys in prop::collection::btree_set(1u64..10_000, 1..300),
+                         lo in 0u64..10_000, span in 0u64..2_000) {
+        let p = pool(16);
+        let t = tree_with(&p, TreeOptions::new().node_size(256));
+        for &k in &keys {
+            t.insert(k, value_for(k)).unwrap();
+        }
+        let hi = lo.saturating_add(span);
+        let mut got = Vec::new();
+        t.range(lo, hi, &mut got);
+        let want: Vec<(u64, u64)> = keys.iter()
+            .filter(|&&k| k >= lo && k < hi)
+            .map(|&k| (k, value_for(k)))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}

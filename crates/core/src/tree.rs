@@ -1,0 +1,542 @@
+//! The FAST+FAIR B+-tree: structure, configuration and traversal.
+//!
+//! The tree is a B-link tree (every node, internal and leaf, carries a right
+//! sibling pointer — §3.2) whose node mutations are performed with the FAST
+//! and FAIR algorithms so that *every 8-byte store* leaves the tree either
+//! consistent or transiently inconsistent in a way readers tolerate.
+//!
+//! Persistent superblock layout (64 bytes, one cache line):
+//!
+//! ```text
+//!  0  magic
+//!  8  root node offset           (updated by a single persisted store —
+//!                                 the commit point of a root split)
+//! 16  node size in bytes
+//! 24  split strategy tag         (0 = FAIR, 1 = logging)
+//! 32  log head                   (logging variant: node being split, 0 = idle)
+//! 40  lock word                  (volatile; serializes root growth)
+//! 48  log area offset            (logging variant's preallocated undo buffer)
+//! 56  reserved
+//! ```
+
+use std::sync::Arc;
+
+use pmem::{stats, PmOffset, Pool, NULL_OFFSET};
+use pmindex::{IndexError, Key, PmIndex, Value};
+
+use crate::layout::{capacity, NodeRef};
+use crate::lock::ReadGuard;
+
+pub(crate) const META_MAGIC: u64 = 0x4641_4952_5452_4545; // "FAIRTREE"
+pub(crate) const META_ROOT: u64 = 8;
+pub(crate) const META_NODE_SIZE: u64 = 16;
+pub(crate) const META_STRATEGY: u64 = 24;
+pub(crate) const META_LOG_HEAD: u64 = 32;
+pub(crate) const META_LOCK: u64 = 40;
+pub(crate) const META_LOG_AREA: u64 = 48;
+
+/// How node splits are made failure-atomic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitStrategy {
+    /// FAIR: in-place rebalance through endurable transient inconsistency
+    /// (the paper's contribution, Algorithm 2).
+    #[default]
+    Fair,
+    /// Legacy undo-logging rebalance — the `FAST+Logging` baseline of
+    /// Fig. 5(a)/(c), 7–18 % slower due to log flushes.
+    Logging,
+}
+
+/// In-node search algorithm (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InNodeSearch {
+    /// Linear scan — required for lock-free reads, faster below 4 KB nodes.
+    #[default]
+    Linear,
+    /// Binary search — incompatible with lock-free reads (§4); available
+    /// for the single-threaded Fig. 3 comparison only.
+    Binary,
+}
+
+/// Construction options for a [`FastFairTree`].
+#[derive(Debug, Clone, Copy)]
+pub struct TreeOptions {
+    /// Node size in bytes (power of two, 256–4096 in the paper's sweep).
+    pub node_size: u32,
+    /// Split strategy (FAIR vs. logging).
+    pub split: SplitStrategy,
+    /// In-node search algorithm.
+    pub search: InNodeSearch,
+    /// `FAST+FAIR+LeafLock` (§4.1): readers take leaf read locks, trading a
+    /// little concurrency for serializable reads.
+    pub leaf_locks: bool,
+}
+
+impl TreeOptions {
+    /// The paper's default configuration: 512-byte nodes, FAIR splits,
+    /// linear search, lock-free reads.
+    pub fn new() -> Self {
+        TreeOptions {
+            node_size: 512,
+            split: SplitStrategy::Fair,
+            search: InNodeSearch::Linear,
+            leaf_locks: false,
+        }
+    }
+
+    /// Sets the node size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the size is not a multiple of 64 or holds fewer than four
+    /// records.
+    pub fn node_size(mut self, bytes: u32) -> Self {
+        assert!(bytes % 64 == 0, "node size must be a multiple of 64");
+        let _ = capacity(bytes); // panics if too small
+        self.node_size = bytes;
+        self
+    }
+
+    /// Selects the split strategy.
+    pub fn split(mut self, s: SplitStrategy) -> Self {
+        self.split = s;
+        self
+    }
+
+    /// Selects the in-node search algorithm.
+    pub fn search(mut self, s: InNodeSearch) -> Self {
+        self.search = s;
+        self
+    }
+
+    /// Enables leaf read locks (serializable reads).
+    pub fn leaf_locks(mut self, on: bool) -> Self {
+        self.leaf_locks = on;
+        self
+    }
+}
+
+impl Default for TreeOptions {
+    fn default() -> Self {
+        TreeOptions::new()
+    }
+}
+
+/// A failure-atomic persistent B+-tree using FAST in-node shifts and FAIR
+/// in-place rebalancing.
+///
+/// Writers take one node latch at a time; readers are non-blocking (or take
+/// leaf read locks when [`TreeOptions::leaf_locks`] is set). All data lives
+/// in a [`pmem::Pool`]; reopening the pool and calling
+/// [`FastFairTree::open`] recovers the tree instantly, and
+/// [`FastFairTree::recover`] eagerly repairs any transient inconsistency a
+/// crash left behind.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use pmem::{Pool, PoolConfig};
+/// use fastfair::{FastFairTree, TreeOptions};
+/// use pmindex::PmIndex;
+///
+/// let pool = Arc::new(Pool::new(PoolConfig::default().size(1 << 20))?);
+/// let tree = FastFairTree::create(Arc::clone(&pool), TreeOptions::new())?;
+/// tree.insert(42, 4242)?;
+/// assert_eq!(tree.get(42), Some(4242));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct FastFairTree {
+    pub(crate) pool: Arc<Pool>,
+    pub(crate) meta: PmOffset,
+    pub(crate) node_size: u32,
+    pub(crate) cap: u16,
+    pub(crate) opts: TreeOptions,
+    name: &'static str,
+}
+
+impl std::fmt::Debug for FastFairTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FastFairTree")
+            .field("meta", &self.meta)
+            .field("node_size", &self.node_size)
+            .field("height", &self.height())
+            .field("opts", &self.opts)
+            .finish()
+    }
+}
+
+impl FastFairTree {
+    /// Creates a new empty tree in `pool` and returns its handle.
+    ///
+    /// The tree's superblock offset ([`meta_offset`](Self::meta_offset))
+    /// identifies it inside the pool; applications managing several trees
+    /// (e.g. the TPC-C tables) store those offsets in their own directory
+    /// object.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pool cannot fit the superblock and root node.
+    pub fn create(pool: Arc<Pool>, opts: TreeOptions) -> Result<Self, IndexError> {
+        let node_size = opts.node_size;
+        let meta = pool.alloc(64, 64)?;
+        pool.zero_region(meta, 64);
+        let root = pool.alloc(u64::from(node_size), 64)?;
+        NodeRef::new(&pool, root, node_size).init(0);
+        pool.persist(root, u64::from(node_size));
+        pool.store_u64(meta, META_MAGIC);
+        pool.store_u64(meta + META_NODE_SIZE, u64::from(node_size));
+        pool.store_u64(
+            meta + META_STRATEGY,
+            match opts.split {
+                SplitStrategy::Fair => 0,
+                SplitStrategy::Logging => 1,
+            },
+        );
+        if opts.split == SplitStrategy::Logging {
+            // Undo buffer: 8-byte target tag + a full node image.
+            let area = pool.alloc(8 + u64::from(node_size), 64)?;
+            pool.store_u64(meta + META_LOG_AREA, area);
+        }
+        pool.store_u64(meta + META_ROOT, root);
+        pool.persist(meta, 64);
+        Ok(Self::with_meta(pool, meta, node_size, opts))
+    }
+
+    /// Opens the tree whose superblock is at `meta` (instant recovery).
+    ///
+    /// If the tree uses the logging split strategy and a crash interrupted a
+    /// split, the undo log is rolled back here. FAIR trees need no undo:
+    /// readers tolerate the crash state, and [`recover`](Self::recover) (or
+    /// ordinary writer traffic) repairs it lazily.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::PoolExhausted`] wrapping a description if the
+    /// superblock magic does not match.
+    pub fn open(pool: Arc<Pool>, meta: PmOffset, opts: TreeOptions) -> Result<Self, IndexError> {
+        if pool.load_u64(meta) != META_MAGIC {
+            return Err(IndexError::PoolExhausted(format!(
+                "no tree superblock at offset {meta:#x}"
+            )));
+        }
+        let node_size = pool.load_u64(meta + META_NODE_SIZE) as u32;
+        let mut opts = opts;
+        opts.node_size = node_size;
+        opts.split = if pool.load_u64(meta + META_STRATEGY) == 1 {
+            SplitStrategy::Logging
+        } else {
+            SplitStrategy::Fair
+        };
+        let tree = Self::with_meta(pool, meta, node_size, opts);
+        tree.undo_log_rollback();
+        Ok(tree)
+    }
+
+    fn with_meta(pool: Arc<Pool>, meta: PmOffset, node_size: u32, opts: TreeOptions) -> Self {
+        let name = match (opts.split, opts.leaf_locks, opts.search) {
+            (SplitStrategy::Logging, _, _) => "FAST+Logging",
+            (SplitStrategy::Fair, true, _) => "FAST+FAIR+LeafLock",
+            (SplitStrategy::Fair, false, InNodeSearch::Binary) => "FAST+FAIR(binary)",
+            (SplitStrategy::Fair, false, InNodeSearch::Linear) => "FAST+FAIR",
+        };
+        FastFairTree {
+            pool,
+            meta,
+            node_size,
+            cap: capacity(node_size),
+            opts,
+            name,
+        }
+    }
+
+    /// The pool this tree lives in.
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.pool
+    }
+
+    /// Offset of the persistent superblock identifying this tree.
+    pub fn meta_offset(&self) -> PmOffset {
+        self.meta
+    }
+
+    /// Node size in bytes.
+    pub fn node_size(&self) -> u32 {
+        self.node_size
+    }
+
+    /// Records per node.
+    pub fn node_capacity(&self) -> u16 {
+        self.cap
+    }
+
+    /// The configuration this handle was opened with.
+    pub fn options(&self) -> &TreeOptions {
+        &self.opts
+    }
+
+    /// Current root node offset.
+    pub(crate) fn root(&self) -> PmOffset {
+        self.pool.load_u64(self.meta + META_ROOT)
+    }
+
+    /// Tree height: the root's level (0 = the tree is a single leaf).
+    pub fn height(&self) -> u32 {
+        self.node(self.root()).level()
+    }
+
+    /// Borrowed view of the node at `off`.
+    #[inline]
+    pub(crate) fn node(&self, off: PmOffset) -> NodeRef<'_> {
+        NodeRef::new(&self.pool, off, self.node_size)
+    }
+
+    /// Descends from the root to the leaf whose key range contains `key`,
+    /// lock-free.
+    ///
+    /// Read-latency charging models the paper's testbed: the few upper
+    /// levels of a B+-tree stay resident in the CPU's last-level cache
+    /// (Quartz stalls only real LLC misses), so only the two lowest levels
+    /// — the large, cold ones — are charged as PM misses.
+    pub(crate) fn find_leaf(&self, key: Key) -> PmOffset {
+        let mut off = self.root();
+        let mut node = self.node(off);
+        if node.level() <= 1 {
+            node.charge_hop();
+        }
+        while !node.is_leaf() {
+            off = self.route(node, key);
+            node = self.node(off);
+            if node.level() <= 1 {
+                node.charge_hop();
+            }
+        }
+        off
+    }
+
+    /// Chooses the next node when standing on internal node `node` looking
+    /// for `key`: either the correct child, or the right sibling when the
+    /// key lies beyond this node's range (B-link move-right).
+    pub(crate) fn route(&self, node: NodeRef<'_>, key: Key) -> PmOffset {
+        // Move right first: the node may have split under us.
+        if let Some(sib) = self.covering_sibling(node, key) {
+            return sib;
+        }
+        match self.opts.search {
+            InNodeSearch::Linear => self.route_linear(node, key),
+            InNodeSearch::Binary => self.route_binary(node, key),
+        }
+    }
+
+    /// If the node's right sibling exists and its first key is <= `key`,
+    /// returns the sibling (the reader must move right).
+    pub(crate) fn covering_sibling(&self, node: NodeRef<'_>, key: Key) -> Option<PmOffset> {
+        let sib = node.sibling();
+        if sib == NULL_OFFSET {
+            return None;
+        }
+        let s = self.node(sib);
+        match s.first_key() {
+            Some(fk) if fk <= key => Some(sib),
+            _ => None,
+        }
+    }
+
+    /// Direction-aware lock-free child routing (the internal-node analogue
+    /// of Algorithm 3).
+    fn route_linear(&self, node: NodeRef<'_>, key: Key) -> PmOffset {
+        let cap = self.cap;
+        loop {
+            let sc = node.switch_counter();
+            let mut child = node.leftmost();
+            let mut scanned: u16 = 0;
+            if sc % 2 == 0 {
+                // Insert direction: scan left to right.
+                let mut i: u16 = 0;
+                while i <= cap {
+                    let p = node.ptr(i);
+                    if p == NULL_OFFSET {
+                        break;
+                    }
+                    scanned = i + 1;
+                    if p != node.left_ptr(i) {
+                        // Re-read the key after validating (TOCTOU guard, as
+                        // in the original implementation).
+                        let k = node.key(i);
+                        if p == node.ptr(i) {
+                            if key < k {
+                                break;
+                            }
+                            child = p;
+                        }
+                    }
+                    i += 1;
+                }
+            } else {
+                // Delete direction: scan right to left.
+                let hint = node.count_hint().min(cap);
+                let mut found = false;
+                let mut i = cap.min(hint.saturating_add(2));
+                loop {
+                    let p = node.ptr(i);
+                    if p != NULL_OFFSET && p != node.left_ptr(i) {
+                        let k = node.key(i);
+                        if p == node.ptr(i) && k <= key {
+                            child = p;
+                            found = true;
+                            break;
+                        }
+                    }
+                    if i == 0 {
+                        break;
+                    }
+                    i -= 1;
+                }
+                scanned = if found { i + 1 } else { hint };
+                if !found {
+                    child = node.leftmost();
+                }
+            }
+            // Internal-node lines are LLC-resident on the modelled testbed;
+            // no scan charge here (the leaf scan is charged in `search`).
+            let _ = scanned;
+            if node.switch_counter() == sc {
+                if child == NULL_OFFSET {
+                    // Transient empty view; retry.
+                    std::hint::spin_loop();
+                    continue;
+                }
+                return child;
+            }
+        }
+    }
+
+    /// Binary-search routing (single-threaded benchmarking only; see
+    /// [`InNodeSearch::Binary`]).
+    fn route_binary(&self, node: NodeRef<'_>, key: Key) -> PmOffset {
+        let cnt = node.count_records();
+        if cnt == 0 {
+            return node.leftmost();
+        }
+        // Dependent probes are charged only on the cold (low) levels.
+        if node.level() <= 1 {
+            let probes = (u32::from(cnt) * 16 / 64).max(1).ilog2() + 1;
+            self.pool.charge_serial_reads(probes);
+        }
+        let (mut lo, mut hi) = (0u16, cnt);
+        // Find the first index with key(i) > key.
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if node.key(mid) <= key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo == 0 {
+            node.leftmost()
+        } else {
+            node.ptr(lo - 1)
+        }
+    }
+
+    /// Counts the live keys by scanning the leaf chain (O(n)).
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        self.for_each(|_, _| n += 1);
+        n
+    }
+
+    /// True if the tree holds no keys.
+    pub fn is_empty(&self) -> bool {
+        let mut any = false;
+        let mut off = self.leftmost_leaf();
+        while off != NULL_OFFSET {
+            let leaf = self.node(off);
+            if leaf.first_key().is_some() {
+                any = true;
+                break;
+            }
+            off = leaf.sibling();
+        }
+        !any
+    }
+
+    /// Offset of the leftmost leaf.
+    pub(crate) fn leftmost_leaf(&self) -> PmOffset {
+        let mut node = self.node(self.root());
+        while !node.is_leaf() {
+            node = self.node(node.leftmost());
+        }
+        node.offset()
+    }
+
+    /// Visits every live `(key, value)` pair in ascending key order.
+    ///
+    /// Duplicates from an in-flight or crashed split (the "virtual single
+    /// node" state of Fig. 2) are suppressed with a monotonicity filter.
+    pub fn for_each(&self, mut f: impl FnMut(Key, Value)) {
+        let mut off = self.leftmost_leaf();
+        let mut last: Option<Key> = None;
+        while off != NULL_OFFSET {
+            let leaf = self.node(off);
+            for (k, v) in crate::search::read_leaf_entries(self, leaf) {
+                if last.map_or(true, |l| k > l) {
+                    f(k, v);
+                    last = Some(k);
+                }
+            }
+            off = leaf.sibling();
+        }
+    }
+
+    fn get_impl(&self, key: Key) -> Option<Value> {
+        let mut off = self.find_leaf(key);
+        loop {
+            let leaf = self.node(off);
+            let _guard;
+            if self.opts.leaf_locks {
+                _guard = Some(ReadGuard::lock(&self.pool, leaf.lock_word_off()));
+            } else {
+                _guard = None;
+            }
+            if let Some(v) = match self.opts.search {
+                InNodeSearch::Linear => crate::search::leaf_search_linear(self, leaf, key),
+                InNodeSearch::Binary => crate::search::leaf_search_binary(self, leaf, key),
+            } {
+                return Some(v);
+            }
+            drop(_guard);
+            match self.covering_sibling(leaf, key) {
+                Some(sib) => {
+                    self.node(sib).charge_hop();
+                    off = sib;
+                }
+                None => return None,
+            }
+        }
+    }
+}
+
+impl PmIndex for FastFairTree {
+    fn insert(&self, key: Key, value: Value) -> Result<(), IndexError> {
+        pmindex::check_value(value)?;
+        crate::insert::tree_insert(self, key, value)
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        stats::timed(stats::Phase::Search, || self.get_impl(key))
+    }
+
+    fn remove(&self, key: Key) -> bool {
+        crate::delete::tree_remove(self, key)
+    }
+
+    fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) {
+        crate::scan::tree_range(self, lo, hi, out);
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}

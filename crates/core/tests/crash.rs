@@ -1,0 +1,240 @@
+//! Exhaustive crash-point testing of FAST and FAIR.
+//!
+//! This is the simulation analogue of the paper's power-off experiment
+//! (§5.7), made exhaustive: every 8-byte store and cache-line flush during
+//! a batch of operations is a potential crash point, and at each point we
+//! materialize several reachable persistent images (no eviction of dirty
+//! lines, full eviction, and randomized per-line store prefixes). For every
+//! image we assert the paper's guarantees:
+//!
+//! 1. **Readers tolerate the crash state**: every key committed before the
+//!    in-flight operation is found with the correct value, without running
+//!    any recovery; the in-flight operation is atomic (its key is either
+//!    fully present or fully absent).
+//! 2. **The structure is tolerably consistent**: `check_consistency` in
+//!    tolerant mode passes (sorted nodes, sane links; transient artifacts
+//!    allowed).
+//! 3. **Writers repair lazily / recovery is idempotent**: after
+//!    `recover()`, strict consistency holds and the data is unchanged.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use fastfair::{FastFairTree, SplitStrategy, TreeOptions};
+use pmem::crash::Eviction;
+use pmem::{Pool, PoolConfig};
+use pmindex::workload::{generate_keys, value_for, KeyDist};
+use pmindex::PmIndex;
+
+const POOL_BYTES: usize = 8 << 20;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Op {
+    Insert(u64),
+    Delete(u64),
+}
+
+/// Applies `ops` on a crash-logged tree, recording the event-log boundary
+/// after each op; then sweeps crash points and eviction policies.
+fn crash_sweep(opts: TreeOptions, preload: &[u64], ops: &[Op], cut_stride: usize) {
+    let pool = Arc::new(Pool::new(PoolConfig::new().size(POOL_BYTES).crash_log(true)).unwrap());
+    let tree = FastFairTree::create(Arc::clone(&pool), opts).unwrap();
+    let mut committed: BTreeMap<u64, u64> = BTreeMap::new();
+    for &k in preload {
+        tree.insert(k, value_for(k)).unwrap();
+        committed.insert(k, value_for(k));
+    }
+    // Preload becomes the durable baseline; crash points cover only `ops`.
+    let log = pool.crash_log().unwrap();
+    log.set_baseline(pool.volatile_image());
+
+    // State of `committed` *before* each op, plus the op itself.
+    let mut boundaries: Vec<(usize, Op, BTreeMap<u64, u64>)> = Vec::new();
+    for &op in ops {
+        boundaries.push((log.len(), op, committed.clone()));
+        match op {
+            Op::Insert(k) => {
+                tree.insert(k, value_for(k)).unwrap();
+                committed.insert(k, value_for(k));
+            }
+            Op::Delete(k) => {
+                tree.remove(k);
+                committed.remove(&k);
+            }
+        }
+    }
+    let total = log.len();
+    boundaries.push((total, Op::Insert(0), committed.clone())); // sentinel
+
+    let meta = tree.meta_offset();
+    let policies = [
+        Eviction::None,
+        Eviction::All,
+        Eviction::Random(1),
+        Eviction::Random(0xdead_beef),
+    ];
+
+    let mut cut = 0usize;
+    while cut <= total {
+        // Which op is in flight at this cut?
+        let idx = boundaries.partition_point(|(b, _, _)| *b <= cut) - 1;
+        let (_, inflight, state) = &boundaries[idx];
+        let at_boundary = boundaries[idx].0 == cut;
+
+        for policy in &policies {
+            let img = pool.crash_image(cut, policy.clone());
+            let p2 = Arc::new(Pool::from_image(&img, PoolConfig::new().size(POOL_BYTES)).unwrap());
+            let t2 = FastFairTree::open(Arc::clone(&p2), meta, opts).unwrap();
+
+            // (2) tolerable structural consistency, before any repair.
+            t2.check_consistency(false).unwrap_or_else(|e| {
+                panic!("cut {cut} policy {policy:?}: tolerant consistency failed: {e}")
+            });
+
+            // (1) readers tolerate the crash state.
+            for (&k, &v) in state {
+                if !at_boundary {
+                    if let Op::Delete(dk) = inflight {
+                        if *dk == k {
+                            continue; // in-flight delete: either outcome is fine
+                        }
+                    }
+                }
+                assert_eq!(
+                    t2.get(k),
+                    Some(v),
+                    "cut {cut} policy {policy:?}: committed key {k} lost before recovery"
+                );
+            }
+            if !at_boundary {
+                if let Op::Insert(ik) = inflight {
+                    // Atomicity: present with the right value, or absent.
+                    match t2.get(*ik) {
+                        None => {}
+                        Some(v) => assert_eq!(
+                            v,
+                            value_for(*ik),
+                            "cut {cut} policy {policy:?}: torn in-flight insert"
+                        ),
+                    }
+                }
+            }
+
+            // (3) eager recovery restores strict consistency, content intact.
+            t2.recover().unwrap();
+            t2.check_consistency(true).unwrap_or_else(|e| {
+                panic!("cut {cut} policy {policy:?}: strict consistency after recover: {e}")
+            });
+            for (&k, &v) in state {
+                if !at_boundary {
+                    if let Op::Delete(dk) = inflight {
+                        if *dk == k {
+                            continue;
+                        }
+                    }
+                }
+                assert_eq!(t2.get(k), Some(v), "cut {cut}: key {k} lost by recover()");
+            }
+            // Recovery is idempotent.
+            let second = t2.recover().unwrap();
+            assert_eq!(second.garbage_removed, 0, "recover not idempotent");
+            assert_eq!(second.splits_completed, 0);
+            assert_eq!(second.siblings_attached, 0);
+        }
+        if cut == total {
+            break;
+        }
+        cut = (cut + cut_stride).min(total);
+    }
+}
+
+#[test]
+fn crash_during_fast_inserts_within_one_leaf() {
+    // Small batch, no splits: exercises pure FAST shifts including slot 0.
+    let preload: Vec<u64> = vec![100, 200, 300, 400, 500];
+    let ops: Vec<Op> = [250u64, 50, 450, 150, 350]
+        .iter()
+        .map(|&k| Op::Insert(k))
+        .collect();
+    crash_sweep(TreeOptions::new().node_size(256), &preload, &ops, 1);
+}
+
+#[test]
+fn crash_during_fast_deletes() {
+    let preload: Vec<u64> = (1..=9).map(|k| k * 100).collect();
+    let ops: Vec<Op> = [300u64, 100, 900, 500]
+        .iter()
+        .map(|&k| Op::Delete(k))
+        .collect();
+    crash_sweep(TreeOptions::new().node_size(256), &preload, &ops, 1);
+}
+
+#[test]
+fn crash_during_fair_leaf_split() {
+    // 256-byte nodes hold 10 records; preload 9 then insert to force the
+    // first split, sweeping every store/flush of Algorithm 2.
+    let preload: Vec<u64> = (1..=9).map(|k| k * 10).collect();
+    let ops: Vec<Op> = [55u64, 65, 75, 85, 95]
+        .iter()
+        .map(|&k| Op::Insert(k))
+        .collect();
+    crash_sweep(TreeOptions::new().node_size(256), &preload, &ops, 1);
+}
+
+#[test]
+fn crash_during_cascading_splits() {
+    // Enough inserts to split internal nodes and grow the root twice.
+    let preload = generate_keys(60, KeyDist::DenseShuffled, 5)
+        .into_iter()
+        .map(|k| k * 7)
+        .collect::<Vec<_>>();
+    let fresh = generate_keys(120, KeyDist::Uniform, 11);
+    let ops: Vec<Op> = fresh.iter().map(|&k| Op::Insert(k)).collect();
+    crash_sweep(TreeOptions::new().node_size(256), &preload, &ops, 7);
+}
+
+#[test]
+fn crash_during_mixed_inserts_and_deletes() {
+    let preload = generate_keys(40, KeyDist::DenseShuffled, 13)
+        .into_iter()
+        .map(|k| k * 3)
+        .collect::<Vec<_>>();
+    let mut ops = Vec::new();
+    for i in 0..30u64 {
+        if i % 3 == 2 {
+            ops.push(Op::Delete((i % 40 + 1) * 3));
+        } else {
+            ops.push(Op::Insert(i * 91 + 2));
+        }
+    }
+    crash_sweep(TreeOptions::new().node_size(256), &preload, &ops, 5);
+}
+
+#[test]
+fn crash_during_logging_split_rolls_back() {
+    // The FAST+Logging baseline must also recover (via undo log) at every
+    // crash point.
+    let preload: Vec<u64> = (1..=9).map(|k| k * 10).collect();
+    let ops: Vec<Op> = [55u64, 65, 75].iter().map(|&k| Op::Insert(k)).collect();
+    crash_sweep(
+        TreeOptions::new()
+            .node_size(256)
+            .split(SplitStrategy::Logging),
+        &preload,
+        &ops,
+        1,
+    );
+}
+
+#[test]
+fn crash_with_larger_nodes() {
+    let preload = generate_keys(30, KeyDist::DenseShuffled, 17)
+        .into_iter()
+        .map(|k| k * 11)
+        .collect::<Vec<_>>();
+    let ops: Vec<Op> = generate_keys(40, KeyDist::Uniform, 19)
+        .into_iter()
+        .map(Op::Insert)
+        .collect();
+    crash_sweep(TreeOptions::new().node_size(512), &preload, &ops, 9);
+}

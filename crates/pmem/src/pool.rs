@@ -1,0 +1,772 @@
+//! The emulated persistent-memory pool.
+//!
+//! A [`Pool`] is one contiguous, cache-line-aligned memory region standing in
+//! for a PM device. Indexes address it with [`PmOffset`] byte offsets
+//! (offset 0 is NULL, like a null pointer), store through 8-byte atomic
+//! views, and call the flush/fence primitives that the FAST and FAIR
+//! algorithms order their stores with. All primitives feed the
+//! [`crate::stats`] counters and, when enabled, the [`crate::crash`] event
+//! log.
+
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::collections::BTreeMap;
+use std::sync::atomic::{compiler_fence, AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::crash::{CrashLog, Event};
+use crate::latency::{spin_ns, FenceMode, LatencyProfile};
+use crate::stats;
+
+/// Size of a CPU cache line in bytes; the unit of transfer to PM.
+pub const CACHE_LINE: usize = 64;
+
+/// The NULL persistent pointer. No object is ever allocated at offset 0.
+pub const NULL_OFFSET: PmOffset = 0;
+
+/// Bytes reserved at the start of the pool for pool metadata.
+///
+/// Layout: `[0..8)` magic, `[8..16)` root object offset, `[16..24)`
+/// allocation cursor (high-water mark), rest reserved. The allocation cursor
+/// is treated as failure-atomic allocator metadata (PM allocator recovery is
+/// outside the paper's scope); the *root offset* participates in normal
+/// crash semantics because index structures update it with an explicit
+/// store + persist.
+pub const POOL_HEADER_SIZE: u64 = CACHE_LINE as u64;
+
+const MAGIC: u64 = 0x46_41_53_54_46_41_49_52; // "FASTFAIR"
+const ROOT_SLOT: u64 = 8;
+const CURSOR_SLOT: u64 = 16;
+
+/// A byte offset into a [`Pool`]; the persistent analogue of a pointer.
+pub type PmOffset = u64;
+
+/// Errors returned by pool operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PmError {
+    /// The pool has no room for the requested allocation.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes remaining.
+        available: u64,
+    },
+    /// The requested pool size is too small to hold the pool header.
+    PoolTooSmall,
+    /// An alignment that is zero or not a power of two was requested.
+    BadAlignment(u64),
+}
+
+impl std::fmt::Display for PmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PmError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "pool out of memory: requested {requested} bytes, {available} available"
+            ),
+            PmError::PoolTooSmall => write!(f, "pool size is smaller than the pool header"),
+            PmError::BadAlignment(a) => write!(f, "alignment {a} is not a nonzero power of two"),
+        }
+    }
+}
+
+impl std::error::Error for PmError {}
+
+/// Configuration for creating a [`Pool`].
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    size: usize,
+    latency: LatencyProfile,
+    crash_log: bool,
+}
+
+impl PoolConfig {
+    /// Starts from the defaults: 64 MiB, DRAM latency, no crash log.
+    pub fn new() -> Self {
+        PoolConfig {
+            size: 64 << 20,
+            latency: LatencyProfile::dram(),
+            crash_log: false,
+        }
+    }
+
+    /// Sets the pool size in bytes.
+    pub fn size(mut self, bytes: usize) -> Self {
+        self.size = bytes;
+        self
+    }
+
+    /// Sets the emulated latency profile.
+    pub fn latency(mut self, latency: LatencyProfile) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Enables the crash-simulation event log (see [`crate::crash`]).
+    pub fn crash_log(mut self, enabled: bool) -> Self {
+        self.crash_log = enabled;
+        self
+    }
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig::new()
+    }
+}
+
+struct Buf {
+    ptr: *mut u8,
+    layout: Layout,
+}
+
+impl Buf {
+    fn new_zeroed(size: usize) -> Buf {
+        let layout = Layout::from_size_align(size, CACHE_LINE).expect("valid layout");
+        // SAFETY: layout has nonzero size (checked by caller) and valid alignment.
+        let ptr = unsafe { alloc_zeroed(layout) };
+        assert!(!ptr.is_null(), "pool allocation failed");
+        Buf { ptr, layout }
+    }
+}
+
+impl Drop for Buf {
+    fn drop(&mut self) {
+        // SAFETY: ptr was allocated with this exact layout and not freed.
+        unsafe { dealloc(self.ptr, self.layout) };
+    }
+}
+
+// SAFETY: the buffer is only accessed through atomic operations (or with
+// exclusive access during construction), so sharing the raw pointer across
+// threads is sound.
+unsafe impl Send for Buf {}
+unsafe impl Sync for Buf {}
+
+/// An emulated persistent-memory pool.
+///
+/// All persistent structures in this repository live inside a pool and refer
+/// to each other by [`PmOffset`]. The pool provides:
+///
+/// * failure-atomic 8-byte stores and loads ([`store_u64`](Pool::store_u64),
+///   [`load_u64`](Pool::load_u64));
+/// * the ordering primitives of the paper's algorithms
+///   ([`flush_line`](Pool::flush_line), [`persist`](Pool::persist),
+///   [`sfence`](Pool::sfence), [`fence_if_not_tso`](Pool::fence_if_not_tso));
+/// * Quartz-style read-latency charging
+///   ([`charge_serial_reads`](Pool::charge_serial_reads),
+///   [`charge_parallel_lines`](Pool::charge_parallel_lines));
+/// * a bump + free-list allocator ([`alloc`](Pool::alloc),
+///   [`free`](Pool::free));
+/// * crash-state materialization when created with
+///   [`PoolConfig::crash_log`].
+pub struct Pool {
+    buf: Buf,
+    size: u64,
+    latency: LatencyProfile,
+    cursor: AtomicU64,
+    freelists: Mutex<BTreeMap<u64, Vec<PmOffset>>>,
+    crash: Option<CrashLog>,
+    /// Count of allocations served, for diagnostics.
+    allocations: AtomicUsize,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("size", &self.size)
+            .field("used", &self.cursor.load(Ordering::Relaxed))
+            .field("latency", &self.latency)
+            .field("crash_log", &self.crash.is_some())
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Creates a fresh, zeroed pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmError::PoolTooSmall`] if the configured size cannot hold
+    /// the pool header.
+    pub fn new(config: PoolConfig) -> Result<Pool, PmError> {
+        if (config.size as u64) < POOL_HEADER_SIZE + CACHE_LINE as u64 {
+            return Err(PmError::PoolTooSmall);
+        }
+        let pool = Pool {
+            buf: Buf::new_zeroed(config.size),
+            size: config.size as u64,
+            latency: config.latency,
+            cursor: AtomicU64::new(POOL_HEADER_SIZE),
+            freelists: Mutex::new(BTreeMap::new()),
+            crash: config.crash_log.then(CrashLog::new),
+            allocations: AtomicUsize::new(0),
+        };
+        pool.raw_store(0, MAGIC);
+        pool.raw_store(CURSOR_SLOT, POOL_HEADER_SIZE);
+        Ok(pool)
+    }
+
+    /// Reconstructs a pool from a post-crash persistent image, as produced by
+    /// [`Pool::crash_image`]. The allocation cursor is recovered from the
+    /// pool header; the free list starts empty (blocks freed before the crash
+    /// leak, which matches PM allocators without offline garbage collection).
+    pub fn from_image(image: &[u8], config: PoolConfig) -> Result<Pool, PmError> {
+        let size = image.len().max(config.size);
+        if (size as u64) < POOL_HEADER_SIZE + CACHE_LINE as u64 {
+            return Err(PmError::PoolTooSmall);
+        }
+        let buf = Buf::new_zeroed(size);
+        // SAFETY: freshly allocated buffer of at least image.len() bytes;
+        // no other references exist yet.
+        unsafe {
+            std::ptr::copy_nonoverlapping(image.as_ptr(), buf.ptr, image.len());
+        }
+        let pool = Pool {
+            buf,
+            size: size as u64,
+            latency: config.latency,
+            cursor: AtomicU64::new(0),
+            freelists: Mutex::new(BTreeMap::new()),
+            crash: config.crash_log.then(CrashLog::new),
+            allocations: AtomicUsize::new(0),
+        };
+        let cursor = pool.raw_load(CURSOR_SLOT).max(POOL_HEADER_SIZE);
+        pool.cursor.store(cursor, Ordering::SeqCst);
+        pool.raw_store(0, MAGIC);
+        Ok(pool)
+    }
+
+    /// Total pool capacity in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Current allocation high-water mark in bytes.
+    pub fn high_water(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// The latency profile this pool injects.
+    pub fn latency(&self) -> &LatencyProfile {
+        &self.latency
+    }
+
+    /// The crash-simulation log, if enabled.
+    pub fn crash_log(&self) -> Option<&CrashLog> {
+        self.crash.as_ref()
+    }
+
+    #[inline]
+    fn atom(&self, off: PmOffset) -> &AtomicU64 {
+        assert!(
+            off % 8 == 0 && off + 8 <= self.size,
+            "unaligned or out-of-bounds pm access at offset {off:#x}"
+        );
+        // SAFETY: bounds and 8-byte alignment checked above; the buffer is
+        // only ever accessed through atomics so constructing a shared
+        // AtomicU64 view is sound.
+        unsafe { &*(self.buf.ptr.add(off as usize) as *const AtomicU64) }
+    }
+
+    #[inline]
+    fn raw_store(&self, off: PmOffset, val: u64) {
+        self.atom(off).store(val, Ordering::Release);
+    }
+
+    #[inline]
+    fn raw_load(&self, off: PmOffset) -> u64 {
+        self.atom(off).load(Ordering::Acquire)
+    }
+
+    /// Failure-atomic 8-byte store (release ordering).
+    ///
+    /// This is *the* primitive of the paper: every FAST/FAIR mutation is a
+    /// sequence of these, ordered by TSO (or explicit fences) and made
+    /// durable by [`flush_line`](Pool::flush_line).
+    #[inline]
+    pub fn store_u64(&self, off: PmOffset, val: u64) {
+        self.raw_store(off, val);
+        if let Some(log) = &self.crash {
+            log.record(Event::Store { off, val });
+        }
+    }
+
+    /// Atomic 8-byte load (acquire ordering).
+    #[inline]
+    pub fn load_u64(&self, off: PmOffset) -> u64 {
+        self.raw_load(off)
+    }
+
+    /// 8-byte compare-and-swap; returns the previous value on failure.
+    ///
+    /// Used by the lock-free persistent skip list baseline. The store is
+    /// recorded in the crash log on success.
+    #[inline]
+    pub fn cas_u64(&self, off: PmOffset, current: u64, new: u64) -> Result<u64, u64> {
+        let r = self
+            .atom(off)
+            .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire);
+        if r.is_ok() {
+            if let Some(log) = &self.crash {
+                log.record(Event::Store { off, val: new });
+            }
+        }
+        r
+    }
+
+    /// Volatile (unlogged) 8-byte compare-and-swap.
+    ///
+    /// For *volatile* node state embedded in PM — lock words and other
+    /// fields whose post-crash contents are reset on recovery. These stores
+    /// never enter the crash log, matching the paper's treatment of
+    /// `std::mutex` state as non-persistent.
+    #[inline]
+    pub fn cas_u64_volatile(&self, off: PmOffset, current: u64, new: u64) -> Result<u64, u64> {
+        self.atom(off)
+            .compare_exchange_weak(current, new, Ordering::Acquire, Ordering::Relaxed)
+    }
+
+    /// Volatile (unlogged) 8-byte store with release ordering.
+    #[inline]
+    pub fn store_u64_volatile(&self, off: PmOffset, val: u64) {
+        self.atom(off).store(val, Ordering::Release);
+    }
+
+    /// Volatile (unlogged) fetch-sub, used to release read locks.
+    #[inline]
+    pub fn fetch_sub_u64_volatile(&self, off: PmOffset, delta: u64) -> u64 {
+        self.atom(off).fetch_sub(delta, Ordering::Release)
+    }
+
+    /// Stores one byte by read-modify-write of the containing 8-byte word.
+    ///
+    /// Byte stores are used by FP-tree fingerprints. The caller must ensure
+    /// no concurrent writer touches the same word (FP-tree holds the leaf
+    /// lock); the paper's hardware would give the same result because a byte
+    /// store is atomic but the crash granularity is the word.
+    #[inline]
+    pub fn store_u8(&self, off: PmOffset, val: u8) {
+        let word_off = off & !7;
+        let shift = (off - word_off) * 8;
+        let old = self.raw_load(word_off);
+        let new = (old & !(0xffu64 << shift)) | (u64::from(val) << shift);
+        self.store_u64(word_off, new);
+    }
+
+    /// Loads one byte.
+    #[inline]
+    pub fn load_u8(&self, off: PmOffset) -> u8 {
+        let word_off = off & !7;
+        let shift = (off - word_off) * 8;
+        (self.raw_load(word_off) >> shift) as u8
+    }
+
+    /// Emulated `clflush` of the cache line containing `off`.
+    ///
+    /// Injects the configured PM write latency and bumps the flush counter.
+    /// Does **not** fence; pair with [`sfence`](Pool::sfence) or use
+    /// [`persist`](Pool::persist).
+    #[inline]
+    pub fn flush_line(&self, off: PmOffset) {
+        let line = off & !(CACHE_LINE as u64 - 1);
+        if let Some(log) = &self.crash {
+            log.record(Event::FlushLine { line });
+        }
+        let ns = self.latency.write_ns;
+        spin_ns(ns);
+        stats::count_flush(u64::from(ns));
+    }
+
+    /// Store fence ordering prior flushes (emulated `sfence`/`mfence`).
+    ///
+    /// Free on the emulated hardware apart from the counter, exactly as the
+    /// paper treats fence cost as negligible next to `clflush` on x86.
+    #[inline]
+    pub fn sfence(&self) {
+        compiler_fence(Ordering::SeqCst);
+        stats::count_fence();
+    }
+
+    /// Flushes every cache line covering `[off, off + len)` and fences.
+    ///
+    /// The `clflush_with_mfence` of the paper's pseudo code.
+    #[inline]
+    pub fn persist(&self, off: PmOffset, len: u64) {
+        debug_assert!(len > 0);
+        let first = off & !(CACHE_LINE as u64 - 1);
+        let last = (off + len - 1) & !(CACHE_LINE as u64 - 1);
+        let mut line = first;
+        loop {
+            self.flush_line(line);
+            if line == last {
+                break;
+            }
+            line += CACHE_LINE as u64;
+        }
+        self.sfence();
+    }
+
+    /// Store-store barrier needed only on non-TSO architectures.
+    ///
+    /// FAST's shift loop calls this between every dependent pair of 8-byte
+    /// stores (`mfence_IF_NOT_TSO` in Algorithm 1). Under
+    /// [`FenceMode::Tso`] it compiles to a compiler fence; under
+    /// [`FenceMode::NonTso`] it counts and costs one `dmb`.
+    #[inline]
+    pub fn fence_if_not_tso(&self) {
+        match self.latency.fence {
+            FenceMode::Tso => compiler_fence(Ordering::Release),
+            FenceMode::NonTso { dmb_ns } => {
+                std::sync::atomic::fence(Ordering::SeqCst);
+                spin_ns(dmb_ns);
+                stats::count_dmb();
+            }
+        }
+    }
+
+    /// Charges `n` *serial* (dependent) cache misses of read latency.
+    ///
+    /// Call once per pointer-chasing hop — following a child or sibling
+    /// pointer to a node whose cache lines cannot be prefetched.
+    #[inline]
+    pub fn charge_serial_reads(&self, n: u32) {
+        if n == 0 {
+            return;
+        }
+        stats::count_serial(u64::from(n));
+        let ns = self.latency.read_ns;
+        if ns != 0 {
+            spin_ns(ns.saturating_mul(n));
+        }
+    }
+
+    /// Charges a linear scan over `lines` adjacent cache lines.
+    ///
+    /// Adjacent lines are overlapped by the prefetcher / memory-level
+    /// parallelism, so the injected stall is `ceil(lines / mlp)` serial
+    /// latencies — the effect that makes linear search win in §5.2.
+    #[inline]
+    pub fn charge_parallel_lines(&self, lines: u32) {
+        if lines == 0 {
+            return;
+        }
+        stats::count_parallel(u64::from(lines));
+        let ns = self.latency.read_ns;
+        if ns != 0 {
+            let serial = lines.div_ceil(self.latency.mlp.max(1));
+            spin_ns(ns.saturating_mul(serial));
+        }
+    }
+
+    /// Allocates `size` bytes with the given power-of-two alignment.
+    ///
+    /// Checks the size-class free list first, then bumps the cursor. The
+    /// returned region's *contents are unspecified* if recycled from the
+    /// free list; fresh regions are zeroed.
+    ///
+    /// # Errors
+    ///
+    /// [`PmError::OutOfMemory`] when the pool is exhausted,
+    /// [`PmError::BadAlignment`] for a zero or non-power-of-two alignment.
+    pub fn alloc(&self, size: u64, align: u64) -> Result<PmOffset, PmError> {
+        if align == 0 || !align.is_power_of_two() {
+            return Err(PmError::BadAlignment(align));
+        }
+        let size = size.max(8);
+        {
+            let mut lists = self.freelists.lock();
+            if let Some(list) = lists.get_mut(&size) {
+                while let Some(off) = list.pop() {
+                    if off % align == 0 {
+                        self.allocations.fetch_add(1, Ordering::Relaxed);
+                        return Ok(off);
+                    }
+                    // Wrong alignment for this request; such blocks are rare
+                    // (all nodes of one size share an alignment) — drop it
+                    // back and fall through to the bump path.
+                    list.push(off);
+                    break;
+                }
+            }
+        }
+        loop {
+            let cur = self.cursor.load(Ordering::Relaxed);
+            let start = (cur + align - 1) & !(align - 1);
+            let end = start + size;
+            if end > self.size {
+                return Err(PmError::OutOfMemory {
+                    requested: size,
+                    available: self.size.saturating_sub(cur),
+                });
+            }
+            if self
+                .cursor
+                .compare_exchange(cur, end, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                // Allocator metadata is treated as failure-atomic (outside
+                // the paper's scope), so the header cursor is updated with a
+                // raw (unlogged) store.
+                self.raw_store(CURSOR_SLOT, end);
+                self.allocations.fetch_add(1, Ordering::Relaxed);
+                return Ok(start);
+            }
+        }
+    }
+
+    /// Returns a block to the (volatile) size-class free list.
+    ///
+    /// The free list does not survive a crash; blocks freed before a crash
+    /// leak, as in PM allocators without offline GC.
+    pub fn free(&self, off: PmOffset, size: u64) {
+        let size = size.max(8);
+        self.freelists.lock().entry(size).or_default().push(off);
+    }
+
+    /// Zeroes `len` bytes starting at `off` (8-byte aligned, logged stores).
+    pub fn zero_region(&self, off: PmOffset, len: u64) {
+        debug_assert!(off % 8 == 0 && len % 8 == 0);
+        let mut o = off;
+        while o < off + len {
+            self.store_u64(o, 0);
+            o += 8;
+        }
+    }
+
+    /// Number of allocations served (diagnostics only).
+    pub fn allocation_count(&self) -> usize {
+        self.allocations.load(Ordering::Relaxed)
+    }
+
+    /// The pool's root object offset (0 when unset).
+    ///
+    /// Index structures store the offset of their superblock/root here so a
+    /// reopened pool can find them — the paper's "instantaneous recovery"
+    /// entry point.
+    pub fn root(&self) -> PmOffset {
+        self.load_u64(ROOT_SLOT)
+    }
+
+    /// Sets and persists the root object offset.
+    pub fn set_root(&self, off: PmOffset) {
+        self.store_u64(ROOT_SLOT, off);
+        self.persist(ROOT_SLOT, 8);
+    }
+
+    /// Copies the current *volatile* contents of the pool.
+    ///
+    /// This is what the memory would look like if every cache line were
+    /// written back — the "clean shutdown" image.
+    pub fn volatile_image(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.size as usize];
+        // Word-wise atomic copy so we never create a plain & reference.
+        for w in 0..(self.size / 8) {
+            let v = self.raw_load(w * 8);
+            out[(w * 8) as usize..(w * 8 + 8) as usize].copy_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Materializes the persistent image at crash point `cut`, with per-line
+    /// eviction prefixes chosen by `choose` (see [`crate::crash`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool was created without [`PoolConfig::crash_log`].
+    pub fn crash_image_with(
+        &self,
+        cut: usize,
+        choose: impl FnMut(u64, usize) -> usize,
+    ) -> Vec<u8> {
+        let log = self
+            .crash
+            .as_ref()
+            .expect("crash_image requires PoolConfig::crash_log(true)");
+        let mut image = log.replay(self.size as usize, cut, choose);
+        // Allocator metadata (magic + cursor) is assumed failure-atomic.
+        image[0..8].copy_from_slice(&MAGIC.to_le_bytes());
+        let cursor = self.raw_load(CURSOR_SLOT);
+        image[CURSOR_SLOT as usize..CURSOR_SLOT as usize + 8]
+            .copy_from_slice(&cursor.to_le_bytes());
+        image
+    }
+
+    /// Like [`crash_image_with`](Pool::crash_image_with) using a fixed
+    /// [`crate::crash::Eviction`] policy.
+    pub fn crash_image(&self, cut: usize, policy: crate::crash::Eviction) -> Vec<u8> {
+        let mut policy = policy;
+        self.crash_image_with(cut, move |line, n| policy.choose(line, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pool() -> Pool {
+        Pool::new(PoolConfig::new().size(1 << 16)).unwrap()
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let p = small_pool();
+        let off = p.alloc(64, 64).unwrap();
+        p.store_u64(off, 0xdead_beef);
+        assert_eq!(p.load_u64(off), 0xdead_beef);
+    }
+
+    #[test]
+    fn byte_store_within_word() {
+        let p = small_pool();
+        let off = p.alloc(64, 64).unwrap();
+        p.store_u64(off, u64::MAX);
+        p.store_u8(off + 3, 0);
+        assert_eq!(p.load_u8(off + 3), 0);
+        assert_eq!(p.load_u8(off + 2), 0xff);
+        assert_eq!(p.load_u64(off), 0xffff_ffff_00ff_ffff);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let p = small_pool();
+        let off = p.alloc(8, 8).unwrap();
+        p.store_u64(off, 1);
+        assert_eq!(p.cas_u64(off, 1, 2), Ok(1));
+        assert_eq!(p.cas_u64(off, 1, 3), Err(2));
+        assert_eq!(p.load_u64(off), 2);
+    }
+
+    #[test]
+    fn alloc_respects_alignment_and_bounds() {
+        let p = Pool::new(PoolConfig::new().size(4096)).unwrap();
+        let a = p.alloc(100, 64).unwrap();
+        assert_eq!(a % 64, 0);
+        let b = p.alloc(100, 64).unwrap();
+        assert!(b >= a + 100);
+        assert!(matches!(
+            p.alloc(1 << 20, 64),
+            Err(PmError::OutOfMemory { .. })
+        ));
+        assert!(matches!(p.alloc(8, 3), Err(PmError::BadAlignment(3))));
+    }
+
+    #[test]
+    fn alloc_never_returns_null() {
+        let p = small_pool();
+        for _ in 0..16 {
+            assert_ne!(p.alloc(32, 8).unwrap(), NULL_OFFSET);
+        }
+    }
+
+    #[test]
+    fn free_list_recycles() {
+        let p = small_pool();
+        let a = p.alloc(256, 64).unwrap();
+        p.free(a, 256);
+        let b = p.alloc(256, 64).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn root_roundtrip() {
+        let p = small_pool();
+        assert_eq!(p.root(), NULL_OFFSET);
+        p.set_root(4096);
+        assert_eq!(p.root(), 4096);
+    }
+
+    #[test]
+    fn persist_flushes_every_covered_line() {
+        let p = small_pool();
+        stats::reset();
+        let off = p.alloc(512, 64).unwrap();
+        p.persist(off, 512);
+        let s = stats::take();
+        assert_eq!(s.flushes, 8); // 512-byte node = 8 cache lines (paper §5.2)
+        assert_eq!(s.fences, 1);
+    }
+
+    #[test]
+    fn persist_single_word_is_one_flush() {
+        let p = small_pool();
+        stats::reset();
+        let off = p.alloc(64, 64).unwrap();
+        p.persist(off, 8);
+        assert_eq!(stats::take().flushes, 1);
+    }
+
+    #[test]
+    fn non_tso_counts_dmb() {
+        let p = Pool::new(
+            PoolConfig::new()
+                .size(1 << 16)
+                .latency(LatencyProfile::dram().with_fence(FenceMode::NonTso { dmb_ns: 0 })),
+        )
+        .unwrap();
+        stats::reset();
+        p.fence_if_not_tso();
+        p.fence_if_not_tso();
+        assert_eq!(stats::take().dmb_barriers, 2);
+    }
+
+    #[test]
+    fn tso_fence_is_not_counted() {
+        let p = small_pool();
+        stats::reset();
+        p.fence_if_not_tso();
+        assert_eq!(stats::take().dmb_barriers, 0);
+    }
+
+    #[test]
+    fn read_charging_counts() {
+        let p = small_pool();
+        stats::reset();
+        p.charge_serial_reads(3);
+        p.charge_parallel_lines(8);
+        let s = stats::take();
+        assert_eq!(s.serial_misses, 3);
+        assert_eq!(s.parallel_lines, 8);
+    }
+
+    #[test]
+    fn volatile_image_roundtrip() {
+        let p = small_pool();
+        let off = p.alloc(64, 64).unwrap();
+        p.store_u64(off, 7777);
+        let img = p.volatile_image();
+        let p2 = Pool::from_image(&img, PoolConfig::new().size(1 << 16)).unwrap();
+        assert_eq!(p2.load_u64(off), 7777);
+        // Cursor recovered: next alloc does not overlap.
+        let next = p2.alloc(64, 64).unwrap();
+        assert!(next >= off + 64);
+    }
+
+    #[test]
+    fn zero_region_zeroes() {
+        let p = small_pool();
+        let off = p.alloc(64, 8).unwrap();
+        p.store_u64(off, 1);
+        p.store_u64(off + 56, 2);
+        p.zero_region(off, 64);
+        assert_eq!(p.load_u64(off), 0);
+        assert_eq!(p.load_u64(off + 56), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-bounds")]
+    fn out_of_bounds_store_panics() {
+        let p = small_pool();
+        p.store_u64(1 << 20, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_store_panics() {
+        let p = small_pool();
+        p.store_u64(12345, 1);
+    }
+}

@@ -1,0 +1,247 @@
+//! Thread-local instrumentation counters and phase timers.
+//!
+//! The paper's evaluation reports, besides elapsed time, the *number* of
+//! cache-line flushes (§5.4: wB+-tree calls 1.7× the flushes of FAST+FAIR;
+//! FP-tree 4.8 vs 4.2 per insert), the number of memory barriers on ARM
+//! (§5.5: 16.2 vs 6.6 per insert), and a breakdown of insertion time into
+//! `clflush`, `Search` and `Node Update` components (Fig. 5(a)).
+//!
+//! All counters are thread-local [`Cell`]s so the hot path costs a couple of
+//! arithmetic instructions. A benchmark harness calls [`reset`] at the start
+//! of a measured region on each worker thread and [`take`] (or [`snapshot`])
+//! at the end, then sums the per-thread snapshots.
+
+use std::cell::Cell;
+use std::ops::{Add, AddAssign};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Global switch for the per-phase wall-clock timers.
+///
+/// Phase timing costs two `Instant::now()` calls per operation, which is
+/// noise at emulated-PM latencies but measurable at DRAM latency; benches
+/// that do not print a breakdown leave it off.
+static PHASE_TIMING: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables the per-phase timers used by the Fig. 5(a)
+/// breakdown. Counters are always on.
+pub fn set_phase_timing(on: bool) {
+    PHASE_TIMING.store(on, Ordering::Relaxed);
+}
+
+/// Phases of an index operation for the Fig. 5(a) time breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tree traversal / position lookup.
+    Search,
+    /// In-node modification (shifts, appends, metadata updates).
+    Update,
+}
+
+/// A point-in-time copy of the instrumentation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Number of cache-line flush (`clflush`/`clwb`) operations.
+    pub flushes: u64,
+    /// Number of persist fences (`sfence`/`mfence` guarding flushes).
+    pub fences: u64,
+    /// Number of `dmb`-class barriers issued in non-TSO mode.
+    pub dmb_barriers: u64,
+    /// Number of serial (dependent) cache misses charged.
+    pub serial_misses: u64,
+    /// Number of cache lines charged as parallel (prefetched) reads.
+    pub parallel_lines: u64,
+    /// Nanoseconds spent in flush operations (including injected latency).
+    pub flush_ns: u64,
+    /// Nanoseconds attributed to the search phase.
+    pub search_ns: u64,
+    /// Nanoseconds attributed to the node-update phase.
+    pub update_ns: u64,
+}
+
+impl Snapshot {
+    /// Sum of the phase timers (search + update + flush).
+    pub fn total_ns(&self) -> u64 {
+        self.flush_ns + self.search_ns + self.update_ns
+    }
+}
+
+impl Add for Snapshot {
+    type Output = Snapshot;
+    fn add(self, rhs: Snapshot) -> Snapshot {
+        Snapshot {
+            flushes: self.flushes + rhs.flushes,
+            fences: self.fences + rhs.fences,
+            dmb_barriers: self.dmb_barriers + rhs.dmb_barriers,
+            serial_misses: self.serial_misses + rhs.serial_misses,
+            parallel_lines: self.parallel_lines + rhs.parallel_lines,
+            flush_ns: self.flush_ns + rhs.flush_ns,
+            search_ns: self.search_ns + rhs.search_ns,
+            update_ns: self.update_ns + rhs.update_ns,
+        }
+    }
+}
+
+impl AddAssign for Snapshot {
+    fn add_assign(&mut self, rhs: Snapshot) {
+        *self = *self + rhs;
+    }
+}
+
+thread_local! {
+    static FLUSHES: Cell<u64> = const { Cell::new(0) };
+    static FENCES: Cell<u64> = const { Cell::new(0) };
+    static DMB: Cell<u64> = const { Cell::new(0) };
+    static SERIAL: Cell<u64> = const { Cell::new(0) };
+    static PARALLEL: Cell<u64> = const { Cell::new(0) };
+    static FLUSH_NS: Cell<u64> = const { Cell::new(0) };
+    static SEARCH_NS: Cell<u64> = const { Cell::new(0) };
+    static UPDATE_NS: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+pub(crate) fn count_flush(ns: u64) {
+    FLUSHES.with(|c| c.set(c.get() + 1));
+    FLUSH_NS.with(|c| c.set(c.get() + ns));
+}
+
+#[inline]
+pub(crate) fn count_fence() {
+    FENCES.with(|c| c.set(c.get() + 1));
+}
+
+#[inline]
+pub(crate) fn count_dmb() {
+    DMB.with(|c| c.set(c.get() + 1));
+}
+
+#[inline]
+pub(crate) fn count_serial(n: u64) {
+    SERIAL.with(|c| c.set(c.get() + n));
+}
+
+#[inline]
+pub(crate) fn count_parallel(n: u64) {
+    PARALLEL.with(|c| c.set(c.get() + n));
+}
+
+/// Resets this thread's counters to zero.
+pub fn reset() {
+    FLUSHES.with(|c| c.set(0));
+    FENCES.with(|c| c.set(0));
+    DMB.with(|c| c.set(0));
+    SERIAL.with(|c| c.set(0));
+    PARALLEL.with(|c| c.set(0));
+    FLUSH_NS.with(|c| c.set(0));
+    SEARCH_NS.with(|c| c.set(0));
+    UPDATE_NS.with(|c| c.set(0));
+}
+
+/// Returns a copy of this thread's counters without resetting them.
+pub fn snapshot() -> Snapshot {
+    Snapshot {
+        flushes: FLUSHES.with(Cell::get),
+        fences: FENCES.with(Cell::get),
+        dmb_barriers: DMB.with(Cell::get),
+        serial_misses: SERIAL.with(Cell::get),
+        parallel_lines: PARALLEL.with(Cell::get),
+        flush_ns: FLUSH_NS.with(Cell::get),
+        search_ns: SEARCH_NS.with(Cell::get),
+        update_ns: UPDATE_NS.with(Cell::get),
+    }
+}
+
+/// Returns and resets this thread's counters.
+pub fn take() -> Snapshot {
+    let s = snapshot();
+    reset();
+    s
+}
+
+/// Runs `f`, attributing its wall-clock time to `phase`.
+///
+/// Time spent inside nested flush operations is *also* accumulated into the
+/// flush counter; the harness subtracts `flush_ns` from the enclosing phase
+/// when printing the Fig. 5(a) breakdown so the three components are
+/// disjoint.
+#[inline]
+pub fn timed<T>(phase: Phase, f: impl FnOnce() -> T) -> T {
+    if !PHASE_TIMING.load(Ordering::Relaxed) {
+        return f();
+    }
+    let t0 = Instant::now();
+    let out = f();
+    let ns = t0.elapsed().as_nanos() as u64;
+    match phase {
+        Phase::Search => SEARCH_NS.with(|c| c.set(c.get() + ns)),
+        Phase::Update => UPDATE_NS.with(|c| c.set(c.get() + ns)),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_take_resets() {
+        reset();
+        count_flush(10);
+        count_flush(5);
+        count_fence();
+        count_serial(3);
+        count_parallel(7);
+        count_dmb();
+        let s = take();
+        assert_eq!(s.flushes, 2);
+        assert_eq!(s.flush_ns, 15);
+        assert_eq!(s.fences, 1);
+        assert_eq!(s.serial_misses, 3);
+        assert_eq!(s.parallel_lines, 7);
+        assert_eq!(s.dmb_barriers, 1);
+        assert_eq!(snapshot(), Snapshot::default());
+    }
+
+    #[test]
+    fn timed_attributes_phase() {
+        reset();
+        set_phase_timing(true);
+        let v = timed(Phase::Search, || {
+            crate::spin_ns(100_000);
+            42
+        });
+        set_phase_timing(false);
+        assert_eq!(v, 42);
+        let s = take();
+        assert!(s.search_ns >= 100_000);
+        assert_eq!(s.update_ns, 0);
+    }
+
+    #[test]
+    fn timed_disabled_skips_timers() {
+        reset();
+        set_phase_timing(false);
+        timed(Phase::Update, || crate::spin_ns(50_000));
+        assert_eq!(take().update_ns, 0);
+    }
+
+    #[test]
+    fn snapshot_add() {
+        let a = Snapshot {
+            flushes: 1,
+            fences: 2,
+            dmb_barriers: 3,
+            serial_misses: 4,
+            parallel_lines: 5,
+            flush_ns: 6,
+            search_ns: 7,
+            update_ns: 8,
+        };
+        let sum = a + a;
+        assert_eq!(sum.flushes, 2);
+        assert_eq!(sum.total_ns(), 2 * (6 + 7 + 8));
+        let mut acc = Snapshot::default();
+        acc += a;
+        assert_eq!(acc, a);
+    }
+}

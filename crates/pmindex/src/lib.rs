@@ -1,0 +1,178 @@
+//! Common index abstractions and workload generators.
+//!
+//! Every index structure in this reproduction — FAST+FAIR, wB+-tree,
+//! FP-tree, WORT, the persistent skip list and the volatile B-link tree —
+//! implements [`PmIndex`] so the benchmark harness, the TPC-C substrate and
+//! the differential tests can treat them uniformly.
+//!
+//! The [`workload`] module generates the key sequences and operation mixes
+//! used by the paper's evaluation (§5): uniform random 8-byte keys, range
+//! scans with a selection ratio, and the mixed workload of Fig. 7(c)
+//! (sixteen searches : four inserts : one delete).
+
+#![warn(missing_docs)]
+
+pub mod workload;
+
+use std::fmt;
+
+/// Key type: the paper indexes 8-byte integer keys.
+pub type Key = u64;
+
+/// Value type: an 8-byte "record pointer".
+///
+/// The FAST algorithm requires all pointers within one node to be unique and
+/// reserves two bit patterns: `0` (NULL, the array terminator) and
+/// `u64::MAX` (the leaf anchor). Values must therefore be neither `0` nor
+/// `u64::MAX`, and should be unique per key — which they naturally are when
+/// they hold record addresses, as in the paper.
+pub type Value = u64;
+
+/// Errors returned by index operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// The underlying pool ran out of memory.
+    PoolExhausted(String),
+    /// The value is one of the reserved bit patterns (0 or `u64::MAX`).
+    ReservedValue(Value),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::PoolExhausted(e) => write!(f, "persistent pool exhausted: {e}"),
+            IndexError::ReservedValue(v) => {
+                write!(f, "value {v:#x} is a reserved bit pattern (0 or u64::MAX)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+impl From<pmem::PmError> for IndexError {
+    fn from(e: pmem::PmError) -> Self {
+        IndexError::PoolExhausted(e.to_string())
+    }
+}
+
+/// A persistent (or, for the B-link baseline, volatile) ordered key-value
+/// index.
+///
+/// All methods take `&self`: implementations are internally synchronized,
+/// so the same trait serves the single-threaded latency experiments
+/// (Figures 3–6) and the multi-threaded scalability experiment (Figure 7).
+pub trait PmIndex: Send + Sync {
+    /// Inserts `key → value`, replacing the previous value if the key
+    /// already exists (B+-tree upsert semantics, as in the paper's TPC-C
+    /// usage).
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::ReservedValue`] if `value` is 0 or `u64::MAX`;
+    /// [`IndexError::PoolExhausted`] if the pool cannot fit more nodes.
+    fn insert(&self, key: Key, value: Value) -> Result<(), IndexError>;
+
+    /// Exact-match lookup.
+    fn get(&self, key: Key) -> Option<Value>;
+
+    /// Removes a key; returns `true` if it was present.
+    fn remove(&self, key: Key) -> bool;
+
+    /// Appends every `(key, value)` with `lo <= key < hi`, in ascending key
+    /// order, to `out`.
+    fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>);
+
+    /// Short human-readable name used in benchmark tables
+    /// (e.g. `"FAST+FAIR"`, `"wB+-tree"`).
+    fn name(&self) -> &'static str;
+}
+
+impl<T: PmIndex + ?Sized> PmIndex for &T {
+    fn insert(&self, key: Key, value: Value) -> Result<(), IndexError> {
+        (**self).insert(key, value)
+    }
+    fn get(&self, key: Key) -> Option<Value> {
+        (**self).get(key)
+    }
+    fn remove(&self, key: Key) -> bool {
+        (**self).remove(key)
+    }
+    fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) {
+        (**self).range(lo, hi, out)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<T: PmIndex + ?Sized> PmIndex for Box<T> {
+    fn insert(&self, key: Key, value: Value) -> Result<(), IndexError> {
+        (**self).insert(key, value)
+    }
+    fn get(&self, key: Key) -> Option<Value> {
+        (**self).get(key)
+    }
+    fn remove(&self, key: Key) -> bool {
+        (**self).remove(key)
+    }
+    fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) {
+        (**self).range(lo, hi, out)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<T: PmIndex + ?Sized> PmIndex for std::sync::Arc<T> {
+    fn insert(&self, key: Key, value: Value) -> Result<(), IndexError> {
+        (**self).insert(key, value)
+    }
+    fn get(&self, key: Key) -> Option<Value> {
+        (**self).get(key)
+    }
+    fn remove(&self, key: Key) -> bool {
+        (**self).remove(key)
+    }
+    fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) {
+        (**self).range(lo, hi, out)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Checks that a value is not one of the reserved bit patterns.
+///
+/// # Errors
+///
+/// Returns [`IndexError::ReservedValue`] for 0 and `u64::MAX`.
+#[inline]
+pub fn check_value(value: Value) -> Result<(), IndexError> {
+    if value == 0 || value == u64::MAX {
+        Err(IndexError::ReservedValue(value))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_values_rejected() {
+        assert!(check_value(0).is_err());
+        assert!(check_value(u64::MAX).is_err());
+        assert!(check_value(1).is_ok());
+        assert!(check_value(u64::MAX - 1).is_ok());
+    }
+
+    #[test]
+    fn index_error_display() {
+        let e = IndexError::ReservedValue(0);
+        assert!(e.to_string().contains("reserved"));
+        let e: IndexError = pmem::PmError::PoolTooSmall.into();
+        assert!(e.to_string().contains("exhausted"));
+    }
+}

@@ -1,0 +1,497 @@
+//! Persistent skip list (Hu et al., ATC 2017 — the LSNVMM address-mapping
+//! structure, used as a baseline throughout the FAST+FAIR paper).
+//!
+//! Only the **bottom-level linked list is persistent**: an insert persists
+//! the new node, then publishes it with one CAS on the predecessor's
+//! level-0 pointer followed by one flush — two flushes per insert, no
+//! logging. The upper express levels are volatile acceleration state,
+//! rebuilt on open (exactly how LSNVMM treats its mapping tree).
+//!
+//! Searches are lock-free and writers coordinate with CAS retry loops, so
+//! the skip list scales with readers (Fig. 7(a)) — but every hop is a
+//! dependent cache miss on a 40-plus-byte node, so its absolute
+//! performance and range-scan behaviour are the worst of the fields
+//! (Figs. 4, 5): no key clustering, no prefetching, no memory-level
+//! parallelism. That contrast is the paper's argument for keeping
+//! block-like B+-tree layouts on PM.
+//!
+//! Deletes are committed by a persisted tombstone (value = 0) — one atomic
+//! 8-byte store, like every other commit point in this repository.
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use pmem::{stats, PmOffset, Pool, NULL_OFFSET};
+use pmindex::{check_value, IndexError, Key, PmIndex, Value};
+
+/// Maximum tower height.
+pub const MAX_LEVEL: usize = 20;
+
+const META_MAGIC: u64 = 0x534b_4950_0000_0001;
+const META_HEAD: u64 = 8;
+
+const NODE_KEY: u64 = 0;
+const NODE_VAL: u64 = 8;
+const NODE_LEVEL: u64 = 16;
+const NODE_NEXT: u64 = 24; // next[0..level]
+
+/// Deterministic tower height for a key: geometric(1/2), capped.
+fn height_for(key: Key) -> usize {
+    let h = key
+        .wrapping_mul(0xff51_afd7_ed55_8ccd)
+        .rotate_right(33)
+        .wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    ((h.trailing_zeros() as usize) + 1).min(MAX_LEVEL)
+}
+
+/// A persistent, lock-free skip list.
+pub struct PSkipList {
+    pool: Arc<Pool>,
+    meta: PmOffset,
+}
+
+impl std::fmt::Debug for PSkipList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PSkipList").field("meta", &self.meta).finish()
+    }
+}
+
+impl PSkipList {
+    /// Creates an empty skip list in `pool`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pool cannot hold the head node.
+    pub fn create(pool: Arc<Pool>) -> Result<Self, IndexError> {
+        let meta = pool.alloc(64, 64)?;
+        pool.zero_region(meta, 64);
+        let head = Self::alloc_node(&pool, 0, 0, MAX_LEVEL)?;
+        pool.store_u64(meta, META_MAGIC);
+        pool.store_u64(meta + META_HEAD, head);
+        pool.persist(meta, 64);
+        Ok(PSkipList { pool, meta })
+    }
+
+    /// Opens a skip list and rebuilds the volatile express levels from the
+    /// persistent bottom list.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `meta` does not hold a skip-list superblock.
+    pub fn open(pool: Arc<Pool>, meta: PmOffset) -> Result<Self, IndexError> {
+        if pool.load_u64(meta) != META_MAGIC {
+            return Err(IndexError::PoolExhausted(format!(
+                "no skip-list superblock at {meta:#x}"
+            )));
+        }
+        let s = PSkipList { pool, meta };
+        s.rebuild_towers();
+        Ok(s)
+    }
+
+    /// Superblock offset.
+    pub fn meta_offset(&self) -> PmOffset {
+        self.meta
+    }
+
+    fn alloc_node(pool: &Pool, key: Key, val: Value, level: usize) -> Result<PmOffset, IndexError> {
+        let size = NODE_NEXT + level as u64 * 8;
+        let off = pool.alloc(size, 64)?;
+        pool.zero_region(off, size);
+        pool.store_u64(off + NODE_KEY, key);
+        pool.store_u64(off + NODE_VAL, val);
+        pool.store_u64(off + NODE_LEVEL, level as u64);
+        Ok(off)
+    }
+
+    fn head(&self) -> PmOffset {
+        self.pool.load_u64(self.meta + META_HEAD)
+    }
+
+    fn key_of(&self, node: PmOffset) -> Key {
+        self.pool.load_u64(node + NODE_KEY)
+    }
+
+    fn val_of(&self, node: PmOffset) -> Value {
+        self.pool.load_u64(node + NODE_VAL)
+    }
+
+    fn level_of(&self, node: PmOffset) -> usize {
+        self.pool.load_u64(node + NODE_LEVEL) as usize
+    }
+
+    fn next_off(node: PmOffset, l: usize) -> PmOffset {
+        node + NODE_NEXT + l as u64 * 8
+    }
+
+    fn next(&self, node: PmOffset, l: usize) -> PmOffset {
+        self.pool.load_u64(Self::next_off(node, l))
+    }
+
+    /// Finds, for every level, the rightmost node with key < `key`.
+    /// Each hop is charged as one dependent cache miss.
+    fn find_preds(&self, key: Key) -> ([PmOffset; MAX_LEVEL], [PmOffset; MAX_LEVEL]) {
+        let mut preds = [NULL_OFFSET; MAX_LEVEL];
+        let mut succs = [NULL_OFFSET; MAX_LEVEL];
+        let mut cur = self.head();
+        for l in (0..MAX_LEVEL).rev() {
+            loop {
+                let nxt = self.next(cur, l);
+                if nxt != NULL_OFFSET && self.key_of(nxt) < key {
+                    // Nodes tall enough to appear on the top levels are few
+                    // and LLC-resident; the cold majority is charged.
+                    if l < 10 {
+                        self.pool.charge_serial_reads(1);
+                    }
+                    cur = nxt;
+                } else {
+                    preds[l] = cur;
+                    succs[l] = nxt;
+                    break;
+                }
+            }
+        }
+        (preds, succs)
+    }
+
+    /// Rebuilds the volatile upper levels by walking the persistent bottom
+    /// list (open-time cost, like LSNVMM's volatile mapping tree).
+    fn rebuild_towers(&self) {
+        let head = self.head();
+        let mut last = [head; MAX_LEVEL];
+        // Clear the head's upper levels.
+        for l in 1..MAX_LEVEL {
+            self.pool.store_u64(Self::next_off(head, l), 0);
+        }
+        let mut cur = self.next(head, 0);
+        while cur != NULL_OFFSET {
+            let lvl = self.level_of(cur).min(MAX_LEVEL);
+            for l in 1..lvl {
+                self.pool.store_u64(Self::next_off(cur, l), 0);
+                self.pool.store_u64(Self::next_off(last[l], l), cur);
+                last[l] = cur;
+            }
+            cur = self.next(cur, 0);
+        }
+    }
+}
+
+impl PmIndex for PSkipList {
+    fn insert(&self, key: Key, value: Value) -> Result<(), IndexError> {
+        check_value(value)?;
+        loop {
+            let (preds, succs) = stats::timed(stats::Phase::Search, || self.find_preds(key));
+            // Existing key (possibly tombstoned): update the value in place
+            // with one persisted store.
+            if succs[0] != NULL_OFFSET && self.key_of(succs[0]) == key {
+                let done = stats::timed(stats::Phase::Update, || {
+                    let cur = self.val_of(succs[0]);
+                    if self
+                        .pool
+                        .cas_u64(succs[0] + NODE_VAL, cur, value)
+                        .is_ok()
+                    {
+                        self.pool.persist(succs[0] + NODE_VAL, 8);
+                        true
+                    } else {
+                        false
+                    }
+                });
+                if done {
+                    return Ok(());
+                }
+                continue;
+            }
+            let level = height_for(key);
+            let node = stats::timed(stats::Phase::Update, || {
+                Self::alloc_node(&self.pool, key, value, level)
+            })?;
+            let committed = stats::timed(stats::Phase::Update, || {
+                // Persist the node with its bottom link before publishing.
+                self.pool.store_u64(Self::next_off(node, 0), succs[0]);
+                for l in 1..level {
+                    self.pool.store_u64(Self::next_off(node, l), succs[l]);
+                }
+                self.pool
+                    .persist(node, NODE_NEXT + level as u64 * 8);
+                // Publish: one CAS + one flush — the only failure-atomic
+                // commit the bottom list needs.
+                if self
+                    .pool
+                    .cas_u64(Self::next_off(preds[0], 0), succs[0], node)
+                    .is_err()
+                {
+                    self.pool.free(node, NODE_NEXT + level as u64 * 8);
+                    return false;
+                }
+                self.pool.persist(Self::next_off(preds[0], 0), 8);
+                // Volatile express lanes: best-effort CAS, no flushes.
+                for l in 1..level {
+                    let _ = self
+                        .pool
+                        .cas_u64(Self::next_off(preds[l], l), succs[l], node);
+                }
+                true
+            });
+            if committed {
+                return Ok(());
+            }
+        }
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        stats::timed(stats::Phase::Search, || {
+            let mut cur = self.head();
+            for l in (0..MAX_LEVEL).rev() {
+                loop {
+                    let nxt = self.next(cur, l);
+                    if nxt != NULL_OFFSET && self.key_of(nxt) < key {
+                        if l < 10 {
+                            self.pool.charge_serial_reads(1);
+                        }
+                        cur = nxt;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            let nxt = self.next(cur, 0);
+            if nxt != NULL_OFFSET && self.key_of(nxt) == key {
+                self.pool.charge_serial_reads(1);
+                let v = self.val_of(nxt);
+                if v != 0 {
+                    return Some(v);
+                }
+            }
+            None
+        })
+    }
+
+    fn remove(&self, key: Key) -> bool {
+        loop {
+            let (_, succs) = self.find_preds(key);
+            let node = succs[0];
+            if node == NULL_OFFSET || self.key_of(node) != key {
+                return false;
+            }
+            let v = self.val_of(node);
+            if v == 0 {
+                return false; // already tombstoned
+            }
+            // Tombstone commit: one persisted 8-byte store.
+            if self.pool.cas_u64(node + NODE_VAL, v, 0).is_ok() {
+                self.pool.persist(node + NODE_VAL, 8);
+                return true;
+            }
+        }
+    }
+
+    fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) {
+        if lo >= hi {
+            return;
+        }
+        let (preds, _) = self.find_preds(lo);
+        let mut cur = self.next(preds[0], 0);
+        while cur != NULL_OFFSET {
+            // One dependent miss per element: the pointer-chasing cost that
+            // makes skip-list range scans up to 20x slower (Fig. 4).
+            self.pool.charge_serial_reads(1);
+            let k = self.key_of(cur);
+            if k >= hi {
+                return;
+            }
+            let v = self.val_of(cur);
+            if v != 0 && k >= lo {
+                out.push((k, v));
+            }
+            cur = self.next(cur, 0);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "SkipList"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PoolConfig;
+    use pmindex::workload::{generate_keys, value_for, KeyDist};
+    use std::collections::BTreeMap;
+
+    fn mk() -> (Arc<Pool>, PSkipList) {
+        let p = Arc::new(Pool::new(PoolConfig::new().size(128 << 20)).unwrap());
+        let t = PSkipList::create(Arc::clone(&p)).unwrap();
+        (p, t)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let (_p, t) = mk();
+        let keys = generate_keys(10_000, KeyDist::Uniform, 1);
+        for &k in &keys {
+            t.insert(k, value_for(k)).unwrap();
+        }
+        for &k in &keys {
+            assert_eq!(t.get(k), Some(value_for(k)));
+        }
+        assert_eq!(t.get(424242), None);
+    }
+
+    #[test]
+    fn upsert_tombstone_reinsert() {
+        let (_p, t) = mk();
+        t.insert(10, 100).unwrap();
+        t.insert(10, 101).unwrap();
+        assert_eq!(t.get(10), Some(101));
+        assert!(t.remove(10));
+        assert!(!t.remove(10));
+        assert_eq!(t.get(10), None);
+        t.insert(10, 102).unwrap();
+        assert_eq!(t.get(10), Some(102));
+    }
+
+    #[test]
+    fn range_skips_tombstones() {
+        let (_p, t) = mk();
+        for k in 1..=100u64 {
+            t.insert(k, k + 5).unwrap();
+        }
+        for k in (1..=100u64).step_by(2) {
+            t.remove(k);
+        }
+        let mut out = Vec::new();
+        t.range(1, 101, &mut out);
+        assert_eq!(out.len(), 50);
+        assert!(out.iter().all(|&(k, _)| k % 2 == 0));
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn range_matches_model() {
+        let (_p, t) = mk();
+        let keys = generate_keys(5000, KeyDist::Uniform, 2);
+        let mut model = BTreeMap::new();
+        for &k in &keys {
+            t.insert(k, value_for(k)).unwrap();
+            model.insert(k, value_for(k));
+        }
+        let mut sorted = keys;
+        sorted.sort_unstable();
+        let (lo, hi) = (sorted[500], sorted[3500]);
+        let mut got = Vec::new();
+        t.range(lo, hi, &mut got);
+        let want: Vec<_> = model.range(lo..hi).map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn two_flushes_per_plain_insert() {
+        let (_p, t) = mk();
+        for k in 1..=50u64 {
+            t.insert(k * 7, k).unwrap();
+        }
+        stats::reset();
+        t.insert(3, 33).unwrap();
+        let s = stats::take();
+        assert!(s.flushes <= 3, "flushes = {}", s.flushes);
+    }
+
+    #[test]
+    fn reopen_rebuilds_towers() {
+        let (p, t) = mk();
+        let keys = generate_keys(5000, KeyDist::Uniform, 3);
+        for &k in &keys {
+            t.insert(k, value_for(k)).unwrap();
+        }
+        let meta = t.meta_offset();
+        drop(t);
+        let img = p.volatile_image();
+        let p2 = Arc::new(Pool::from_image(&img, PoolConfig::new().size(128 << 20)).unwrap());
+        let t2 = PSkipList::open(Arc::clone(&p2), meta).unwrap();
+        for &k in &keys {
+            assert_eq!(t2.get(k), Some(value_for(k)));
+        }
+        t2.insert(keys[0] ^ 0xf0f0, 99).unwrap();
+        assert_eq!(t2.get(keys[0] ^ 0xf0f0), Some(99));
+    }
+
+    #[test]
+    fn crash_sweep_bottom_level_is_consistent() {
+        let p = Arc::new(Pool::new(PoolConfig::new().size(4 << 20).crash_log(true)).unwrap());
+        let t = PSkipList::create(Arc::clone(&p)).unwrap();
+        let preload: Vec<u64> = (1..=20).map(|k| k * 10).collect();
+        for &k in &preload {
+            t.insert(k, value_for(k)).unwrap();
+        }
+        let log = p.crash_log().unwrap();
+        log.set_baseline(p.volatile_image());
+        t.insert(55, value_for(55)).unwrap();
+        t.remove(100);
+        t.insert(155, value_for(155)).unwrap();
+        let meta = t.meta_offset();
+        for cut in 0..=log.len() {
+            for policy in [
+                pmem::crash::Eviction::None,
+                pmem::crash::Eviction::All,
+                pmem::crash::Eviction::Random(cut as u64),
+            ] {
+                let img = p.crash_image(cut, policy);
+                let p2 =
+                    Arc::new(Pool::from_image(&img, PoolConfig::new().size(4 << 20)).unwrap());
+                let t2 = PSkipList::open(Arc::clone(&p2), meta).unwrap();
+                for &k in &preload {
+                    if k == 100 {
+                        continue; // the in-flight delete target
+                    }
+                    assert_eq!(t2.get(k), Some(value_for(k)), "cut {cut} key {k}");
+                }
+                // In-flight ops are atomic.
+                for k in [55u64, 155] {
+                    match t2.get(k) {
+                        None => {}
+                        Some(v) => assert_eq!(v, value_for(k)),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_and_reads() {
+        let p = Arc::new(Pool::new(PoolConfig::new().size(256 << 20)).unwrap());
+        let t = Arc::new(PSkipList::create(Arc::clone(&p)).unwrap());
+        let keys = generate_keys(20_000, KeyDist::Uniform, 5);
+        let chunks = pmindex::workload::partition(&keys, 4);
+        std::thread::scope(|s| {
+            for chunk in &chunks {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    for &k in chunk {
+                        t.insert(k, value_for(k)).unwrap();
+                    }
+                });
+            }
+        });
+        for &k in &keys {
+            assert_eq!(t.get(k), Some(value_for(k)));
+        }
+        let mut out = Vec::new();
+        t.range(0, u64::MAX, &mut out);
+        assert_eq!(out.len(), keys.len());
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn height_distribution_is_geometric() {
+        let mut counts = [0usize; MAX_LEVEL + 1];
+        for k in 1..=100_000u64 {
+            counts[height_for(k)] += 1;
+        }
+        // Roughly half the keys at height 1, a quarter at 2, ...
+        assert!(counts[1] > 40_000 && counts[1] < 60_000, "{counts:?}");
+        assert!(counts[2] > 20_000 && counts[2] < 30_000, "{counts:?}");
+    }
+}

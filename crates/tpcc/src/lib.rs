@@ -1,0 +1,684 @@
+//! TPC-C benchmark substrate over generic persistent indexes.
+//!
+//! Reproduces the workload of Fig. 6 of the FAST+FAIR paper: the five
+//! TPC-C transaction types (New-Order, Payment, Order-Status, Delivery,
+//! Stock-Level) run against nine tables, each indexed by one [`PmIndex`]
+//! instance. The measured quantity is *index* throughput: every table
+//! access is a point get, insert, delete or range scan on the index under
+//! test; row payloads live in a volatile arena (the paper's storage engine
+//! is likewise not the object of measurement).
+//!
+//! The four mixes W1–W4 shift weight from New-Order (insert-heavy, many
+//! order-line inserts) toward Order-Status (search + range) — the axis
+//! along which Fig. 6 compares the indexes. Stock-Level and Delivery issue
+//! genuine range scans, which is what sinks WORT in this figure.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use pmindex::{IndexError, Key, PmIndex};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Sizing parameters (scaled-down defaults; [`TpccConfig::paper`] restores
+/// the spec sizes).
+#[derive(Debug, Clone, Copy)]
+pub struct TpccConfig {
+    /// Number of warehouses.
+    pub warehouses: u64,
+    /// Districts per warehouse (spec: 10).
+    pub districts_per_warehouse: u64,
+    /// Customers per district (spec: 3000).
+    pub customers_per_district: u64,
+    /// Catalogue size (spec: 100 000).
+    pub items: u64,
+    /// Initial orders per district (spec: 3000).
+    pub initial_orders_per_district: u64,
+}
+
+impl TpccConfig {
+    /// Small configuration for tests and smoke benchmarks.
+    pub fn small() -> Self {
+        TpccConfig {
+            warehouses: 2,
+            districts_per_warehouse: 4,
+            customers_per_district: 60,
+            items: 1_000,
+            initial_orders_per_district: 30,
+        }
+    }
+
+    /// The TPC-C spec sizes (per warehouse).
+    pub fn paper() -> Self {
+        TpccConfig {
+            warehouses: 4,
+            districts_per_warehouse: 10,
+            customers_per_district: 3_000,
+            items: 100_000,
+            initial_orders_per_district: 3_000,
+        }
+    }
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        TpccConfig::small()
+    }
+}
+
+/// Transaction mix in percent; the four workloads of Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// New-Order percentage.
+    pub new_order: u32,
+    /// Payment percentage.
+    pub payment: u32,
+    /// Order-Status percentage.
+    pub order_status: u32,
+    /// Delivery percentage.
+    pub delivery: u32,
+    /// Stock-Level percentage.
+    pub stock_level: u32,
+}
+
+impl Mix {
+    /// W1: NewOrder 34 %, Payment 43 %, Status 5 %, Delivery 4 %, StockLevel 14 %.
+    pub const W1: Mix = Mix {
+        new_order: 34,
+        payment: 43,
+        order_status: 5,
+        delivery: 4,
+        stock_level: 14,
+    };
+    /// W2: 27/43/15/4/11.
+    pub const W2: Mix = Mix {
+        new_order: 27,
+        payment: 43,
+        order_status: 15,
+        delivery: 4,
+        stock_level: 11,
+    };
+    /// W3: 20/43/25/4/8.
+    pub const W3: Mix = Mix {
+        new_order: 20,
+        payment: 43,
+        order_status: 25,
+        delivery: 4,
+        stock_level: 8,
+    };
+    /// W4: 13/43/35/4/5.
+    pub const W4: Mix = Mix {
+        new_order: 13,
+        payment: 43,
+        order_status: 35,
+        delivery: 4,
+        stock_level: 5,
+    };
+
+    /// All four paper mixes with their names.
+    pub fn paper_mixes() -> [(&'static str, Mix); 4] {
+        [("W1", Mix::W1), ("W2", Mix::W2), ("W3", Mix::W3), ("W4", Mix::W4)]
+    }
+
+    fn pick(&self, r: u32) -> Txn {
+        let mut acc = self.new_order;
+        if r < acc {
+            return Txn::NewOrder;
+        }
+        acc += self.payment;
+        if r < acc {
+            return Txn::Payment;
+        }
+        acc += self.order_status;
+        if r < acc {
+            return Txn::OrderStatus;
+        }
+        acc += self.delivery;
+        if r < acc {
+            return Txn::Delivery;
+        }
+        Txn::StockLevel
+    }
+}
+
+/// The five TPC-C transaction types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Txn {
+    /// Order entry (insert-heavy).
+    NewOrder,
+    /// Payment (updates + one insert).
+    Payment,
+    /// Order status (reads + range).
+    OrderStatus,
+    /// Delivery (delete + range + updates).
+    Delivery,
+    /// Stock level (large range scan + reads).
+    StockLevel,
+}
+
+// ---- key packing -----------------------------------------------------------
+
+/// Key of a warehouse row.
+pub fn k_warehouse(w: u64) -> Key {
+    w + 1
+}
+/// Key of a district row.
+pub fn k_district(w: u64, d: u64) -> Key {
+    ((w + 1) << 8) | d
+}
+/// Key of a customer row.
+pub fn k_customer(w: u64, d: u64, c: u64) -> Key {
+    ((w + 1) << 40) | (d << 32) | c
+}
+/// Key of an order row.
+pub fn k_order(w: u64, d: u64, o: u64) -> Key {
+    ((w + 1) << 40) | (d << 32) | o
+}
+/// Key of an order line row (`ol` < 16).
+pub fn k_orderline(w: u64, d: u64, o: u64, ol: u64) -> Key {
+    ((w + 1) << 44) | (d << 36) | (o << 4) | ol
+}
+/// Key of a stock row.
+pub fn k_stock(w: u64, i: u64) -> Key {
+    ((w + 1) << 32) | i
+}
+/// Key of an item row.
+pub fn k_item(i: u64) -> Key {
+    i + 1
+}
+
+// ---- volatile row arena -----------------------------------------------------
+
+/// Append-only, thread-safe row table; row ids are 1-based and double as
+/// index values.
+struct Rows<T> {
+    rows: Mutex<Vec<T>>,
+}
+
+impl<T: Clone> Rows<T> {
+    fn new() -> Self {
+        Rows {
+            rows: Mutex::new(Vec::new()),
+        }
+    }
+    fn push(&self, t: T) -> u64 {
+        let mut v = self.rows.lock();
+        v.push(t);
+        v.len() as u64
+    }
+    fn get(&self, id: u64) -> T {
+        self.rows.lock()[(id - 1) as usize].clone()
+    }
+    fn update(&self, id: u64, f: impl FnOnce(&mut T)) {
+        f(&mut self.rows.lock()[(id - 1) as usize]);
+    }
+}
+
+#[derive(Clone, Debug)]
+struct DistrictRow {
+    next_o_id: u64,
+    ytd: u64,
+}
+
+#[derive(Clone, Debug)]
+struct CustomerRow {
+    balance: i64,
+    payments: u64,
+}
+
+#[derive(Clone, Debug)]
+struct OrderRow {
+    ol_cnt: u64,
+    carrier: u64,
+}
+
+#[derive(Clone, Debug)]
+struct StockRow {
+    quantity: i64,
+}
+
+#[derive(Clone, Debug)]
+struct OrderLineRow {
+    item: u64,
+    qty: u64,
+}
+
+/// Per-transaction-type counts and the grand total, as returned by
+/// [`TpccDb::run`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TpccStats {
+    /// Executed transactions by type.
+    pub new_order: u64,
+    /// Payment count.
+    pub payment: u64,
+    /// Order-status count.
+    pub order_status: u64,
+    /// Delivery count.
+    pub delivery: u64,
+    /// Stock-level count.
+    pub stock_level: u64,
+}
+
+impl TpccStats {
+    /// Total transactions executed.
+    pub fn total(&self) -> u64 {
+        self.new_order + self.payment + self.order_status + self.delivery + self.stock_level
+    }
+}
+
+/// A TPC-C database whose nine tables are indexed by caller-provided
+/// [`PmIndex`] instances.
+pub struct TpccDb<I: PmIndex> {
+    cfg: TpccConfig,
+    /// Table indexes.
+    warehouse: I,
+    district: I,
+    customer: I,
+    order: I,
+    new_order_idx: I,
+    order_line: I,
+    stock: I,
+    item: I,
+    history: I,
+    // Row arenas.
+    districts: Rows<DistrictRow>,
+    customers: Rows<CustomerRow>,
+    orders: Rows<OrderRow>,
+    order_lines: Rows<OrderLineRow>,
+    stocks: Rows<StockRow>,
+    history_seq: AtomicU64,
+}
+
+impl<I: PmIndex> TpccDb<I> {
+    /// Builds and populates a database; `mk` creates one fresh index per
+    /// table (nine calls).
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-construction and insertion failures.
+    pub fn build(
+        cfg: TpccConfig,
+        mut mk: impl FnMut() -> Result<I, IndexError>,
+    ) -> Result<Self, IndexError> {
+        let db = TpccDb {
+            cfg,
+            warehouse: mk()?,
+            district: mk()?,
+            customer: mk()?,
+            order: mk()?,
+            new_order_idx: mk()?,
+            order_line: mk()?,
+            stock: mk()?,
+            item: mk()?,
+            history: mk()?,
+            districts: Rows::new(),
+            customers: Rows::new(),
+            orders: Rows::new(),
+            order_lines: Rows::new(),
+            stocks: Rows::new(),
+            history_seq: AtomicU64::new(1),
+        };
+        db.populate()?;
+        Ok(db)
+    }
+
+    fn populate(&self) -> Result<(), IndexError> {
+        let cfg = &self.cfg;
+        for i in 0..cfg.items {
+            self.item.insert(k_item(i), i + 1)?;
+        }
+        for w in 0..cfg.warehouses {
+            self.warehouse.insert(k_warehouse(w), w + 1)?;
+            for i in 0..cfg.items {
+                let id = self.stocks.push(StockRow { quantity: 100 });
+                self.stock.insert(k_stock(w, i), id)?;
+            }
+            for d in 0..cfg.districts_per_warehouse {
+                let did = self.districts.push(DistrictRow {
+                    next_o_id: cfg.initial_orders_per_district,
+                    ytd: 0,
+                });
+                self.district.insert(k_district(w, d), did)?;
+                for c in 0..cfg.customers_per_district {
+                    let cid = self.customers.push(CustomerRow {
+                        balance: -10,
+                        payments: 1,
+                    });
+                    self.customer.insert(k_customer(w, d, c), cid)?;
+                }
+                for o in 0..cfg.initial_orders_per_district {
+                    self.create_order(w, d, o, (o % 5) + 1, o % cfg.items, o % 3 != 0)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn create_order(
+        &self,
+        w: u64,
+        d: u64,
+        o: u64,
+        ol_cnt: u64,
+        first_item: u64,
+        delivered: bool,
+    ) -> Result<(), IndexError> {
+        let oid = self.orders.push(OrderRow {
+            ol_cnt,
+            carrier: u64::from(delivered),
+        });
+        self.order.insert(k_order(w, d, o), oid)?;
+        if !delivered {
+            self.new_order_idx.insert(k_order(w, d, o), oid)?;
+        }
+        for ol in 0..ol_cnt {
+            let item = (first_item + ol) % self.cfg.items;
+            let lid = self.order_lines.push(OrderLineRow { item, qty: 5 });
+            self.order_line.insert(k_orderline(w, d, o, ol), lid)?;
+        }
+        Ok(())
+    }
+
+    // ---- the five transactions -------------------------------------------
+
+    fn tx_new_order(&self, rng: &mut StdRng) -> Result<(), IndexError> {
+        let cfg = &self.cfg;
+        let w = rng.gen_range(0..cfg.warehouses);
+        let d = rng.gen_range(0..cfg.districts_per_warehouse);
+        let c = rng.gen_range(0..cfg.customers_per_district);
+        // Reads.
+        self.warehouse.get(k_warehouse(w));
+        let did = self.district.get(k_district(w, d)).expect("district");
+        self.customer.get(k_customer(w, d, c));
+        // Take the next order id.
+        let mut o = 0;
+        self.districts.update(did, |row| {
+            o = row.next_o_id;
+            row.next_o_id += 1;
+        });
+        let ol_cnt = rng.gen_range(5..=15u64);
+        let oid = self.orders.push(OrderRow { ol_cnt, carrier: 0 });
+        self.order.insert(k_order(w, d, o), oid)?;
+        self.new_order_idx.insert(k_order(w, d, o), oid)?;
+        for ol in 0..ol_cnt {
+            let item = rng.gen_range(0..cfg.items);
+            self.item.get(k_item(item));
+            if let Some(sid) = self.stock.get(k_stock(w, item)) {
+                self.stocks.update(sid, |s| {
+                    s.quantity -= rng.gen_range(1..=10) as i64;
+                    if s.quantity < 10 {
+                        s.quantity += 91;
+                    }
+                });
+            }
+            let lid = self.order_lines.push(OrderLineRow {
+                item,
+                qty: rng.gen_range(1..=10),
+            });
+            self.order_line.insert(k_orderline(w, d, o, ol), lid)?;
+        }
+        Ok(())
+    }
+
+    fn tx_payment(&self, rng: &mut StdRng) -> Result<(), IndexError> {
+        let cfg = &self.cfg;
+        let w = rng.gen_range(0..cfg.warehouses);
+        let d = rng.gen_range(0..cfg.districts_per_warehouse);
+        let c = rng.gen_range(0..cfg.customers_per_district);
+        let amount = rng.gen_range(1..5000) as i64;
+        self.warehouse.get(k_warehouse(w));
+        let did = self.district.get(k_district(w, d)).expect("district");
+        self.districts.update(did, |row| row.ytd += amount as u64);
+        let cid = self.customer.get(k_customer(w, d, c)).expect("customer");
+        self.customers.update(cid, |row| {
+            row.balance -= amount;
+            row.payments += 1;
+        });
+        let h = self.history_seq.fetch_add(1, Ordering::Relaxed);
+        self.history.insert(h, cid)?;
+        Ok(())
+    }
+
+    fn tx_order_status(&self, rng: &mut StdRng) {
+        let cfg = &self.cfg;
+        let w = rng.gen_range(0..cfg.warehouses);
+        let d = rng.gen_range(0..cfg.districts_per_warehouse);
+        let c = rng.gen_range(0..cfg.customers_per_district);
+        self.customer.get(k_customer(w, d, c));
+        // Most recent order of the district: range over the order keyspace.
+        let mut orders = Vec::new();
+        self.order
+            .range(k_order(w, d, 0), k_order(w, d, u32::MAX as u64), &mut orders);
+        if let Some(&(okey, oid)) = orders.last() {
+            let o = okey & 0xffff_ffff;
+            let row = self.orders.get(oid);
+            let mut lines = Vec::new();
+            self.order_line.range(
+                k_orderline(w, d, o, 0),
+                k_orderline(w, d, o, 15) + 1,
+                &mut lines,
+            );
+            debug_assert!(lines.len() <= row.ol_cnt as usize);
+            for (_, lid) in lines {
+                let _ = self.order_lines.get(lid);
+            }
+        }
+    }
+
+    fn tx_delivery(&self, rng: &mut StdRng) {
+        let cfg = &self.cfg;
+        let w = rng.gen_range(0..cfg.warehouses);
+        for d in 0..cfg.districts_per_warehouse {
+            // Oldest undelivered order.
+            let mut pending = Vec::new();
+            self.new_order_idx
+                .range(k_order(w, d, 0), k_order(w, d, u32::MAX as u64), &mut pending);
+            let Some(&(okey, oid)) = pending.first() else {
+                continue;
+            };
+            let o = okey & 0xffff_ffff;
+            self.new_order_idx.remove(okey);
+            self.orders.update(oid, |row| row.carrier = 1);
+            let mut lines = Vec::new();
+            self.order_line.range(
+                k_orderline(w, d, o, 0),
+                k_orderline(w, d, o, 15) + 1,
+                &mut lines,
+            );
+            let total: u64 = lines
+                .iter()
+                .map(|&(_, lid)| self.order_lines.get(lid).qty)
+                .sum();
+            let c = rng.gen_range(0..cfg.customers_per_district);
+            if let Some(cid) = self.customer.get(k_customer(w, d, c)) {
+                self.customers.update(cid, |row| row.balance += total as i64);
+            }
+        }
+    }
+
+    fn tx_stock_level(&self, rng: &mut StdRng) {
+        let cfg = &self.cfg;
+        let w = rng.gen_range(0..cfg.warehouses);
+        let d = rng.gen_range(0..cfg.districts_per_warehouse);
+        let did = self.district.get(k_district(w, d)).expect("district");
+        let next_o = {
+            let row = self.districts.get(did);
+            row.next_o_id
+        };
+        let from = next_o.saturating_sub(20);
+        // Range over the last 20 orders' lines (the big scan of TPC-C).
+        let mut lines = Vec::new();
+        self.order_line.range(
+            k_orderline(w, d, from, 0),
+            k_orderline(w, d, next_o, 0),
+            &mut lines,
+        );
+        let mut low = 0usize;
+        for (_, lid) in lines {
+            let item = self.order_lines.get(lid).item;
+            if let Some(sid) = self.stock.get(k_stock(w, item)) {
+                if self.stocks.get(sid).quantity < 15 {
+                    low += 1;
+                }
+            }
+        }
+        std::hint::black_box(low);
+    }
+
+    /// Runs `count` transactions drawn from `mix`; returns per-type counts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool exhaustion from insert-heavy transactions.
+    pub fn run(&self, mix: Mix, count: usize, seed: u64) -> Result<TpccStats, IndexError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut stats = TpccStats::default();
+        for _ in 0..count {
+            match mix.pick(rng.gen_range(0..100)) {
+                Txn::NewOrder => {
+                    self.tx_new_order(&mut rng)?;
+                    stats.new_order += 1;
+                }
+                Txn::Payment => {
+                    self.tx_payment(&mut rng)?;
+                    stats.payment += 1;
+                }
+                Txn::OrderStatus => {
+                    self.tx_order_status(&mut rng);
+                    stats.order_status += 1;
+                }
+                Txn::Delivery => {
+                    self.tx_delivery(&mut rng);
+                    stats.delivery += 1;
+                }
+                Txn::StockLevel => {
+                    self.tx_stock_level(&mut rng);
+                    stats.stock_level += 1;
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn fastfair_db() -> TpccDb<fastfair::FastFairTree> {
+        let pool = Arc::new(
+            pmem::Pool::new(pmem::PoolConfig::new().size(256 << 20)).unwrap(),
+        );
+        TpccDb::build(TpccConfig::small(), || {
+            fastfair::FastFairTree::create(Arc::clone(&pool), fastfair::TreeOptions::new())
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn key_packing_is_injective_and_ordered() {
+        // Orders of one district are contiguous and sorted.
+        assert!(k_order(1, 2, 5) < k_order(1, 2, 6));
+        assert!(k_order(1, 2, u32::MAX as u64 - 1) < k_order(1, 3, 0));
+        assert!(k_orderline(0, 0, 7, 3) < k_orderline(0, 0, 7, 4));
+        assert!(k_orderline(0, 0, 7, 15) < k_orderline(0, 0, 8, 0));
+        assert_ne!(k_customer(1, 1, 1), k_order(1, 1, 1) + 1);
+        assert_ne!(k_stock(0, 5), k_item(5));
+    }
+
+    #[test]
+    fn mixes_sum_to_100() {
+        for (_, m) in Mix::paper_mixes() {
+            assert_eq!(
+                m.new_order + m.payment + m.order_status + m.delivery + m.stock_level,
+                100
+            );
+        }
+    }
+
+    #[test]
+    fn build_and_run_all_mixes_on_fastfair() {
+        let db = fastfair_db();
+        for (name, mix) in Mix::paper_mixes() {
+            let stats = db.run(mix, 500, 42).unwrap();
+            assert_eq!(stats.total(), 500, "{name}");
+            assert!(stats.new_order > 0, "{name}");
+            assert!(stats.payment > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn new_order_grows_order_index() {
+        let db = fastfair_db();
+        let before = {
+            let mut v = Vec::new();
+            db.order.range(0, u64::MAX, &mut v);
+            v.len()
+        };
+        let only_new_order = Mix {
+            new_order: 100,
+            payment: 0,
+            order_status: 0,
+            delivery: 0,
+            stock_level: 0,
+        };
+        db.run(only_new_order, 100, 7).unwrap();
+        let after = {
+            let mut v = Vec::new();
+            db.order.range(0, u64::MAX, &mut v);
+            v.len()
+        };
+        assert_eq!(after, before + 100);
+    }
+
+    #[test]
+    fn delivery_drains_new_orders() {
+        let db = fastfair_db();
+        let count = |idx: &dyn PmIndex| {
+            let mut v = Vec::new();
+            idx.range(0, u64::MAX, &mut v);
+            v.len()
+        };
+        let before = count(&db.new_order_idx);
+        let only_delivery = Mix {
+            new_order: 0,
+            payment: 0,
+            order_status: 0,
+            delivery: 100,
+            stock_level: 0,
+        };
+        db.run(only_delivery, 5, 11).unwrap();
+        assert!(count(&db.new_order_idx) < before);
+    }
+
+    #[test]
+    fn runs_on_wbtree_and_blink() {
+        let pool = Arc::new(
+            pmem::Pool::new(pmem::PoolConfig::new().size(256 << 20)).unwrap(),
+        );
+        let db = TpccDb::build(TpccConfig::small(), || {
+            wbtree::WbTree::create(Arc::clone(&pool))
+        })
+        .unwrap();
+        assert_eq!(db.run(Mix::W2, 200, 3).unwrap().total(), 200);
+
+        let db = TpccDb::build(TpccConfig::small(), || {
+            Ok::<_, IndexError>(blink::BlinkTree::new())
+        })
+        .unwrap();
+        assert_eq!(db.run(Mix::W4, 200, 3).unwrap().total(), 200);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let db1 = fastfair_db();
+        let db2 = fastfair_db();
+        let s1 = db1.run(Mix::W1, 300, 99).unwrap();
+        let s2 = db2.run(Mix::W1, 300, 99).unwrap();
+        assert_eq!(s1.new_order, s2.new_order);
+        assert_eq!(s1.stock_level, s2.stock_level);
+    }
+}

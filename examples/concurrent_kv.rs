@@ -1,0 +1,82 @@
+//! Concurrent key-value store: lock-free readers racing writers on one
+//! FAST+FAIR tree, with emulated PM write latency — a miniature of the
+//! paper's Fig. 7 experiment.
+//!
+//! ```sh
+//! cargo run --release --example concurrent_kv
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use fastfair_repro::fastfair::{FastFairTree, TreeOptions};
+use fastfair_repro::pmem::{LatencyProfile, Pool, PoolConfig};
+use fastfair_repro::pmindex::workload::{generate_keys, value_for, KeyDist};
+use fastfair_repro::pmindex::PmIndex;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Emulated PM: 300ns writes (like the paper's §5.7 setting).
+    let pool = Arc::new(Pool::new(
+        PoolConfig::default()
+            .size(512 << 20)
+            .latency(LatencyProfile::new(0, 300)),
+    )?);
+    let tree = Arc::new(FastFairTree::create(
+        Arc::clone(&pool),
+        TreeOptions::new(),
+    )?);
+
+    let preload = generate_keys(200_000, KeyDist::Uniform, 1);
+    for &k in &preload {
+        tree.insert(k, value_for(k))?;
+    }
+    println!("preloaded {} keys", preload.len());
+
+    let fresh = generate_keys(100_000, KeyDist::Uniform, 2);
+    let stop = Arc::new(AtomicBool::new(false));
+    let t0 = Instant::now();
+
+    std::thread::scope(|s| {
+        // One writer inserting fresh keys.
+        {
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            let fresh = &fresh;
+            s.spawn(move || {
+                for &k in fresh {
+                    tree.insert(k, value_for(k)).expect("insert");
+                }
+                stop.store(true, Ordering::Release);
+            });
+        }
+        // Readers run lock-free the whole time; a committed key must never
+        // be missed, no matter what the writer is shifting underneath.
+        for r in 0..2 {
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            let preload = &preload;
+            s.spawn(move || {
+                let mut reads = 0u64;
+                let mut i = r;
+                while !stop.load(Ordering::Acquire) {
+                    let k = preload[i % preload.len()];
+                    assert!(tree.get(k).is_some(), "reader missed committed key {k}");
+                    i += 7;
+                    reads += 1;
+                }
+                println!("reader {r}: {reads} lock-free reads, zero misses");
+            });
+        }
+    });
+
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "writer: {} inserts at 300ns write latency in {secs:.2}s ({:.0} Kops/s)",
+        fresh.len(),
+        fresh.len() as f64 / secs / 1e3
+    );
+    tree.check_consistency(true).map_err(|e| format!("{e}"))?;
+    println!("final tree strictly consistent, {} keys", tree.len());
+    Ok(())
+}

@@ -1,0 +1,142 @@
+//! Workspace-level crash-recovery test: a randomized operation stream on
+//! FAST+FAIR, crash points sampled across the whole stream, recovery
+//! verified against the committed model — complementing the exhaustive
+//! per-algorithm sweeps in `crates/core/tests/crash.rs`.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use fastfair_repro::fastfair::{FastFairTree, TreeOptions};
+use fastfair_repro::pmem::crash::Eviction;
+use fastfair_repro::pmem::{Pool, PoolConfig};
+use fastfair_repro::pmindex::workload::{generate_keys, value_for, KeyDist};
+use fastfair_repro::pmindex::PmIndex;
+
+const POOL: usize = 16 << 20;
+
+#[test]
+fn randomized_stream_survives_sampled_crashes() {
+    let pool = Arc::new(Pool::new(PoolConfig::new().size(POOL).crash_log(true)).unwrap());
+    let tree = FastFairTree::create(Arc::clone(&pool), TreeOptions::new().node_size(256)).unwrap();
+
+    let preload = generate_keys(300, KeyDist::Uniform, 1);
+    let mut committed: BTreeMap<u64, u64> = BTreeMap::new();
+    for &k in &preload {
+        tree.insert(k, value_for(k)).unwrap();
+        committed.insert(k, value_for(k));
+    }
+    let log = pool.crash_log().unwrap();
+    log.set_baseline(pool.volatile_image());
+
+    // A stream of 400 mixed ops; record the model state at each boundary.
+    let fresh = generate_keys(400, KeyDist::Uniform, 2);
+    let mut boundaries: Vec<(usize, BTreeMap<u64, u64>)> = Vec::new();
+    for (i, &k) in fresh.iter().enumerate() {
+        boundaries.push((log.len(), committed.clone()));
+        if i % 5 == 4 {
+            let victim = *committed.keys().next().unwrap();
+            tree.remove(victim);
+            committed.remove(&victim);
+        } else {
+            tree.insert(k, value_for(k)).unwrap();
+            committed.insert(k, value_for(k));
+        }
+    }
+    boundaries.push((log.len(), committed.clone()));
+
+    let meta = tree.meta_offset();
+    let total = log.len();
+    // Sample ~120 crash points across the stream, three eviction policies.
+    let stride = (total / 120).max(1);
+    let mut cut = 0usize;
+    while cut <= total {
+        let idx = boundaries.partition_point(|(b, _)| *b <= cut) - 1;
+        let at_boundary = boundaries[idx].0 == cut;
+        let state = &boundaries[idx].1;
+        for policy in [Eviction::None, Eviction::All, Eviction::Random(cut as u64)] {
+            let img = pool.crash_image(cut, policy.clone());
+            let p2 = Arc::new(Pool::from_image(&img, PoolConfig::new().size(POOL)).unwrap());
+            let t2 = FastFairTree::open(Arc::clone(&p2), meta, TreeOptions::new()).unwrap();
+            t2.check_consistency(false)
+                .unwrap_or_else(|e| panic!("cut {cut} {policy:?}: {e}"));
+            // All keys committed before the in-flight op must be present
+            // (modulo the one key the in-flight op touches).
+            let inflight_key = if at_boundary || idx >= fresh.len() {
+                None
+            } else if idx % 5 == 4 {
+                boundaries[idx].1.keys().next().copied()
+            } else {
+                Some(fresh[idx])
+            };
+            for (&k, &v) in state {
+                if inflight_key == Some(k) {
+                    continue;
+                }
+                assert_eq!(t2.get(k), Some(v), "cut {cut} {policy:?}: key {k}");
+            }
+            t2.recover().unwrap();
+            t2.check_consistency(true)
+                .unwrap_or_else(|e| panic!("cut {cut} {policy:?} post-recover: {e}"));
+        }
+        if cut == total {
+            break;
+        }
+        cut = (cut + stride).min(total);
+    }
+}
+
+#[test]
+fn full_stream_clean_crash_at_end_loses_nothing() {
+    let pool = Arc::new(Pool::new(PoolConfig::new().size(POOL).crash_log(true)).unwrap());
+    let tree = FastFairTree::create(Arc::clone(&pool), TreeOptions::new()).unwrap();
+    let keys = generate_keys(5000, KeyDist::Uniform, 3);
+    for &k in &keys {
+        tree.insert(k, value_for(k)).unwrap();
+    }
+    let log = pool.crash_log().unwrap();
+    // Crash at the very end with NO eviction: everything explicitly
+    // flushed must already be enough to recover every committed key —
+    // the durability-on-commit property.
+    let img = pool.crash_image(log.len(), Eviction::None);
+    let meta = tree.meta_offset();
+    let p2 = Arc::new(Pool::from_image(&img, PoolConfig::new().size(POOL)).unwrap());
+    let t2 = FastFairTree::open(Arc::clone(&p2), meta, TreeOptions::new()).unwrap();
+    for &k in &keys {
+        assert_eq!(t2.get(k), Some(value_for(k)), "key {k} not durable at commit");
+    }
+    let mut out = Vec::new();
+    t2.range(0, u64::MAX, &mut out);
+    assert_eq!(out.len(), keys.len());
+}
+
+#[test]
+fn logging_variant_stream_also_recovers() {
+    let pool = Arc::new(Pool::new(PoolConfig::new().size(POOL).crash_log(true)).unwrap());
+    let tree = FastFairTree::create(
+        Arc::clone(&pool),
+        TreeOptions::new()
+            .node_size(256)
+            .split(fastfair_repro::fastfair::SplitStrategy::Logging),
+    )
+    .unwrap();
+    let keys = generate_keys(60, KeyDist::DenseShuffled, 4);
+    for &k in &keys[..30] {
+        tree.insert(k, value_for(k)).unwrap();
+    }
+    let log = pool.crash_log().unwrap();
+    log.set_baseline(pool.volatile_image());
+    for &k in &keys[30..] {
+        tree.insert(k, value_for(k)).unwrap();
+    }
+    let meta = tree.meta_offset();
+    for cut in (0..=log.len()).step_by(13) {
+        let img = pool.crash_image(cut, Eviction::Random(cut as u64));
+        let p2 = Arc::new(Pool::from_image(&img, PoolConfig::new().size(POOL)).unwrap());
+        let t2 = FastFairTree::open(Arc::clone(&p2), meta, TreeOptions::new()).unwrap();
+        for &k in &keys[..30] {
+            assert_eq!(t2.get(k), Some(value_for(k)), "cut {cut} key {k}");
+        }
+        t2.recover().unwrap();
+        t2.check_consistency(true).unwrap();
+    }
+}

@@ -1,0 +1,142 @@
+//! Differential testing: every index in the repository must agree with
+//! `BTreeMap` (and therefore with each other) on identical operation
+//! sequences — inserts, upserts, deletes, point gets and range scans.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use fastfair_repro::pmem::{Pool, PoolConfig};
+use fastfair_repro::pmindex::workload::{generate_keys, value_for, KeyDist};
+use fastfair_repro::pmindex::{IndexError, PmIndex};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn all_indexes(pool: &Arc<Pool>) -> Vec<Box<dyn PmIndex>> {
+    vec![
+        Box::new(
+            fastfair_repro::fastfair::FastFairTree::create(
+                Arc::clone(pool),
+                fastfair_repro::fastfair::TreeOptions::new(),
+            )
+            .unwrap(),
+        ),
+        Box::new(
+            fastfair_repro::fastfair::FastFairTree::create(
+                Arc::clone(pool),
+                fastfair_repro::fastfair::TreeOptions::new()
+                    .split(fastfair_repro::fastfair::SplitStrategy::Logging),
+            )
+            .unwrap(),
+        ),
+        Box::new(
+            fastfair_repro::fastfair::FastFairTree::create(
+                Arc::clone(pool),
+                fastfair_repro::fastfair::TreeOptions::new().leaf_locks(true),
+            )
+            .unwrap(),
+        ),
+        Box::new(fastfair_repro::fptree::FpTree::create(Arc::clone(pool)).unwrap()),
+        Box::new(fastfair_repro::wbtree::WbTree::create(Arc::clone(pool)).unwrap()),
+        Box::new(fastfair_repro::wort::Wort::create(Arc::clone(pool)).unwrap()),
+        Box::new(fastfair_repro::pskiplist::PSkipList::create(Arc::clone(pool)).unwrap()),
+        Box::new(fastfair_repro::blink::BlinkTree::new()),
+    ]
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Insert with a fresh, globally unique value (like a freshly
+    /// allocated record pointer — the uniqueness FAST relies on, §3.1).
+    Insert(u64),
+    Remove(u64),
+    Get(u64),
+    Range(u64, u64),
+}
+
+fn random_ops(n: usize, key_space: u64, seed: u64) -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let k = rng.gen_range(1..key_space);
+            match rng.gen_range(0..10) {
+                0..=4 => Op::Insert(k),
+                5..=6 => Op::Remove(k),
+                7..=8 => Op::Get(k),
+                _ => {
+                    let span = rng.gen_range(1..key_space / 4);
+                    Op::Range(k, k.saturating_add(span))
+                }
+            }
+        })
+        .collect()
+}
+
+fn apply(idx: &dyn PmIndex, model: &mut BTreeMap<u64, u64>, ops: &[Op]) -> Result<(), IndexError> {
+    let mut next_value = 0x1000u64; // emulated record-pointer allocator
+    for &op in ops {
+        match op {
+            Op::Insert(k) => {
+                next_value += 8;
+                let v = next_value;
+                idx.insert(k, v)?;
+                model.insert(k, v);
+            }
+            Op::Remove(k) => {
+                assert_eq!(idx.remove(k), model.remove(&k).is_some(), "{}: remove {k}", idx.name());
+            }
+            Op::Get(k) => {
+                assert_eq!(idx.get(k), model.get(&k).copied(), "{}: get {k}", idx.name());
+            }
+            Op::Range(lo, hi) => {
+                let mut got = Vec::new();
+                idx.range(lo, hi, &mut got);
+                let want: Vec<(u64, u64)> = model.range(lo..hi).map(|(&k, &v)| (k, v)).collect();
+                assert_eq!(got, want, "{}: range [{lo}, {hi})", idx.name());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn all_indexes_agree_with_model_dense_keys() {
+    let pool = Arc::new(Pool::new(PoolConfig::new().size(512 << 20)).unwrap());
+    let ops = random_ops(4000, 2_000, 0xfeed);
+    for idx in all_indexes(&pool) {
+        let mut model = BTreeMap::new();
+        apply(idx.as_ref(), &mut model, &ops).unwrap();
+        // Final full-content comparison.
+        let mut got = Vec::new();
+        idx.range(0, u64::MAX, &mut got);
+        let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(got, want, "{}: final content", idx.name());
+    }
+}
+
+#[test]
+fn all_indexes_agree_with_model_sparse_keys() {
+    let pool = Arc::new(Pool::new(PoolConfig::new().size(512 << 20)).unwrap());
+    let ops = random_ops(3000, u64::MAX - 2, 0xbeef);
+    for idx in all_indexes(&pool) {
+        let mut model = BTreeMap::new();
+        apply(idx.as_ref(), &mut model, &ops).unwrap();
+    }
+}
+
+#[test]
+fn bulk_load_then_full_scan_identical_across_indexes() {
+    let pool = Arc::new(Pool::new(PoolConfig::new().size(512 << 20)).unwrap());
+    let keys = generate_keys(30_000, KeyDist::Uniform, 5);
+    let mut reference: Option<Vec<(u64, u64)>> = None;
+    for idx in all_indexes(&pool) {
+        for &k in &keys {
+            idx.insert(k, value_for(k)).unwrap();
+        }
+        let mut got = Vec::new();
+        idx.range(0, u64::MAX, &mut got);
+        match &reference {
+            None => reference = Some(got),
+            Some(r) => assert_eq!(&got, r, "{} diverges", idx.name()),
+        }
+    }
+}
