@@ -63,10 +63,7 @@ fn bench_mixed(idx: &dyn PmIndex, preload: &[u64], fresh: &[u64], threads: usize
     let ops_per_thread: Vec<Vec<Op>> = chunks
         .iter()
         .enumerate()
-        .map(|(i, c)| {
-            let ops = mixed_ops(preload, c, c.len() / 4, i as u64);
-            ops
-        })
+        .map(|(i, c)| mixed_ops(preload, c, c.len() / 4, i as u64))
         .collect();
     for o in &ops_per_thread {
         total_ops += o.len();

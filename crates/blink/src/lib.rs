@@ -130,100 +130,97 @@ impl BlinkTree {
 
     /// Inserts `(key, value)` at `level`, write-latching and moving right.
     fn insert_at_level(&self, level: u32, key: Key, value: u64) {
-        loop {
-            // Descend (shared latches) to the target level.
-            let mut cur = self.root_node();
-            {
-                let g = unsafe { &*cur }.lock.read();
-                if g.level < level {
-                    drop(g);
-                    self.grow_root(level, key, value);
-                    return;
-                }
-            }
-            loop {
-                let node = unsafe { &*cur };
-                let g = node.lock.read();
-                if let Some(h) = g.high_key {
-                    if key >= h {
-                        cur = g.next;
-                        continue;
-                    }
-                }
-                if g.level == level {
-                    break;
-                }
-                let idx = g.keys.partition_point(|&k| k <= key);
-                cur = if idx == 0 {
-                    g.leftmost
-                } else {
-                    g.vals[idx - 1] as *mut Node
-                };
-            }
-            // Write-latch, moving right as needed.
-            let mut node = unsafe { &*cur };
-            let mut g = node.lock.write();
-            loop {
-                if let Some(h) = g.high_key {
-                    if key >= h {
-                        let next = g.next;
-                        drop(g);
-                        node = unsafe { &*next };
-                        g = node.lock.write();
-                        continue;
-                    }
-                }
-                break;
-            }
-            match g.keys.binary_search(&key) {
-                Ok(i) => {
-                    g.vals[i] = value; // upsert
-                    return;
-                }
-                Err(i) => {
-                    g.keys.insert(i, key);
-                    g.vals.insert(i, value);
-                }
-            }
-            if g.keys.len() <= CAP {
+        // Descend (shared latches) to the target level.
+        let mut cur = self.root_node();
+        {
+            let g = unsafe { &*cur }.lock.read();
+            if g.level < level {
+                drop(g);
+                self.grow_root(level, key, value);
                 return;
             }
-            // Split: move the upper half right.
-            let mid = g.keys.len() / 2;
-            let (sep, up_keys, up_vals, up_leftmost) = if g.leaf {
-                let sep = g.keys[mid];
-                (
-                    sep,
-                    g.keys.split_off(mid),
-                    g.vals.split_off(mid),
-                    ptr::null_mut(),
-                )
+        }
+        loop {
+            let node = unsafe { &*cur };
+            let g = node.lock.read();
+            if let Some(h) = g.high_key {
+                if key >= h {
+                    cur = g.next;
+                    continue;
+                }
+            }
+            if g.level == level {
+                break;
+            }
+            let idx = g.keys.partition_point(|&k| k <= key);
+            cur = if idx == 0 {
+                g.leftmost
             } else {
-                let sep = g.keys[mid];
-                let up_keys = g.keys.split_off(mid + 1);
-                let up_vals = g.vals.split_off(mid + 1);
-                let lm = g.vals.pop().unwrap() as *mut Node;
-                g.keys.pop();
-                (sep, up_keys, up_vals, lm)
+                g.vals[idx - 1] as *mut Node
             };
-            let sib = self.alloc(Inner {
-                leaf: g.leaf,
-                keys: up_keys,
-                vals: up_vals,
-                leftmost: up_leftmost,
-                next: g.next,
-                high_key: g.high_key,
-                level: g.level,
-            });
-            g.next = sib;
-            g.high_key = Some(sep);
-            let lvl = g.level;
-            drop(g);
-            // Insert the separator into the parent (retraversal from root,
-            // Lehman-Yao style).
-            self.insert_at_level(lvl + 1, sep, sib as u64);
+        }
+        // Write-latch, moving right as needed.
+        let mut node = unsafe { &*cur };
+        let mut g = node.lock.write();
+        loop {
+            if let Some(h) = g.high_key {
+                if key >= h {
+                    let next = g.next;
+                    drop(g);
+                    node = unsafe { &*next };
+                    g = node.lock.write();
+                    continue;
+                }
+            }
+            break;
+        }
+        match g.keys.binary_search(&key) {
+            Ok(i) => {
+                g.vals[i] = value; // upsert
+                return;
+            }
+            Err(i) => {
+                g.keys.insert(i, key);
+                g.vals.insert(i, value);
+            }
+        }
+        if g.keys.len() <= CAP {
             return;
         }
+        // Split: move the upper half right.
+        let mid = g.keys.len() / 2;
+        let (sep, up_keys, up_vals, up_leftmost) = if g.leaf {
+            let sep = g.keys[mid];
+            (
+                sep,
+                g.keys.split_off(mid),
+                g.vals.split_off(mid),
+                ptr::null_mut(),
+            )
+        } else {
+            let sep = g.keys[mid];
+            let up_keys = g.keys.split_off(mid + 1);
+            let up_vals = g.vals.split_off(mid + 1);
+            let lm = g.vals.pop().unwrap() as *mut Node;
+            g.keys.pop();
+            (sep, up_keys, up_vals, lm)
+        };
+        let sib = self.alloc(Inner {
+            leaf: g.leaf,
+            keys: up_keys,
+            vals: up_vals,
+            leftmost: up_leftmost,
+            next: g.next,
+            high_key: g.high_key,
+            level: g.level,
+        });
+        g.next = sib;
+        g.high_key = Some(sep);
+        let lvl = g.level;
+        drop(g);
+        // Insert the separator into the parent (retraversal from root,
+        // Lehman-Yao style).
+        self.insert_at_level(lvl + 1, sep, sib as u64);
     }
 
     fn grow_root(&self, level: u32, key: Key, right: u64) {

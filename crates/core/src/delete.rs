@@ -122,7 +122,7 @@ pub(crate) fn shift_left_from(_tree: &FastFairTree, node: NodeRef<'_>, d: u16, c
         pool.fence_if_not_tso();
         node.set_ptr(j, node.ptr(j + 1));
         pool.fence_if_not_tso();
-        if node.key_off(j + 1) % 64 == 0 {
+        if node.key_off(j + 1).is_multiple_of(64) {
             // Record j completed its cache line: flush before moving on.
             pool.persist(node.key_off(j), 8);
         }

@@ -182,7 +182,7 @@ pub(crate) fn fast_insert_locked(
     // shift; otherwise TSO's per-line store order covers it.
     node.set_ptr(cnt + 1, NULL_OFFSET);
     pool.fence_if_not_tso();
-    if node.key_off(cnt + 1) % 64 == 0 {
+    if node.key_off(cnt + 1).is_multiple_of(64) {
         pool.persist(node.key_off(cnt + 1), 8);
     }
 
@@ -198,7 +198,7 @@ pub(crate) fn fast_insert_locked(
             pool.fence_if_not_tso();
             node.set_key(iu + 1, node.key(iu));
             pool.fence_if_not_tso();
-            if node.key_off(iu + 1) % 64 == 0 {
+            if node.key_off(iu + 1).is_multiple_of(64) {
                 // The line above this record is complete: flush it before
                 // dirtying the next line down (§3.1).
                 pool.persist(node.key_off(iu + 1), 8);

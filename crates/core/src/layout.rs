@@ -99,7 +99,7 @@ impl std::fmt::Debug for NodeRef<'_> {
 impl<'a> NodeRef<'a> {
     /// Creates a view of the node at `off`.
     pub fn new(pool: &'a Pool, off: PmOffset, node_size: u32) -> Self {
-        debug_assert!(off != NULL_OFFSET && off % CACHE_LINE as u64 == 0);
+        debug_assert!(off != NULL_OFFSET && off.is_multiple_of(CACHE_LINE as u64));
         NodeRef {
             pool,
             off,

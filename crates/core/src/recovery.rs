@@ -281,12 +281,11 @@ impl FastFairTree {
                 // previous node's last key — except for the tolerated
                 // "virtual single node" overlap of an in-flight split.
                 if let (Some(pl), Some((first, _))) = (prev_last, entries.first()) {
-                    if *first <= pl {
-                        if strict {
-                            return Err(ConsistencyError::LeafChainDisorder { leaf: off });
-                        }
-                        // Tolerant: the overlap must be a suffix-duplicate
-                        // of the previous node (split state (2)).
+                    // In tolerant mode an overlap is accepted: it is the
+                    // suffix-duplicate of the previous node left by an
+                    // in-flight split (split state (2)).
+                    if *first <= pl && strict {
+                        return Err(ConsistencyError::LeafChainDisorder { leaf: off });
                     }
                 }
                 if let Some((last, _)) = entries.last() {

@@ -38,7 +38,7 @@ pub(crate) fn tree_range(tree: &FastFairTree, lo: Key, hi: Key, out: &mut Vec<(K
             if k >= hi {
                 return;
             }
-            if k >= lo && last.map_or(true, |l| k > l) {
+            if k >= lo && last.is_none_or(|l| k > l) {
                 out.push((k, v));
                 last = Some(k);
             }

@@ -36,7 +36,7 @@ pub(crate) fn leaf_search_linear(
         let sc = node.switch_counter();
         let mut ret: Option<Value> = None;
         let mut scanned: u16 = 0;
-        if sc % 2 == 0 {
+        if sc.is_multiple_of(2) {
             // Scan left to right, following the insert shift direction.
             let mut i: u16 = 0;
             while i <= cap {
@@ -61,6 +61,9 @@ pub(crate) fn leaf_search_linear(
             loop {
                 let p = node.ptr(i);
                 if p != NULL_OFFSET && node.key(i) == key && p != node.left_ptr(i) {
+                    // Double-check the key and pointer: the entry may be
+                    // mid-shift, so the re-reads are deliberate, not
+                    // redundant (same protocol as the forward scan above).
                     if node.key(i) == key && node.ptr(i) == p {
                         ret = Some(p);
                         break;

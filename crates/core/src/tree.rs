@@ -91,7 +91,7 @@ impl TreeOptions {
     /// Panics if the size is not a multiple of 64 or holds fewer than four
     /// records.
     pub fn node_size(mut self, bytes: u32) -> Self {
-        assert!(bytes % 64 == 0, "node size must be a multiple of 64");
+        assert!(bytes.is_multiple_of(64), "node size must be a multiple of 64");
         let _ = capacity(bytes); // panics if too small
         self.node_size = bytes;
         self
@@ -350,7 +350,7 @@ impl FastFairTree {
             let sc = node.switch_counter();
             let mut child = node.leftmost();
             let mut scanned: u16 = 0;
-            if sc % 2 == 0 {
+            if sc.is_multiple_of(2) {
                 // Insert direction: scan left to right.
                 let mut i: u16 = 0;
                 while i <= cap {
@@ -481,7 +481,7 @@ impl FastFairTree {
         while off != NULL_OFFSET {
             let leaf = self.node(off);
             for (k, v) in crate::search::read_leaf_entries(self, leaf) {
-                if last.map_or(true, |l| k > l) {
+                if last.is_none_or(|l| k > l) {
                     f(k, v);
                     last = Some(k);
                 }
@@ -494,12 +494,10 @@ impl FastFairTree {
         let mut off = self.find_leaf(key);
         loop {
             let leaf = self.node(off);
-            let _guard;
-            if self.opts.leaf_locks {
-                _guard = Some(ReadGuard::lock(&self.pool, leaf.lock_word_off()));
-            } else {
-                _guard = None;
-            }
+            let _guard = self
+                .opts
+                .leaf_locks
+                .then(|| ReadGuard::lock(&self.pool, leaf.lock_word_off()));
             if let Some(v) = match self.opts.search {
                 InNodeSearch::Linear => crate::search::leaf_search_linear(self, leaf, key),
                 InNodeSearch::Binary => crate::search::leaf_search_binary(self, leaf, key),

@@ -156,10 +156,6 @@ fn crash_during_recovery_then_recover_again() {
         let img = pool.crash_image(first_cut, Eviction::None);
         let p2 = Arc::new(
             Pool::from_image(&img, PoolConfig::new().size(8 << 20))
-                .map(|p| {
-                    // Log the recovery run itself.
-                    p
-                })
                 .unwrap(),
         );
         // Re-wrap with a crash log to capture recovery's stores.

@@ -114,7 +114,7 @@ impl<'a> Leaf<'a> {
     fn lock(&self) {
         loop {
             let v = self.version();
-            if v % 2 == 0
+            if v.is_multiple_of(2)
                 && self
                     .pool
                     .cas_u64_volatile(self.off + OFF_VERSION, v, v + 1)
@@ -420,13 +420,24 @@ impl PmIndex for FpTree {
     }
 
     fn get(&self, key: Key) -> Option<Value> {
-        stats::timed(stats::Phase::Search, || {
+        stats::timed(stats::Phase::Search, || loop {
             let map = self.inner.read();
             let off = Self::lookup_leaf(&map, self.head_leaf(), key);
             drop(map);
             self.pool.charge_serial_reads(1);
             let leaf = self.leaf(off);
-            leaf.seq_read(|| leaf.find(key))
+            if let Some(v) = leaf.seq_read(|| leaf.find(key)) {
+                return Some(v);
+            }
+            // Miss. A split between the inner lookup and the leaf probe may
+            // have migrated the record to a new sibling (splits run under
+            // the inner write lock, so re-reading the map observes them).
+            // The miss is only trustworthy if the map still routes `key` to
+            // the leaf we probed.
+            let map = self.inner.read();
+            if Self::lookup_leaf(&map, self.head_leaf(), key) == off {
+                return None;
+            }
         })
     }
 

@@ -21,21 +21,16 @@ use std::time::Instant;
 /// ordering machines (x86) that ordering is free; on non-TSO machines (ARM)
 /// every dependent pair needs an explicit `dmb`-class barrier, which Fig. 5(d)
 /// shows dominating at DRAM-like write latency.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FenceMode {
     /// Total store ordering: `fence_if_not_tso` is free (compiler fence only).
+    #[default]
     Tso,
     /// Weak ordering: every `fence_if_not_tso` costs `dmb_ns` and is counted.
     NonTso {
         /// Emulated cost of one `dmb ish` barrier in nanoseconds.
         dmb_ns: u32,
     },
-}
-
-impl Default for FenceMode {
-    fn default() -> Self {
-        FenceMode::Tso
-    }
 }
 
 /// Emulated persistent-memory latency profile for a [`crate::Pool`].

@@ -263,7 +263,7 @@ impl Pool {
     #[inline]
     fn atom(&self, off: PmOffset) -> &AtomicU64 {
         assert!(
-            off % 8 == 0 && off + 8 <= self.size,
+            off.is_multiple_of(8) && off + 8 <= self.size,
             "unaligned or out-of-bounds pm access at offset {off:#x}"
         );
         // SAFETY: bounds and 8-byte alignment checked above; the buffer is
@@ -480,8 +480,8 @@ impl Pool {
         {
             let mut lists = self.freelists.lock();
             if let Some(list) = lists.get_mut(&size) {
-                while let Some(off) = list.pop() {
-                    if off % align == 0 {
+                if let Some(off) = list.pop() {
+                    if off.is_multiple_of(align) {
                         self.allocations.fetch_add(1, Ordering::Relaxed);
                         return Ok(off);
                     }
@@ -489,7 +489,6 @@ impl Pool {
                     // (all nodes of one size share an alignment) — drop it
                     // back and fall through to the bump path.
                     list.push(off);
-                    break;
                 }
             }
         }
@@ -529,7 +528,7 @@ impl Pool {
 
     /// Zeroes `len` bytes starting at `off` (8-byte aligned, logged stores).
     pub fn zero_region(&self, off: PmOffset, len: u64) {
-        debug_assert!(off % 8 == 0 && len % 8 == 0);
+        debug_assert!(off.is_multiple_of(8) && len.is_multiple_of(8));
         let mut o = off;
         while o < off + len {
             self.store_u64(o, 0);

@@ -167,10 +167,10 @@ impl PSkipList {
         let mut cur = self.next(head, 0);
         while cur != NULL_OFFSET {
             let lvl = self.level_of(cur).min(MAX_LEVEL);
-            for l in 1..lvl {
+            for (l, slot) in last.iter_mut().enumerate().take(lvl).skip(1) {
                 self.pool.store_u64(Self::next_off(cur, l), 0);
-                self.pool.store_u64(Self::next_off(last[l], l), cur);
-                last[l] = cur;
+                self.pool.store_u64(Self::next_off(*slot, l), cur);
+                *slot = cur;
             }
             cur = self.next(cur, 0);
         }
@@ -210,8 +210,8 @@ impl PmIndex for PSkipList {
             let committed = stats::timed(stats::Phase::Update, || {
                 // Persist the node with its bottom link before publishing.
                 self.pool.store_u64(Self::next_off(node, 0), succs[0]);
-                for l in 1..level {
-                    self.pool.store_u64(Self::next_off(node, l), succs[l]);
+                for (l, &succ) in succs.iter().enumerate().take(level).skip(1) {
+                    self.pool.store_u64(Self::next_off(node, l), succ);
                 }
                 self.pool
                     .persist(node, NODE_NEXT + level as u64 * 8);

@@ -1,0 +1,224 @@
+//! Offline stand-in for the `criterion` crate (see `crates/shims/README.md`).
+//!
+//! Supports the `criterion_group!`/`criterion_main!` entry points and
+//! `Criterion::bench_function` with `Bencher::iter`. Measurement is a plain
+//! warm-up phase followed by timed sample batches; the report is the mean,
+//! minimum and maximum wall-clock time per iteration across samples — no
+//! statistical analysis, outlier detection or HTML output.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver configured by `criterion_group!`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the time budget for the timed samples of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up duration run before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs `routine` under this configuration and prints a one-line report.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mode: Mode::WarmUp {
+                deadline: Instant::now() + self.warm_up_time,
+            },
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        routine(&mut b);
+
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        b.mode = Mode::Measure {
+            sample_budget: per_sample.max(Duration::from_micros(200)),
+            max_samples: self.sample_size,
+        };
+        b.samples.clear();
+        routine(&mut b);
+
+        let s = &b.samples;
+        assert!(!s.is_empty(), "bencher routine never called iter()");
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        let (lo, hi) = s
+            .iter()
+            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+        println!(
+            "{id:<40} time: [{} {} {}]  ({} samples)",
+            fmt_ns(lo),
+            fmt_ns(mean),
+            fmt_ns(hi),
+            s.len()
+        );
+        self
+    }
+}
+
+enum Mode {
+    WarmUp { deadline: Instant },
+    Measure { sample_budget: Duration, max_samples: usize },
+}
+
+/// Timing harness handed to benchmark routines.
+pub struct Bencher {
+    mode: Mode,
+    /// Mean ns/iter of each completed sample batch.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f` according to the current phase.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::WarmUp { deadline } => {
+                while Instant::now() < deadline {
+                    black_box(f());
+                }
+            }
+            Mode::Measure {
+                sample_budget,
+                max_samples,
+            } => {
+                for _ in 0..max_samples {
+                    let start = Instant::now();
+                    let mut iters = 0u64;
+                    loop {
+                        black_box(f());
+                        iters += 1;
+                        if start.elapsed() >= sample_budget {
+                            break;
+                        }
+                    }
+                    self.samples
+                        .push(start.elapsed().as_nanos() as f64 / iters as f64);
+                }
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, target, ..)` or
+/// the long form with `name = ..; config = ..; targets = ..`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(3))
+    }
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = quick();
+        c.bench_function("shim/addition", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            })
+        });
+    }
+
+    #[test]
+    fn chained_bench_functions() {
+        let mut c = quick();
+        c.bench_function("shim/a", |b| b.iter(|| black_box(1 + 1)))
+            .bench_function("shim/b", |b| b.iter(|| black_box(2 * 2)));
+    }
+
+    mod as_macro_user {
+        use super::super::*;
+
+        fn target(c: &mut Criterion) {
+            c.bench_function("shim/macro", |b| b.iter(|| black_box(0u8)));
+        }
+
+        criterion_group! {
+            name = group;
+            config = Criterion::default()
+                .sample_size(2)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(2));
+            targets = target
+        }
+
+        #[test]
+        fn group_runs() {
+            group();
+        }
+    }
+}

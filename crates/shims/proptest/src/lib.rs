@@ -1,0 +1,289 @@
+//! Offline stand-in for the `proptest` crate (see `crates/shims/README.md`).
+//!
+//! Implements the subset of proptest this workspace uses:
+//!
+//! * the [`Strategy`] trait with integer-range, tuple, [`strategy::Just`],
+//!   `prop_map`, weighted [`prop_oneof!`] and boxed strategies;
+//! * [`prop::collection::vec`] and [`prop::collection::btree_set`];
+//! * the [`proptest!`] test macro with `#![proptest_config(..)]` support;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] returning
+//!   [`test_runner::TestCaseError`].
+//!
+//! **No shrinking**: a failing case panics with the `Debug` rendering of the
+//! generated inputs rather than a minimized counterexample. Input streams
+//! are seeded from the test's name, so every run of a given test sees the
+//! same cases and failures reproduce deterministically.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+pub use test_runner::{TestCaseError, TestRng};
+
+/// Runner configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Namespace mirror of the real crate's `prop` re-export, so call sites can
+/// write `prop::collection::vec(..)` after `use proptest::prelude::*`.
+pub mod prop {
+    /// Strategies producing collections.
+    pub mod collection {
+        use crate::strategy::{BTreeSetStrategy, Strategy, VecStrategy};
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s whose length is drawn from `size` and whose
+        /// elements are drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy::new(element, size)
+        }
+
+        /// Strategy for `BTreeSet`s with a target size drawn from `size`.
+        ///
+        /// If the element strategy cannot produce enough distinct values the
+        /// set may come out smaller than the drawn target.
+        pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            BTreeSetStrategy::new(element, size)
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that checks the body against `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg(<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            $crate::test_runner::run(stringify!($name), &__cfg, |__rng| {
+                let __vals = ( $( $crate::Strategy::generate(&($strat), __rng), )+ );
+                let __dbg = ::std::format!("{:?}", __vals);
+                let ( $($arg,)+ ) = __vals;
+                let __res: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                __res.map_err(|e| e.with_input(__dbg))
+            });
+        }
+        $crate::__proptest_impl!(@cfg($cfg) $($rest)*);
+    };
+}
+
+/// Strategy choosing between alternatives, optionally weighted:
+/// `prop_oneof![3 => a, 1 => b]` or `prop_oneof![a, b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $( (($weight) as u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $( (1u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// Like `assert!`, but fails the current case instead of panicking so the
+/// runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: {}: {}", stringify!($cond), ::std::format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: `left == right`\n  left: {:?}\n right: {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n {}",
+                    l, r, ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Like `assert_ne!`, but fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: `left != right`\n  both: {:?}", l),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `left != right`\n  both: {:?}\n {}",
+                    l, ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let (a, b) = (1u8..5, 10u64..20).generate(&mut rng);
+            assert!((1..5).contains(&a) && (10..20).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = crate::TestRng::from_name("vec");
+        for _ in 0..200 {
+            let v = prop::collection::vec(0u64..100, 3..7).generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn btree_set_distinct_in_range() {
+        let mut rng = crate::TestRng::from_name("set");
+        for _ in 0..100 {
+            let s = prop::collection::btree_set(1u64..50, 5..20).generate(&mut rng);
+            assert!(s.len() >= 5 && s.len() < 20);
+            assert!(s.iter().all(|&x| (1..50).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn oneof_weights_respected_roughly() {
+        let mut rng = crate::TestRng::from_name("oneof");
+        let s = prop_oneof![
+            3 => (0u64..1).prop_map(|_| "heavy"),
+            1 => (0u64..1).prop_map(|_| "light"),
+        ];
+        let mut heavy = 0;
+        for _ in 0..4000 {
+            if s.generate(&mut rng) == "heavy" {
+                heavy += 1;
+            }
+        }
+        assert!((2600..3400).contains(&heavy), "heavy={heavy}");
+    }
+
+    #[test]
+    fn prop_map_and_just() {
+        let mut rng = crate::TestRng::from_name("map");
+        let s = Just(21u64).prop_map(|x| x * 2);
+        assert_eq!(s.generate(&mut rng), 42);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let strat = prop::collection::vec(0u64..1_000_000, 1..50);
+        let mut a = crate::TestRng::from_name("det");
+        let mut b = crate::TestRng::from_name("det");
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_smoke(xs in prop::collection::vec(0u64..100, 1..20), y in 5u8..9) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!((5..9).contains(&y), "y={}", y);
+            let doubled: Vec<u64> = xs.iter().map(|x| x * 2).collect();
+            prop_assert_eq!(doubled.len(), xs.len());
+            prop_assert_ne!(y, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "macro_failure")]
+    fn failing_property_panics_with_input() {
+        crate::test_runner::run(
+            "macro_failure",
+            &ProptestConfig::with_cases(8),
+            |_rng| Err(TestCaseError::fail("boom").with_input("input-dump".into())),
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Case generation and the per-test runner loop.
+
+use std::fmt;
+
+use rand::prelude::*;
+
+use crate::ProptestConfig;
+
+/// Error failing (or, in principle, rejecting) one test case.
+///
+/// Produced by the `prop_assert*` macros; carries the generated inputs'
+/// `Debug` rendering once the runner attaches it.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+    input: Option<String>,
+}
+
+impl TestCaseError {
+    /// A case failure with the given reason.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+            input: None,
+        }
+    }
+
+    /// Attaches the `Debug` rendering of the inputs that produced the error.
+    pub fn with_input(mut self, input: String) -> Self {
+        self.input = Some(input);
+        self
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)?;
+        if let Some(input) = &self.input {
+            write!(f, "\n  input: {input}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic RNG driving strategy generation.
+///
+/// Seeded from the test's name so each test sees a stable input stream
+/// across runs (the shim's substitute for proptest's persisted failure
+/// seeds).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seeds a generator from a test name.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name, mixed with a fixed tag so the stream differs
+        // from any plain FNV user.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h ^ 0x5052_4f50_5445_5354), // "PROPTEST"
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.inner.next_u64() % bound
+    }
+}
+
+/// Runs `case` against `cfg.cases` generated inputs, panicking on the first
+/// failure with the case index and the inputs that caused it.
+pub fn run<F>(name: &str, cfg: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::from_name(name);
+    for i in 0..cfg.cases {
+        if let Err(e) = case(&mut rng) {
+            panic!("property {name} failed at case {i}/{}: {e}", cfg.cases);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Smoke test: the `quickstart` example must run to completion.
+//!
+//! Invokes the same `cargo` binary driving this test to build and run the
+//! example end-to-end (pool creation, 100k inserts, lookups, range scan,
+//! delete, image reopen). `--offline` keeps the inner invocation hermetic —
+//! the workspace has only path dependencies.
+
+use std::process::Command;
+
+#[test]
+fn quickstart_runs_to_completion() {
+    let cargo = env!("CARGO");
+    let output = Command::new(cargo)
+        .args(["run", "--offline", "--quiet", "--example", "quickstart"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("failed to spawn cargo");
+    assert!(
+        output.status.success(),
+        "quickstart example failed ({}):\n--- stdout\n{}\n--- stderr\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("reopened tree: 99999 keys intact"),
+        "unexpected quickstart output:\n{stdout}"
+    );
+}
