@@ -14,7 +14,11 @@ use pmindex::workload::{generate_keys, KeyDist};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Ablation", "MLP factor sensitivity of the latency model", scale);
+    banner(
+        "Ablation",
+        "MLP factor sensitivity of the latency model",
+        scale,
+    );
     let n = scale.n(2_000_000).max(200_000);
     let keys = generate_keys(n, KeyDist::Uniform, 31);
     let probes: Vec<u64> = keys.iter().copied().step_by(4).collect();

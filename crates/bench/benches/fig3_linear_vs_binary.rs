@@ -46,15 +46,16 @@ fn run_config(
         found
     });
     assert_eq!(found, probes.len());
-    (
-        us_per_op(keys.len(), ins_s),
-        us_per_op(probes.len(), se_s),
-    )
+    (us_per_op(keys.len(), ins_s), us_per_op(probes.len(), se_s))
 }
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 3", "linear vs binary search, node size sweep", scale);
+    banner(
+        "Figure 3",
+        "linear vs binary search, node size sweep",
+        scale,
+    );
     // Paper: 1M keys. Even at smoke scale keep >=100k so tree heights and
     // per-op timings are stable.
     let n = scale.n(1_000_000).max(100_000);

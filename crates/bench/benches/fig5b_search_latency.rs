@@ -17,7 +17,14 @@ fn main() {
     let keys = generate_keys(n, KeyDist::Uniform, 5);
     let probes: Vec<u64> = keys.iter().copied().step_by(4).collect();
 
-    header(&["read latency", "FAST+FAIR", "FP-tree", "wB+-tree", "WORT", "SkipList"]);
+    header(&[
+        "read latency",
+        "FAST+FAIR",
+        "FP-tree",
+        "wB+-tree",
+        "WORT",
+        "SkipList",
+    ]);
     for lat in [0u32, 120, 300, 600, 900] {
         let mut cells = vec![if lat == 0 {
             "DRAM".into()

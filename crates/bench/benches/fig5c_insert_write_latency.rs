@@ -10,7 +10,11 @@ use pmindex::workload::{generate_keys, value_for, KeyDist};
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 5(c)", "insert time vs PM write latency (TSO)", scale);
+    banner(
+        "Figure 5(c)",
+        "insert time vs PM write latency (TSO)",
+        scale,
+    );
     let n = scale.n(10_000_000);
     let preload = generate_keys(n, KeyDist::Uniform, 9);
     let extra = generate_keys(n / 5, KeyDist::Uniform, 10);

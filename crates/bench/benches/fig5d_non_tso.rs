@@ -35,8 +35,7 @@ fn main() {
         }];
         let mut ff_dmb = 0.0f64;
         for kind in IndexKind::SINGLE_THREADED {
-            let latency = LatencyProfile::new(300, wlat)
-                .with_fence(FenceMode::NonTso { dmb_ns });
+            let latency = LatencyProfile::new(300, wlat).with_fence(FenceMode::NonTso { dmb_ns });
             let pool = pool_with(latency, n + n / 5);
             let idx = build_index(kind, &pool, 512);
             load(idx.as_ref(), &preload);

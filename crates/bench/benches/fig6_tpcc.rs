@@ -19,7 +19,14 @@ fn main() {
         Scale::Paper => (TpccConfig::paper(), 200_000),
     };
 
-    header(&["mix", "FAST+FAIR", "FP-tree", "wB+-tree", "WORT", "SkipList"]);
+    header(&[
+        "mix",
+        "FAST+FAIR",
+        "FP-tree",
+        "wB+-tree",
+        "WORT",
+        "SkipList",
+    ]);
     for (name, mix) in Mix::paper_mixes() {
         let mut cells = vec![name.to_string()];
         for kind in IndexKind::SINGLE_THREADED {
@@ -27,10 +34,7 @@ fn main() {
             let db: TpccDb<Box<dyn PmIndex>> =
                 TpccDb::build(cfg, || Ok(build_index(kind, &pool, 512))).expect("populate");
             let (secs, stats) = timeit(|| db.run(mix, txns, 2024).expect("run"));
-            cells.push(format!(
-                "{:.1} Kops/s",
-                stats.total() as f64 / secs / 1e3
-            ));
+            cells.push(format!("{:.1} Kops/s", stats.total() as f64 / secs / 1e3));
         }
         row(&cells);
     }

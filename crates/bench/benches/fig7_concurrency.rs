@@ -1,5 +1,7 @@
 //! Figure 7: multithreaded scalability — (a) search, (b) insert, (c) the
-//! mixed 16 searches : 4 inserts : 1 delete workload.
+//! mixed 16 searches : 4 inserts : 1 delete workload, plus an extension
+//! panel (d) with the scan-heavy 1 scan : 4 searches : 1 insert mix that
+//! drives the lock-free streaming-cursor path.
 //!
 //! Paper result (16 vCPUs): lock-free FAST+FAIR search scales 11.7× and
 //! insert 12.5×; FAST+FAIR+LeafLock is comparable; FP-tree (TSX) beats
@@ -11,8 +13,10 @@
 
 use fastfair_bench::common::*;
 use pmem::LatencyProfile;
-use pmindex::workload::{generate_keys, mixed_ops, partition, value_for, KeyDist, Op};
-use pmindex::PmIndex;
+use pmindex::workload::{
+    generate_keys, mixed_ops, partition, scan_mixed_ops, value_for, KeyDist, Op,
+};
+use pmindex::{Cursor, PmIndex};
 
 fn thread_counts() -> Vec<usize> {
     let cores = std::thread::available_parallelism().map_or(2, |c| c.get());
@@ -57,51 +61,91 @@ fn bench_insert(idx: &dyn PmIndex, keys: &[u64], threads: usize) -> f64 {
     mops(keys.len(), secs) * 1e3
 }
 
+fn run_ops(idx: &dyn PmIndex, ops: &[Op]) {
+    // One cursor per worker, reused across every scan op.
+    let mut cur = idx.cursor();
+    for op in ops {
+        match *op {
+            Op::Insert(k) => {
+                idx.insert(k, value_for(k)).expect("insert");
+            }
+            Op::Search(k) => {
+                std::hint::black_box(idx.get(k));
+            }
+            Op::Delete(k) => {
+                idx.remove(k);
+            }
+            Op::Scan(lo, hi) => {
+                cur.seek(lo);
+                let mut n = 0usize;
+                while let Some((k, v)) = cur.next() {
+                    if k >= hi {
+                        break;
+                    }
+                    std::hint::black_box(v);
+                    n += 1;
+                }
+                std::hint::black_box(n);
+            }
+        }
+    }
+}
+
+fn bench_ops(idx: &dyn PmIndex, ops_per_thread: &[Vec<Op>]) -> (f64, usize) {
+    let total_ops = ops_per_thread.iter().map(Vec::len).sum();
+    let (secs, ()) = timeit(|| {
+        std::thread::scope(|s| {
+            for ops in ops_per_thread {
+                s.spawn(move || run_ops(idx, ops));
+            }
+        });
+    });
+    (secs, total_ops)
+}
+
 fn bench_mixed(idx: &dyn PmIndex, preload: &[u64], fresh: &[u64], threads: usize) -> f64 {
     let chunks = partition(fresh, threads);
-    let mut total_ops = 0usize;
     let ops_per_thread: Vec<Vec<Op>> = chunks
         .iter()
         .enumerate()
         .map(|(i, c)| mixed_ops(preload, c, c.len() / 4, i as u64))
         .collect();
-    for o in &ops_per_thread {
-        total_ops += o.len();
-    }
-    let (secs, ()) = timeit(|| {
-        std::thread::scope(|s| {
-            for ops in &ops_per_thread {
-                s.spawn(move || {
-                    for op in ops {
-                        match *op {
-                            Op::Insert(k) => {
-                                idx.insert(k, value_for(k)).expect("insert");
-                            }
-                            Op::Search(k) => {
-                                std::hint::black_box(idx.get(k));
-                            }
-                            Op::Delete(k) => {
-                                idx.remove(k);
-                            }
-                        }
-                    }
-                });
-            }
-        });
-    });
+    let (secs, total_ops) = bench_ops(idx, &ops_per_thread);
+    mops(total_ops, secs) * 1e3
+}
+
+/// The scan-heavy mix (1 scan : 4 searches : 1 insert) driving the
+/// streaming-cursor path under concurrency.
+fn bench_scan_mixed(idx: &dyn PmIndex, preload: &[u64], fresh: &[u64], threads: usize) -> f64 {
+    let chunks = partition(fresh, threads);
+    let ops_per_thread: Vec<Vec<Op>> = chunks
+        .iter()
+        .enumerate()
+        .map(|(i, c)| scan_mixed_ops(preload, c, (c.len() / 40).max(8), i as u64))
+        .collect();
+    let (secs, total_ops) = bench_ops(idx, &ops_per_thread);
     mops(total_ops, secs) * 1e3
 }
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 7", "thread scalability (search / insert / mixed)", scale);
+    banner(
+        "Figure 7",
+        "thread scalability (search / insert / mixed)",
+        scale,
+    );
     let n = scale.n(50_000_000); // paper: 50M preload
     let threads = thread_counts();
     let preload = generate_keys(n, KeyDist::Uniform, 21);
     let fresh = generate_keys(n, KeyDist::Uniform, 22);
     let latency = LatencyProfile::new(0, 300);
 
-    for (panel, which) in [("(a) search", 0usize), ("(b) insert", 1), ("(c) mixed", 2)] {
+    for (panel, which) in [
+        ("(a) search", 0usize),
+        ("(b) insert", 1),
+        ("(c) mixed", 2),
+        ("(d) scan-mixed", 3),
+    ] {
         println!("\n-- Fig 7{panel}, Kops/s --");
         let mut head = vec!["index"];
         let labels: Vec<String> = threads.iter().map(|t| format!("{t}T")).collect();
@@ -120,7 +164,8 @@ fn main() {
                 let v = match which {
                     0 => bench_search(idx.as_ref(), &fresh_probes(&preload), t),
                     1 => bench_insert(idx.as_ref(), &fresh, t),
-                    _ => bench_mixed(idx.as_ref(), &preload, &fresh, t),
+                    2 => bench_mixed(idx.as_ref(), &preload, &fresh, t),
+                    _ => bench_scan_mixed(idx.as_ref(), &preload, &fresh, t),
                 };
                 cells.push(format!("{v:.0}"));
             }

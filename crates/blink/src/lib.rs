@@ -15,7 +15,7 @@ use std::ptr;
 use std::sync::atomic::{AtomicPtr, Ordering};
 
 use parking_lot::{Mutex, RwLock};
-use pmindex::{check_value, IndexError, Key, PmIndex, Value};
+use pmindex::{check_value, Cursor, IndexError, Key, PmIndex, Value};
 
 const CAP: usize = 32;
 
@@ -128,8 +128,22 @@ impl BlinkTree {
         }
     }
 
-    /// Inserts `(key, value)` at `level`, write-latching and moving right.
-    fn insert_at_level(&self, level: u32, key: Key, value: u64) {
+    /// Read-latched descent along the leftmost spine to the first leaf.
+    fn leftmost_leaf(&self) -> *mut Node {
+        let mut cur = self.root_node();
+        loop {
+            // SAFETY: nodes live until Drop.
+            let g = unsafe { &*cur }.lock.read();
+            if g.leaf {
+                return cur;
+            }
+            cur = g.leftmost;
+        }
+    }
+
+    /// Inserts `(key, value)` at `level`, write-latching and moving right;
+    /// returns the replaced value on an upsert.
+    fn insert_at_level(&self, level: u32, key: Key, value: u64) -> Option<u64> {
         // Descend (shared latches) to the target level.
         let mut cur = self.root_node();
         {
@@ -137,7 +151,7 @@ impl BlinkTree {
             if g.level < level {
                 drop(g);
                 self.grow_root(level, key, value);
-                return;
+                return None;
             }
         }
         loop {
@@ -176,8 +190,8 @@ impl BlinkTree {
         }
         match g.keys.binary_search(&key) {
             Ok(i) => {
-                g.vals[i] = value; // upsert
-                return;
+                // Upsert in place under the write latch.
+                return Some(std::mem::replace(&mut g.vals[i], value));
             }
             Err(i) => {
                 g.keys.insert(i, key);
@@ -185,7 +199,7 @@ impl BlinkTree {
             }
         }
         if g.keys.len() <= CAP {
-            return;
+            return None;
         }
         // Split: move the upper half right.
         let mid = g.keys.len() / 2;
@@ -219,8 +233,9 @@ impl BlinkTree {
         let lvl = g.level;
         drop(g);
         // Insert the separator into the parent (retraversal from root,
-        // Lehman-Yao style).
+        // Lehman-Yao style). Separators are always fresh keys.
         self.insert_at_level(lvl + 1, sep, sib as u64);
+        None
     }
 
     fn grow_root(&self, level: u32, key: Key, right: u64) {
@@ -257,11 +272,97 @@ impl Drop for BlinkTree {
     }
 }
 
+/// Streaming cursor over the volatile B-link leaf chain.
+///
+/// Buffers one leaf under its read latch; between [`Cursor::next`] calls
+/// no latch is held. Keys moved right by a concurrent split were already
+/// buffered, and the monotonicity filter drops any re-observed entry.
+pub struct BlinkCursor<'a> {
+    tree: &'a BlinkTree,
+    /// `None` = not positioned yet; the latched descent happens lazily on
+    /// the first `next`, so `cursor()`-then-`seek` pays one descent.
+    next_leaf: Option<*mut Node>,
+    buf: Vec<(Key, Value)>,
+    pos: usize,
+    bound: Key,
+    last: Option<Key>,
+}
+
+// SAFETY: the raw leaf pointer is only dereferenced under the node's
+// RwLock, and nodes live until the tree drops (which the 'a borrow
+// prevents while a cursor exists).
+unsafe impl Send for BlinkCursor<'_> {}
+
+impl<'a> BlinkCursor<'a> {
+    fn new(tree: &'a BlinkTree) -> Self {
+        BlinkCursor {
+            tree,
+            next_leaf: None,
+            buf: Vec::new(),
+            pos: 0,
+            bound: 0,
+            last: None,
+        }
+    }
+}
+
+impl Cursor for BlinkCursor<'_> {
+    fn seek(&mut self, target: Key) {
+        self.next_leaf = Some(self.tree.find_leaf_shared(target));
+        self.bound = target;
+        self.last = None;
+        self.buf.clear();
+        self.pos = 0;
+    }
+
+    fn next(&mut self) -> Option<(Key, Value)> {
+        loop {
+            while self.pos < self.buf.len() {
+                let (k, v) = self.buf[self.pos];
+                self.pos += 1;
+                if k < self.bound || self.last.is_some_and(|l| k <= l) {
+                    continue;
+                }
+                self.last = Some(k);
+                return Some((k, v));
+            }
+            let leaf = match self.next_leaf {
+                Some(p) if p.is_null() => return None,
+                Some(p) => p,
+                None => self.tree.leftmost_leaf(),
+            };
+            // SAFETY: nodes live until the tree drops.
+            let g = unsafe { &*leaf }.lock.read();
+            self.buf = g.keys.iter().copied().zip(g.vals.iter().copied()).collect();
+            self.pos = 0;
+            self.next_leaf = Some(g.next);
+        }
+    }
+}
+
 impl PmIndex for BlinkTree {
-    fn insert(&self, key: Key, value: Value) -> Result<(), IndexError> {
+    fn insert(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
         check_value(value)?;
-        self.insert_at_level(0, key, value);
-        Ok(())
+        Ok(self.insert_at_level(0, key, value))
+    }
+
+    fn update(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
+        check_value(value)?;
+        let mut cur = self.find_leaf_shared(key);
+        loop {
+            let node = unsafe { &*cur };
+            let mut g = node.lock.write();
+            if let Some(h) = g.high_key {
+                if key >= h {
+                    cur = g.next;
+                    continue;
+                }
+            }
+            return Ok(match g.keys.binary_search(&key) {
+                Ok(i) => Some(std::mem::replace(&mut g.vals[i], value)),
+                Err(_) => None,
+            });
+        }
     }
 
     fn get(&self, key: Key) -> Option<Value> {
@@ -299,23 +400,8 @@ impl PmIndex for BlinkTree {
         }
     }
 
-    fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) {
-        if lo >= hi {
-            return;
-        }
-        let mut cur = self.find_leaf_shared(lo);
-        while !cur.is_null() {
-            let g = unsafe { &*cur }.lock.read();
-            for (i, &k) in g.keys.iter().enumerate() {
-                if k >= hi {
-                    return;
-                }
-                if k >= lo {
-                    out.push((k, g.vals[i]));
-                }
-            }
-            cur = g.next;
-        }
+    fn cursor(&self) -> Box<dyn Cursor + '_> {
+        Box::new(BlinkCursor::new(self))
     }
 
     fn name(&self) -> &'static str {
@@ -346,11 +432,36 @@ mod tests {
     #[test]
     fn upsert_and_remove() {
         let t = BlinkTree::new();
-        t.insert(1, 10).unwrap();
-        t.insert(1, 11).unwrap();
+        assert_eq!(t.insert(1, 10).unwrap(), None);
+        assert_eq!(t.insert(1, 11).unwrap(), Some(10));
         assert_eq!(t.get(1), Some(11));
+        assert_eq!(t.update(1, 12).unwrap(), Some(11));
+        assert_eq!(t.update(2, 20).unwrap(), None);
+        assert_eq!(t.get(2), None);
         assert!(t.remove(1));
         assert!(!t.remove(1));
+    }
+
+    #[test]
+    fn cursor_streams_sorted_and_reseeks() {
+        let t = BlinkTree::new();
+        let keys = generate_keys(5000, KeyDist::Uniform, 9);
+        for &k in &keys {
+            t.insert(k, value_for(k)).unwrap();
+        }
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        let mut c = t.cursor();
+        let mut seen = Vec::new();
+        while let Some((k, v)) = c.next() {
+            assert_eq!(v, value_for(k));
+            seen.push(k);
+        }
+        assert_eq!(seen, sorted);
+        c.seek(sorted[4999]);
+        assert_eq!(c.next(), Some((sorted[4999], value_for(sorted[4999]))));
+        assert_eq!(c.next(), None);
+        assert_eq!(t.len(), keys.len());
     }
 
     #[test]

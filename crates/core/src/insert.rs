@@ -24,23 +24,60 @@ use crate::layout::NodeRef;
 use crate::lock::WriteGuard;
 use crate::tree::{FastFairTree, SplitStrategy};
 
-/// Public write path: inserts `key → value` at the leaf level.
-pub(crate) fn tree_insert(tree: &FastFairTree, key: Key, value: Value) -> Result<(), IndexError> {
-    insert_entry(tree, 0, key, value)
+/// Public write path: upserts `key → value` at the leaf level, returning
+/// the replaced value for the [`pmindex::PmIndex::insert`] contract.
+pub(crate) fn tree_insert(
+    tree: &FastFairTree,
+    key: Key,
+    value: Value,
+) -> Result<Option<Value>, IndexError> {
+    write_entry(tree, 0, key, value, WriteMode::Upsert)
 }
 
-/// Inserts an entry at an arbitrary tree level.
-///
-/// Level 0 means the leaf level (upsert semantics); higher levels are used
-/// by FAIR parent updates, where an already-present key means another
-/// thread (or a pre-crash writer) finished the update first — the
-/// idempotence §4.2 relies on.
+/// Public update path: replaces the value of an *existing* key with one
+/// failure-atomic 8-byte store; leaves the tree untouched when the key is
+/// absent.
+pub(crate) fn tree_update(
+    tree: &FastFairTree,
+    key: Key,
+    value: Value,
+) -> Result<Option<Value>, IndexError> {
+    write_entry(tree, 0, key, value, WriteMode::UpdateOnly)
+}
+
+/// Inserts an entry at an arbitrary tree level (FAIR parent updates).
 pub(crate) fn insert_entry(
     tree: &FastFairTree,
     level: u32,
     key: Key,
     value: Value,
 ) -> Result<(), IndexError> {
+    write_entry(tree, level, key, value, WriteMode::Upsert).map(|_| ())
+}
+
+/// How [`write_entry`] treats a missing key.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum WriteMode {
+    /// Insert when absent, overwrite in place when present.
+    Upsert,
+    /// Overwrite in place when present; no-op when absent.
+    UpdateOnly,
+}
+
+/// The shared write path at an arbitrary tree level; returns the replaced
+/// value when the key already existed.
+///
+/// Level 0 means the leaf level; higher levels are used by FAIR parent
+/// updates, where an already-present key means another thread (or a
+/// pre-crash writer) finished the update first — the idempotence §4.2
+/// relies on.
+fn write_entry(
+    tree: &FastFairTree,
+    level: u32,
+    key: Key,
+    value: Value,
+    mode: WriteMode,
+) -> Result<Option<Value>, IndexError> {
     'retry: loop {
         // Phase 1: lock-free descent to the target level.
         let off = match stats::timed(stats::Phase::Search, || descend_to_level(tree, level, key)) {
@@ -48,8 +85,11 @@ pub(crate) fn insert_entry(
             None => {
                 // The tree is shorter than `level`: the split node was the
                 // root, so grow the tree (Algorithm 2's implicit case).
+                // Unreachable at level 0 (a leaf always exists), so the
+                // update-only mode never grows the tree.
+                debug_assert!(level > 0);
                 crate::split::grow_root(tree, level, key, value)?;
-                return Ok(());
+                return Ok(None);
             }
         };
 
@@ -79,9 +119,12 @@ pub(crate) fn insert_entry(
         }
 
         // Phase 3: the actual modification.
-        if let Some(slot) = find_valid_slot(node, key) {
-            if level == 0 && node.ptr(slot) != value {
-                // In-place value update: a single atomic pointer store.
+        let replaced = if let Some(slot) = find_valid_slot(node, key) {
+            let old = node.ptr(slot);
+            if level == 0 && old != value {
+                // In-place value overwrite: a single failure-atomic 8-byte
+                // pointer store — a crash exposes the old value or the new
+                // one, never a torn mixture.
                 stats::timed(stats::Phase::Update, || {
                     node.set_ptr(slot, value);
                     tree.pool.persist(node.ptr_off(slot), 8);
@@ -90,6 +133,11 @@ pub(crate) fn insert_entry(
             // At internal levels an existing key means the parent update
             // already happened; nothing to do.
             guard.unlock();
+            Some(old)
+        } else if mode == WriteMode::UpdateOnly {
+            // Update-only contract: absent key, leave the node untouched.
+            guard.unlock();
+            None
         } else {
             let cnt = node.count_records();
             if cnt < tree.cap {
@@ -107,14 +155,15 @@ pub(crate) fn insert_entry(
                     })?,
                 }
             }
-        }
+            None
+        };
 
         // Reaching a node through its sibling pointer triggers the parent
         // update of a dangling sibling (§4.2); idempotent if already done.
         if let Some(sib) = redirected {
             crate::split::ensure_parent_entry(tree, sib, level + 1)?;
         }
-        return Ok(());
+        return Ok(replaced);
     }
 }
 

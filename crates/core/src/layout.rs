@@ -323,8 +323,7 @@ impl<'a> NodeRef<'a> {
     /// algorithm requires it (e.g. FAIR flushes the whole sibling before
     /// linking it).
     pub fn init(&self, level: u32) {
-        self.pool
-            .zero_region(self.off, u64::from(self.node_size));
+        self.pool.zero_region(self.off, u64::from(self.node_size));
         self.set_level(level);
         if level == 0 {
             self.set_leftmost(LEAF_ANCHOR);

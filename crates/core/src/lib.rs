@@ -32,17 +32,21 @@
 //! use std::sync::Arc;
 //! use pmem::{Pool, PoolConfig};
 //! use fastfair::{FastFairTree, TreeOptions};
-//! use pmindex::PmIndex;
+//! use pmindex::{Cursor, PmIndex};
 //!
 //! let pool = Arc::new(Pool::new(PoolConfig::default().size(8 << 20))?);
 //! let tree = FastFairTree::create(Arc::clone(&pool), TreeOptions::new())?;
-//! for k in 1..=1000u64 {
-//!     tree.insert(k, k + 1_000_000)?;
-//! }
+//! // Bottom-up bulk load from a sorted stream: one flush per cache line.
+//! let fresh = tree.bulk_load(&mut (1..=1000u64).map(|k| (k, k + 1_000_000)))?;
+//! assert_eq!(fresh, 1000);
 //! assert_eq!(tree.get(500), Some(1_000_500));
-//! let mut out = Vec::new();
-//! tree.range(100, 110, &mut out);
-//! assert_eq!(out.len(), 10);
+//! // Upserts report the value they replaced.
+//! assert_eq!(tree.insert(500, 77)?, Some(1_000_500));
+//! assert_eq!(tree.update(500, 78)?, Some(77));
+//! // Streaming lock-free scan over the sibling-linked leaves.
+//! let mut cur = tree.cursor();
+//! cur.seek(100);
+//! assert_eq!(cur.next(), Some((100, 1_000_100)));
 //! assert!(tree.remove(500));
 //! assert_eq!(tree.get(500), None);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -50,6 +54,7 @@
 
 #![warn(missing_docs)]
 
+mod bulk;
 mod delete;
 mod insert;
 pub mod layout;
@@ -63,6 +68,7 @@ mod tree;
 
 pub use layout::{capacity, NodeRef, LEAF_ANCHOR};
 pub use recovery::{ConsistencyError, ConsistencyReport, RecoveryReport};
+pub use scan::TreeCursor;
 pub use tree::{FastFairTree, InNodeSearch, SplitStrategy, TreeOptions};
 
 #[cfg(test)]

@@ -18,9 +18,13 @@
 //! A crash between any two steps leaves an empty pass-through node that
 //! readers skip naturally and that never receives new keys (its parent
 //! entry is gone, and `covering_sibling` never redirects into an empty
-//! node). The node's memory is reclaimed only on
-//! [`FastFairTree::recover`], because concurrent readers may still hold
-//! references — the paper likewise leaves physical reclamation out.
+//! node). The unlinked node is *retired* rather than freed on the spot:
+//! lock-free readers may still be traversing it, so its block goes onto
+//! the tree's volatile retired list and is returned to [`pmem::Pool::free`]
+//! by [`FastFairTree::recover`] or when the handle drops (both quiescent).
+//! Recycled blocks are counted in `pmem::stats` (`nodes_recycled`). The
+//! list does not survive a crash — pre-crash retirees leak, matching PM
+//! allocators without offline GC.
 
 use pmem::{PmOffset, NULL_OFFSET};
 use pmindex::Key;
@@ -97,6 +101,10 @@ impl FastFairTree {
         node_guard.unlock();
         left_guard.unlock();
         parent_guard.unlock();
+
+        // The node is unreachable for new traversals; queue its block for
+        // recycling once the tree is quiescent.
+        self.retire_node(node_off);
     }
 
     /// Lock-free descent to the level-1 node covering `key` (the parent
@@ -125,14 +133,12 @@ impl FastFairTree {
         let mut shrunk = 0;
         loop {
             let root = self.node(self.root());
-            if root.is_leaf()
-                || root.count_records() != 0
-                || root.sibling() != NULL_OFFSET
-            {
+            if root.is_leaf() || root.count_records() != 0 || root.sibling() != NULL_OFFSET {
                 return shrunk;
             }
             let child = root.leftmost();
-            self.pool.store_u64(self.meta + crate::tree::META_ROOT, child);
+            self.pool
+                .store_u64(self.meta + crate::tree::META_ROOT, child);
             self.pool.persist(self.meta + crate::tree::META_ROOT, 8);
             shrunk += 1;
         }

@@ -40,6 +40,9 @@ pub struct RecoveryReport {
     pub roots_collapsed: usize,
     /// Empty, unparented leaves whose unlink was completed (§4.2 merge).
     pub merges_completed: usize,
+    /// Node blocks returned to the pool's free list (merged-away leaves,
+    /// both freshly completed and previously retired by the merge path).
+    pub nodes_recycled: usize,
 }
 
 /// Structural statistics returned by a successful consistency check.
@@ -223,6 +226,9 @@ impl FastFairTree {
                                 self.pool.persist(left.sibling_field_off(), 8);
                                 node.mark_deleted();
                                 report.merges_completed += 1;
+                                // Recovery is quiescent by contract: the
+                                // block can be recycled immediately.
+                                self.retire_node(off);
                                 continue;
                             }
                         }
@@ -234,6 +240,9 @@ impl FastFairTree {
             }
         }
         report.roots_collapsed = self.shrink_root();
+        // Quiescent point: return every retired leaf (from live merges and
+        // the pass above) to the pool's free list.
+        report.nodes_recycled = self.reclaim_retired();
         Ok(report)
     }
 
@@ -258,9 +267,7 @@ impl FastFairTree {
         for level in (0..=report.height).rev() {
             let chain = self.level_chain(level);
             if chain.is_empty() {
-                return Err(ConsistencyError::BrokenLink {
-                    node: self.root(),
-                });
+                return Err(ConsistencyError::BrokenLink { node: self.root() });
             }
             let mut prev_last: Option<u64> = None;
             for &off in &chain {

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use pmem::{stats, Pool, PoolConfig};
 use pmindex::workload::{generate_keys, value_for, KeyDist};
-use pmindex::PmIndex;
+use pmindex::{Cursor, PmIndex};
 use proptest::prelude::*;
 
 use crate::{FastFairTree, InNodeSearch, SplitStrategy, TreeOptions};
@@ -61,10 +61,260 @@ fn reserved_values_rejected() {
 #[test]
 fn upsert_replaces_value() {
     let (_p, t) = small_tree();
-    t.insert(7, 100).unwrap();
-    t.insert(7, 200).unwrap();
+    assert_eq!(t.insert(7, 100).unwrap(), None);
+    assert_eq!(t.insert(7, 200).unwrap(), Some(100));
     assert_eq!(t.get(7), Some(200));
     assert_eq!(t.len(), 1);
+    // Upserting the same value is a no-op that still reports the old one.
+    assert_eq!(t.insert(7, 200).unwrap(), Some(200));
+}
+
+#[test]
+fn update_only_touches_existing_keys() {
+    let (_p, t) = small_tree();
+    let keys = generate_keys(5000, KeyDist::Uniform, 71);
+    for &k in &keys {
+        t.insert(k, value_for(k)).unwrap();
+    }
+    let probe = keys[123];
+    assert_eq!(t.update(probe, 999_999).unwrap(), Some(value_for(probe)));
+    assert_eq!(t.get(probe), Some(999_999));
+    // Absent key: no insert, tree size unchanged.
+    let absent = keys.iter().fold(1u64, |a, &k| a.wrapping_add(k)) | 1;
+    if !keys.contains(&absent) {
+        assert_eq!(t.update(absent, 7).unwrap(), None);
+        assert_eq!(t.get(absent), None);
+    }
+    assert_eq!(t.len(), keys.len());
+    assert!(t.update(probe, 0).is_err());
+    t.check_consistency(true).unwrap();
+}
+
+#[test]
+fn cursor_streams_and_reseeks() {
+    let (_p, t) = small_tree();
+    let keys = generate_keys(10_000, KeyDist::Uniform, 73);
+    for &k in &keys {
+        t.insert(k, value_for(k)).unwrap();
+    }
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    let mut c = t.cursor();
+    let mut seen = Vec::new();
+    while let Some((k, v)) = c.next() {
+        assert_eq!(v, value_for(k));
+        seen.push(k);
+    }
+    assert_eq!(seen, sorted);
+    // Reuse via seek, including a seek backwards.
+    c.seek(sorted[5000]);
+    assert_eq!(c.next(), Some((sorted[5000], value_for(sorted[5000]))));
+    c.seek(sorted[10]);
+    assert_eq!(c.next(), Some((sorted[10], value_for(sorted[10]))));
+    // Seek between two keys lands on the successor.
+    if sorted[20] + 1 < sorted[21] {
+        c.seek(sorted[20] + 1);
+        assert_eq!(c.next(), Some((sorted[21], value_for(sorted[21]))));
+    }
+    c.seek(u64::MAX);
+    assert!(sorted.binary_search(&u64::MAX).is_err());
+    assert_eq!(c.next(), None);
+}
+
+#[test]
+fn bulk_load_builds_packed_tree() {
+    let (_p, t) = small_tree();
+    let n = 20_000u64;
+    let loaded = t
+        .bulk_load(&mut (1..=n).map(|k| (k, value_for(k))))
+        .unwrap();
+    assert_eq!(loaded, n as usize);
+    assert_eq!(t.len(), n as usize);
+    t.check_consistency(true).unwrap();
+    for k in (1..=n).step_by(97) {
+        assert_eq!(t.get(k), Some(value_for(k)), "key {k}");
+    }
+    // Leaves are fully packed: node count is near the theoretical minimum.
+    let report = t.check_consistency(true).unwrap();
+    let cap = t.node_capacity() as usize;
+    let min_leaves = (n as usize).div_ceil(cap);
+    assert!(
+        report.nodes < 2 * min_leaves + 8,
+        "bulk load under-packed: {} nodes for {} keys (min leaves {})",
+        report.nodes,
+        n,
+        min_leaves
+    );
+    // The loaded tree accepts the full write path afterwards.
+    assert_eq!(t.insert(0x5555_5555, 42).unwrap(), None);
+    assert!(t.remove(7));
+    t.check_consistency(true).unwrap();
+}
+
+#[test]
+fn bulk_load_flushes_once_per_line() {
+    let (_p, t) = small_tree();
+    let n = 10_000u64;
+    stats::reset();
+    t.bulk_load(&mut (1..=n).map(|k| (k, value_for(k))))
+        .unwrap();
+    let s = stats::take();
+    // Every node is persisted exactly once: node_size/64 flushes per node
+    // plus the root-pointer commit. With 512-byte nodes and 26-record
+    // leaves that is well under one flush per record; loop-insertion costs
+    // several per record.
+    let per_key = s.flushes as f64 / n as f64;
+    assert!(per_key < 1.0, "bulk load flushed {per_key} lines per key");
+}
+
+#[test]
+fn bulk_load_tolerates_stragglers_and_falls_back_when_nonempty() {
+    let (_p, t) = small_tree();
+    // Out-of-order and duplicate items are routed through normal inserts.
+    let items = [(10u64, 1u64), (20, 2), (15, 3), (20, 4), (30, 5)];
+    let loaded = t.bulk_load(&mut items.iter().copied()).unwrap();
+    assert_eq!(loaded, 4); // 10, 20, 15, 30 — the second 20 upserts
+    assert_eq!(t.get(15), Some(3));
+    assert_eq!(t.get(20), Some(4));
+    t.check_consistency(true).unwrap();
+    // Non-empty tree: bulk_load degrades to loop-insert and still counts
+    // only fresh keys.
+    let more = [(5u64, 6u64), (20, 7), (40, 8)];
+    assert_eq!(t.bulk_load(&mut more.iter().copied()).unwrap(), 2);
+    assert_eq!(t.get(20), Some(7));
+    assert_eq!(t.len(), 6);
+    t.check_consistency(true).unwrap();
+    // Reserved values are rejected on the packed path…
+    let (_p2, t2) = small_tree();
+    assert!(t2.bulk_load(&mut [(1u64, 0u64)].iter().copied()).is_err());
+    // …and on the non-empty fallback path.
+    assert!(t.bulk_load(&mut [(90u64, 0u64)].iter().copied()).is_err());
+    assert!(t
+        .bulk_load(&mut [(91u64, u64::MAX)].iter().copied())
+        .is_err());
+    assert_eq!(t.get(90), None);
+    assert_eq!(t.get(91), None);
+}
+
+#[test]
+fn bulk_loaded_tree_survives_reopen() {
+    let p = pool(64);
+    let t = tree_with(&p, TreeOptions::new());
+    t.bulk_load(&mut (1..=5000u64).map(|k| (k * 3, k))).unwrap();
+    let meta = t.meta_offset();
+    drop(t);
+    let img = p.volatile_image();
+    let p2 = Arc::new(Pool::from_image(&img, PoolConfig::new().size(64 << 20)).unwrap());
+    let t2 = FastFairTree::open(Arc::clone(&p2), meta, TreeOptions::new()).unwrap();
+    for k in (1..=5000u64).step_by(61) {
+        assert_eq!(t2.get(k * 3), Some(k));
+    }
+    t2.check_consistency(true).unwrap();
+}
+
+#[test]
+fn merged_leaves_are_recycled_for_reuse() {
+    let (_p, t) = small_tree();
+    for k in 1..=2000u64 {
+        t.insert(k, k + 1).unwrap();
+    }
+    // Wipe a wide middle band so whole leaves empty and get unlinked.
+    for k in 200..=1800u64 {
+        assert!(t.remove(k));
+    }
+    stats::reset();
+    let report = t.recover().unwrap();
+    let recycled = stats::take().nodes_recycled;
+    assert!(
+        report.nodes_recycled > 0,
+        "no unlinked leaves were recycled: {report:?}"
+    );
+    assert_eq!(recycled as usize, report.nodes_recycled);
+    // The free list serves the next allocations: inserting the band back
+    // reuses recycled nodes instead of growing the pool.
+    let high_water = t.pool().high_water();
+    for k in 200..=400u64 {
+        t.insert(k, k + 1).unwrap();
+    }
+    assert_eq!(
+        t.pool().high_water(),
+        high_water,
+        "recycled nodes not reused"
+    );
+    t.check_consistency(true).unwrap();
+}
+
+/// The tentpole concurrency guarantee: a lock-free cursor running during
+/// concurrent inserts (with splits) observes every key committed before its
+/// seek, nothing duplicated, in strictly ascending order.
+#[test]
+fn cursor_during_concurrent_inserts_sees_committed_keys_once() {
+    let p = pool(256);
+    let t = Arc::new(tree_with(&p, TreeOptions::new().node_size(256)));
+    let committed = generate_keys(8_000, KeyDist::Uniform, 79);
+    for &k in &committed {
+        t.insert(k, value_for(k)).unwrap();
+    }
+    let mut committed_sorted = committed.clone();
+    committed_sorted.sort_unstable();
+    let fresh = generate_keys(8_000, KeyDist::Uniform, 83);
+    let committed_set: std::collections::HashSet<u64> = committed.iter().copied().collect();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    std::thread::scope(|s| {
+        {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            let fresh = &fresh;
+            s.spawn(move || {
+                for &k in fresh {
+                    t.insert(k, value_for(k)).unwrap();
+                }
+                stop.store(true, std::sync::atomic::Ordering::Release);
+            });
+        }
+        for reader in 0..2 {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            let committed_sorted = &committed_sorted;
+            let committed_set = &committed_set;
+            s.spawn(move || {
+                let mut rounds = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Acquire) || rounds == 0 {
+                    let mut c = t.cursor();
+                    // Alternate full scans with mid-key seeks.
+                    let start_rank = if rounds.is_multiple_of(2) {
+                        0
+                    } else {
+                        (rounds * 997 + reader) % committed_sorted.len()
+                    };
+                    c.seek(committed_sorted[start_rank]);
+                    let mut expected = committed_sorted[start_rank..].iter().copied();
+                    let mut prev: Option<u64> = None;
+                    while let Some((k, v)) = c.next() {
+                        // Strictly ascending, never duplicated.
+                        assert!(prev.is_none_or(|p| k > p), "cursor regressed at {k}");
+                        prev = Some(k);
+                        if committed_set.contains(&k) {
+                            // Every pre-seek key must appear, in order.
+                            assert_eq!(
+                                expected.next(),
+                                Some(k),
+                                "cursor skipped a committed key before {k}"
+                            );
+                            assert_eq!(v, value_for(k));
+                        }
+                    }
+                    assert_eq!(
+                        expected.next(),
+                        None,
+                        "cursor missed committed keys at the tail"
+                    );
+                    rounds += 1;
+                }
+            });
+        }
+    });
+    t.check_consistency(true).unwrap();
 }
 
 #[test]
@@ -161,10 +411,7 @@ fn range_scan_matches_model() {
         let hi = sorted.get(lo_i + span).copied().unwrap_or(u64::MAX);
         let mut got = Vec::new();
         t.range(lo, hi, &mut got);
-        let want: Vec<(u64, u64)> = model
-            .range(lo..hi)
-            .map(|(&k, &v)| (k, v))
-            .collect();
+        let want: Vec<(u64, u64)> = model.range(lo..hi).map(|(&k, &v)| (k, v)).collect();
         assert_eq!(got, want, "range [{lo}, {hi})");
     }
 }
@@ -213,7 +460,10 @@ fn binary_search_variant_matches_linear() {
     for &k in &keys {
         assert_eq!(t.get(k), Some(value_for(k)));
     }
-    assert_eq!(t.get(keys[0].wrapping_add(1)).is_some(), keys.contains(&(keys[0].wrapping_add(1))));
+    assert_eq!(
+        t.get(keys[0].wrapping_add(1)).is_some(),
+        keys.contains(&(keys[0].wrapping_add(1)))
+    );
 }
 
 #[test]
@@ -409,12 +659,23 @@ fn concurrent_mixed_workload() {
                 let ops = pmindex::workload::mixed_ops(preload, chunk, chunk.len() / 4, id as u64);
                 for op in ops {
                     match op {
-                        pmindex::workload::Op::Insert(k) => t.insert(k, value_for(k)).unwrap(),
+                        pmindex::workload::Op::Insert(k) => {
+                            assert_eq!(t.insert(k, value_for(k)).unwrap(), None);
+                        }
                         pmindex::workload::Op::Search(k) => {
                             assert_eq!(t.get(k), Some(value_for(k)));
                         }
                         pmindex::workload::Op::Delete(k) => {
                             assert!(t.remove(k));
+                        }
+                        pmindex::workload::Op::Scan(lo, hi) => {
+                            let mut c = t.cursor();
+                            c.seek(lo);
+                            while let Some((k, _)) = c.next() {
+                                if k >= hi {
+                                    break;
+                                }
+                            }
                         }
                     }
                 }

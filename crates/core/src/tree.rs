@@ -19,13 +19,14 @@
 //! 56  reserved
 //! ```
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use pmem::{stats, PmOffset, Pool, NULL_OFFSET};
-use pmindex::{IndexError, Key, PmIndex, Value};
+use pmindex::{Cursor, IndexError, Key, PmIndex, Value};
 
 use crate::layout::{capacity, NodeRef};
 use crate::lock::ReadGuard;
+use crate::scan::TreeCursor;
 
 pub(crate) const META_MAGIC: u64 = 0x4641_4952_5452_4545; // "FAIRTREE"
 pub(crate) const META_ROOT: u64 = 8;
@@ -91,7 +92,10 @@ impl TreeOptions {
     /// Panics if the size is not a multiple of 64 or holds fewer than four
     /// records.
     pub fn node_size(mut self, bytes: u32) -> Self {
-        assert!(bytes.is_multiple_of(64), "node size must be a multiple of 64");
+        assert!(
+            bytes.is_multiple_of(64),
+            "node size must be a multiple of 64"
+        );
         let _ = capacity(bytes); // panics if too small
         self.node_size = bytes;
         self
@@ -152,6 +156,13 @@ pub struct FastFairTree {
     pub(crate) node_size: u32,
     pub(crate) cap: u16,
     pub(crate) opts: TreeOptions,
+    /// Leaves unlinked by a FAIR merge, awaiting recycling. Lock-free
+    /// readers may still be traversing an unlinked node, so the merge path
+    /// only *retires* it here; [`FastFairTree::recover`] (quiescent by
+    /// contract) and `Drop` return the blocks to [`Pool::free`]. Volatile
+    /// by design: a crash empties the list and the blocks leak, matching
+    /// PM allocators without offline GC.
+    pub(crate) retired: Mutex<Vec<PmOffset>>,
     name: &'static str,
 }
 
@@ -246,6 +257,7 @@ impl FastFairTree {
             node_size,
             cap: capacity(node_size),
             opts,
+            retired: Mutex::new(Vec::new()),
             name,
         }
     }
@@ -440,28 +452,6 @@ impl FastFairTree {
         }
     }
 
-    /// Counts the live keys by scanning the leaf chain (O(n)).
-    pub fn len(&self) -> usize {
-        let mut n = 0;
-        self.for_each(|_, _| n += 1);
-        n
-    }
-
-    /// True if the tree holds no keys.
-    pub fn is_empty(&self) -> bool {
-        let mut any = false;
-        let mut off = self.leftmost_leaf();
-        while off != NULL_OFFSET {
-            let leaf = self.node(off);
-            if leaf.first_key().is_some() {
-                any = true;
-                break;
-            }
-            off = leaf.sibling();
-        }
-        !any
-    }
-
     /// Offset of the leftmost leaf.
     pub(crate) fn leftmost_leaf(&self) -> PmOffset {
         let mut node = self.node(self.root());
@@ -474,20 +464,34 @@ impl FastFairTree {
     /// Visits every live `(key, value)` pair in ascending key order.
     ///
     /// Duplicates from an in-flight or crashed split (the "virtual single
-    /// node" state of Fig. 2) are suppressed with a monotonicity filter.
+    /// node" state of Fig. 2) are suppressed by the cursor's monotonicity
+    /// filter.
     pub fn for_each(&self, mut f: impl FnMut(Key, Value)) {
-        let mut off = self.leftmost_leaf();
-        let mut last: Option<Key> = None;
-        while off != NULL_OFFSET {
-            let leaf = self.node(off);
-            for (k, v) in crate::search::read_leaf_entries(self, leaf) {
-                if last.is_none_or(|l| k > l) {
-                    f(k, v);
-                    last = Some(k);
-                }
-            }
-            off = leaf.sibling();
+        let mut c = TreeCursor::new(self);
+        while let Some((k, v)) = Cursor::next(&mut c) {
+            f(k, v);
         }
+    }
+
+    /// Retires an unlinked node for later recycling (see the `retired`
+    /// field docs).
+    pub(crate) fn retire_node(&self, off: PmOffset) {
+        self.retired
+            .lock()
+            .expect("retired list poisoned")
+            .push(off);
+    }
+
+    /// Returns every retired node to the pool's free list; the caller must
+    /// guarantee no concurrent reader can still hold a reference (recovery
+    /// and drop both do).
+    pub(crate) fn reclaim_retired(&self) -> usize {
+        let drained: Vec<PmOffset> =
+            std::mem::take(&mut *self.retired.lock().expect("retired list poisoned"));
+        for &off in &drained {
+            self.pool.free(off, u64::from(self.node_size));
+        }
+        drained.len()
     }
 
     fn get_impl(&self, key: Key) -> Option<Value> {
@@ -516,10 +520,24 @@ impl FastFairTree {
     }
 }
 
+impl Drop for FastFairTree {
+    fn drop(&mut self) {
+        // The handle is going away, so no reader of *this* handle can still
+        // hold references into retired nodes; give the blocks back to the
+        // pool for the next tree (or table) sharing it.
+        self.reclaim_retired();
+    }
+}
+
 impl PmIndex for FastFairTree {
-    fn insert(&self, key: Key, value: Value) -> Result<(), IndexError> {
+    fn insert(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
         pmindex::check_value(value)?;
         crate::insert::tree_insert(self, key, value)
+    }
+
+    fn update(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
+        pmindex::check_value(value)?;
+        crate::insert::tree_update(self, key, value)
     }
 
     fn get(&self, key: Key) -> Option<Value> {
@@ -530,8 +548,30 @@ impl PmIndex for FastFairTree {
         crate::delete::tree_remove(self, key)
     }
 
+    fn cursor(&self) -> Box<dyn Cursor + '_> {
+        Box::new(TreeCursor::new(self))
+    }
+
+    fn len(&self) -> usize {
+        let mut n = 0;
+        self.for_each(|_, _| n += 1);
+        n
+    }
+
+    fn is_empty(&self) -> bool {
+        let mut c = TreeCursor::new(self);
+        Cursor::next(&mut c).is_none()
+    }
+
     fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) {
         crate::scan::tree_range(self, lo, hi, out);
+    }
+
+    fn bulk_load(
+        &self,
+        items: &mut dyn Iterator<Item = (Key, Value)>,
+    ) -> Result<usize, IndexError> {
+        self.bulk_load_sorted(items)
     }
 
     fn name(&self) -> &'static str {

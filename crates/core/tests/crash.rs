@@ -32,6 +32,14 @@ const POOL_BYTES: usize = 8 << 20;
 enum Op {
     Insert(u64),
     Delete(u64),
+    /// In-place 8-byte value overwrite of an existing key.
+    Update(u64),
+}
+
+/// The value an in-place update writes: distinct from `value_for(k)` but
+/// equally legal (odd, never 0 / `u64::MAX`).
+fn updated_value_for(k: u64) -> u64 {
+    value_for(k ^ 0x00ff_00ff_00ff_00ff)
 }
 
 /// Applies `ops` on a crash-logged tree, recording the event-log boundary
@@ -60,6 +68,10 @@ fn crash_sweep(opts: TreeOptions, preload: &[u64], ops: &[Op], cut_stride: usize
             Op::Delete(k) => {
                 tree.remove(k);
                 committed.remove(&k);
+            }
+            Op::Update(k) => {
+                assert!(tree.update(k, updated_value_for(k)).unwrap().is_some());
+                committed.insert(k, updated_value_for(k));
             }
         }
     }
@@ -99,6 +111,20 @@ fn crash_sweep(opts: TreeOptions, preload: &[u64], ops: &[Op], cut_stride: usize
                             continue; // in-flight delete: either outcome is fine
                         }
                     }
+                    if let Op::Update(uk) = inflight {
+                        if *uk == k {
+                            // In-flight in-place update: the single 8-byte
+                            // commit means old value or new value — never a
+                            // torn mixture, never absent.
+                            let got = t2.get(k);
+                            assert!(
+                                got == Some(v) || got == Some(updated_value_for(k)),
+                                "cut {cut} policy {policy:?}: torn in-place update \
+                                 of key {k}: {got:?}"
+                            );
+                            continue;
+                        }
+                    }
                 }
                 assert_eq!(
                     t2.get(k),
@@ -129,6 +155,16 @@ fn crash_sweep(opts: TreeOptions, preload: &[u64], ops: &[Op], cut_stride: usize
                 if !at_boundary {
                     if let Op::Delete(dk) = inflight {
                         if *dk == k {
+                            continue;
+                        }
+                    }
+                    if let Op::Update(uk) = inflight {
+                        if *uk == k {
+                            let got = t2.get(k);
+                            assert!(
+                                got == Some(v) || got == Some(updated_value_for(k)),
+                                "cut {cut}: update of key {k} torn by recover(): {got:?}"
+                            );
                             continue;
                         }
                     }
@@ -224,6 +260,87 @@ fn crash_during_logging_split_rolls_back() {
         &ops,
         1,
     );
+}
+
+#[test]
+fn crash_during_inplace_updates() {
+    // The acceptance guarantee of the in-place upsert: every post-crash
+    // image recovers to the old value or the new one, never a torn word.
+    let preload: Vec<u64> = (1..=30).map(|k| k * 10).collect();
+    let ops: Vec<Op> = [100u64, 250, 10, 300, 100, 170]
+        .iter()
+        .map(|&k| Op::Update(k))
+        .collect();
+    crash_sweep(TreeOptions::new().node_size(256), &preload, &ops, 1);
+}
+
+#[test]
+fn crash_during_mixed_updates_inserts_deletes() {
+    let preload: Vec<u64> = (1..=25).map(|k| k * 8).collect();
+    let mut ops = Vec::new();
+    for i in 0..24u64 {
+        ops.push(match i % 3 {
+            0 => Op::Insert(i * 13 + 3),
+            1 => Op::Update(((i % 25) + 1) * 8),
+            _ => Op::Delete(((i * 7) % 25 + 1) * 8),
+        });
+    }
+    // Deletes may hit already-deleted keys; filter those out so Update
+    // targets stay live.
+    let mut live: std::collections::BTreeSet<u64> = preload.iter().copied().collect();
+    let ops: Vec<Op> = ops
+        .into_iter()
+        .filter(|op| match op {
+            Op::Insert(k) => live.insert(*k),
+            Op::Update(k) => live.contains(k),
+            Op::Delete(k) => live.remove(k),
+        })
+        .collect();
+    crash_sweep(TreeOptions::new().node_size(256), &preload, &ops, 3);
+}
+
+#[test]
+fn crash_during_bulk_load_recovers_old_or_new() {
+    // bulk_load's only commit point is the persisted root-pointer store:
+    // every crash image must recover to the previous (empty) tree or the
+    // fully loaded one — never a partial or torn state.
+    let pool = Arc::new(Pool::new(PoolConfig::new().size(POOL_BYTES).crash_log(true)).unwrap());
+    let tree = FastFairTree::create(Arc::clone(&pool), TreeOptions::new().node_size(256)).unwrap();
+    let log = pool.crash_log().unwrap();
+    log.set_baseline(pool.volatile_image());
+    let n = 200u64;
+    tree.bulk_load(&mut (1..=n).map(|k| (k * 5, value_for(k * 5))))
+        .unwrap();
+    let meta = tree.meta_offset();
+    let total = log.len();
+    let opts = TreeOptions::new();
+    for cut in (0..=total).step_by(5) {
+        for policy in [
+            Eviction::None,
+            Eviction::All,
+            Eviction::Random(cut as u64 + 1),
+        ] {
+            let img = pool.crash_image(cut, policy.clone());
+            let p2 = Arc::new(Pool::from_image(&img, PoolConfig::new().size(POOL_BYTES)).unwrap());
+            let t2 = FastFairTree::open(Arc::clone(&p2), meta, opts).unwrap();
+            t2.check_consistency(false)
+                .unwrap_or_else(|e| panic!("cut {cut} {policy:?}: {e}"));
+            let len = t2.len();
+            assert!(
+                len == 0 || len == n as usize,
+                "cut {cut} {policy:?}: bulk load half-visible ({len} of {n} keys)"
+            );
+            if len > 0 {
+                for k in (1..=n).step_by(13) {
+                    assert_eq!(t2.get(k * 5), Some(value_for(k * 5)), "cut {cut}");
+                }
+            }
+            t2.recover().unwrap();
+            t2.check_consistency(true)
+                .unwrap_or_else(|e| panic!("cut {cut} {policy:?} post-recover: {e}"));
+            assert_eq!(t2.len(), len, "recover() changed bulk-load visibility");
+        }
+    }
 }
 
 #[test]

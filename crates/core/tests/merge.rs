@@ -102,8 +102,7 @@ fn recover_collapses_trivial_roots() {
 fn crash_during_unlink_is_tolerable() {
     // Sweep crash points across deletes that trigger unlinking.
     let pool = Arc::new(Pool::new(PoolConfig::new().size(8 << 20).crash_log(true)).unwrap());
-    let tree =
-        FastFairTree::create(Arc::clone(&pool), TreeOptions::new().node_size(256)).unwrap();
+    let tree = FastFairTree::create(Arc::clone(&pool), TreeOptions::new().node_size(256)).unwrap();
     for k in 1..=60u64 {
         tree.insert(k, value_for(k)).unwrap();
     }
@@ -126,7 +125,11 @@ fn crash_during_unlink_is_tolerable() {
                 .unwrap_or_else(|e| panic!("cut {cut} {policy:?}: {e}"));
             // Keys outside the deleted band must always be present.
             for k in (1..20u64).chain(41..=60) {
-                assert_eq!(t2.get(k), Some(value_for(k)), "cut {cut} {policy:?} key {k}");
+                assert_eq!(
+                    t2.get(k),
+                    Some(value_for(k)),
+                    "cut {cut} {policy:?} key {k}"
+                );
             }
             t2.recover().unwrap();
             t2.check_consistency(true)
@@ -140,8 +143,7 @@ fn crash_during_recovery_then_recover_again() {
     // Recovery itself is made of the same tolerable commits: crash it
     // halfway, reopen, recover again — the double-crash scenario.
     let pool = Arc::new(Pool::new(PoolConfig::new().size(8 << 20).crash_log(true)).unwrap());
-    let tree =
-        FastFairTree::create(Arc::clone(&pool), TreeOptions::new().node_size(256)).unwrap();
+    let tree = FastFairTree::create(Arc::clone(&pool), TreeOptions::new().node_size(256)).unwrap();
     let keys: Vec<u64> = (1..=9).map(|k| k * 10).collect();
     for &k in &keys {
         tree.insert(k, value_for(k)).unwrap();
@@ -154,10 +156,7 @@ fn crash_during_recovery_then_recover_again() {
     // First crash: mid-split, nothing evicted.
     for first_cut in (0..=log.len()).step_by(4) {
         let img = pool.crash_image(first_cut, Eviction::None);
-        let p2 = Arc::new(
-            Pool::from_image(&img, PoolConfig::new().size(8 << 20))
-                .unwrap(),
-        );
+        let p2 = Arc::new(Pool::from_image(&img, PoolConfig::new().size(8 << 20)).unwrap());
         // Re-wrap with a crash log to capture recovery's stores.
         let img2 = p2.volatile_image();
         let p3 = Arc::new(Pool::new(PoolConfig::new().size(8 << 20).crash_log(true)).unwrap());

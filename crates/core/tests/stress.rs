@@ -48,8 +48,7 @@ fn worst_case_flush_bound_512b_nodes() {
     // at most ~8 lines. Verify per-insert flushes never exceed the node's
     // line count plus a small split allowance.
     let pool = Arc::new(Pool::new(PoolConfig::new().size(64 << 20)).unwrap());
-    let tree =
-        FastFairTree::create(Arc::clone(&pool), TreeOptions::new().node_size(512)).unwrap();
+    let tree = FastFairTree::create(Arc::clone(&pool), TreeOptions::new().node_size(512)).unwrap();
     let keys = generate_keys(3000, KeyDist::Uniform, 2);
     let mut worst = 0u64;
     let mut worst_nonsplit = 0u64;
@@ -64,15 +63,20 @@ fn worst_case_flush_bound_512b_nodes() {
             worst_nonsplit = worst_nonsplit.max(f.min(9));
         }
     }
-    assert!(worst_nonsplit <= 9, "non-split insert flushed {worst_nonsplit} lines");
-    assert!(worst <= 40, "even split-chains should stay bounded, got {worst}");
+    assert!(
+        worst_nonsplit <= 9,
+        "non-split insert flushed {worst_nonsplit} lines"
+    );
+    assert!(
+        worst <= 40,
+        "even split-chains should stay bounded, got {worst}"
+    );
 }
 
 #[test]
 fn pool_exhaustion_is_a_clean_error() {
     let pool = Arc::new(Pool::new(PoolConfig::new().size(64 << 10)).unwrap());
-    let tree =
-        FastFairTree::create(Arc::clone(&pool), TreeOptions::new().node_size(512)).unwrap();
+    let tree = FastFairTree::create(Arc::clone(&pool), TreeOptions::new().node_size(512)).unwrap();
     let mut err = None;
     for k in 1..100_000u64 {
         if let Err(e) = tree.insert(k, k + 1) {
@@ -226,8 +230,7 @@ fn values_at_extremes_of_allowed_domain() {
 #[test]
 fn hundred_percent_delete_then_refill_many_rounds() {
     let pool = Arc::new(Pool::new(PoolConfig::new().size(128 << 20)).unwrap());
-    let tree =
-        FastFairTree::create(Arc::clone(&pool), TreeOptions::new().node_size(256)).unwrap();
+    let tree = FastFairTree::create(Arc::clone(&pool), TreeOptions::new().node_size(256)).unwrap();
     for round in 0..4u64 {
         let keys = generate_keys(3000, KeyDist::Uniform, 100 + round);
         for &k in &keys {

@@ -28,7 +28,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use pmem::{stats, PmOffset, Pool, NULL_OFFSET};
-use pmindex::{check_value, IndexError, Key, PmIndex, Value};
+use pmindex::{check_value, Cursor, IndexError, Key, PmIndex, Value};
 
 /// Leaf byte size (1 KB, the paper's fastest FP-tree configuration).
 pub const LEAF_SIZE: u64 = 1024;
@@ -95,10 +95,12 @@ impl<'a> Leaf<'a> {
         self.pool.load_u8(self.off + OFF_FINGERPRINTS + slot as u64)
     }
     fn set_fp(&self, slot: usize, v: u8) {
-        self.pool.store_u8(self.off + OFF_FINGERPRINTS + slot as u64, v);
+        self.pool
+            .store_u8(self.off + OFF_FINGERPRINTS + slot as u64, v);
     }
     fn key_at(&self, slot: usize) -> Key {
-        self.pool.load_u64(self.off + OFF_RECORDS + slot as u64 * 16)
+        self.pool
+            .load_u64(self.off + OFF_RECORDS + slot as u64 * 16)
     }
     fn val_at(&self, slot: usize) -> Value {
         self.pool
@@ -199,7 +201,8 @@ impl<'a> Leaf<'a> {
         self.pool.store_u64(base + 8, val);
         self.pool.persist(base, 16);
         self.set_fp(slot, fingerprint(key));
-        self.pool.persist(self.off + OFF_FINGERPRINTS + slot as u64, 1);
+        self.pool
+            .persist(self.off + OFF_FINGERPRINTS + slot as u64, 1);
         self.set_bitmap(self.bitmap() | (1 << slot));
         self.pool.persist(self.off + OFF_BITMAP, 8);
     }
@@ -319,7 +322,11 @@ impl FpTree {
     }
 
     /// Splits the full leaf at `off`; caller holds the inner write lock.
-    fn split_leaf(&self, off: PmOffset, map: &mut BTreeMap<Key, PmOffset>) -> Result<(), IndexError> {
+    fn split_leaf(
+        &self,
+        off: PmOffset,
+        map: &mut BTreeMap<Key, PmOffset>,
+    ) -> Result<(), IndexError> {
         let leaf = self.leaf(off);
         leaf.lock();
         if leaf.count() < LEAF_CAPACITY {
@@ -380,7 +387,7 @@ impl FpTree {
 }
 
 impl PmIndex for FpTree {
-    fn insert(&self, key: Key, value: Value) -> Result<(), IndexError> {
+    fn insert(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
         check_value(value)?;
         loop {
             {
@@ -394,21 +401,23 @@ impl PmIndex for FpTree {
                 leaf.lock();
                 let done = stats::timed(stats::Phase::Update, || {
                     if let Some(slot) = leaf.find_slot_of(key) {
-                        // Upsert in place: persist just the value.
+                        // Upsert in place: persist just the value — one
+                        // failure-atomic 8-byte store.
+                        let old = leaf.val_at(slot);
                         let base = off + OFF_RECORDS + slot as u64 * 16 + 8;
                         self.pool.store_u64(base, value);
                         self.pool.persist(base, 8);
-                        true
+                        Some(Some(old))
                     } else if let Some(slot) = leaf.free_slot() {
                         leaf.write_entry(slot, key, value);
-                        true
+                        Some(None)
                     } else {
-                        false
+                        None
                     }
                 });
                 leaf.unlock();
-                if done {
-                    return Ok(());
+                if let Some(replaced) = done {
+                    return Ok(replaced);
                 }
             }
             // Leaf full: take the inner write lock and split (TSX fallback
@@ -417,6 +426,28 @@ impl PmIndex for FpTree {
             let off = Self::lookup_leaf(&map, self.head_leaf(), key);
             stats::timed(stats::Phase::Update, || self.split_leaf(off, &mut map))?;
         }
+    }
+
+    fn update(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
+        check_value(value)?;
+        // The inner read lock excludes splits, so the leaf cannot lose the
+        // key to a sibling between lookup and the in-place store.
+        let map = self.inner.read();
+        let off = Self::lookup_leaf(&map, self.head_leaf(), key);
+        let leaf = self.leaf(off);
+        leaf.lock();
+        let replaced = match leaf.find_slot_of(key) {
+            Some(slot) => {
+                let old = leaf.val_at(slot);
+                let base = off + OFF_RECORDS + slot as u64 * 16 + 8;
+                self.pool.store_u64(base, value);
+                self.pool.persist(base, 8);
+                Some(old)
+            }
+            None => None,
+        };
+        leaf.unlock();
+        Ok(replaced)
     }
 
     fn get(&self, key: Key) -> Option<Value> {
@@ -459,21 +490,76 @@ impl PmIndex for FpTree {
         removed
     }
 
-    fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) {
-        if lo >= hi {
-            return;
+    fn cursor(&self) -> Box<dyn Cursor + '_> {
+        Box::new(FpCursor::new(self))
+    }
+
+    fn name(&self) -> &'static str {
+        "FP-tree"
+    }
+}
+
+/// Streaming cursor over the FP-tree's sibling-linked leaves.
+///
+/// Each leaf is snapshotted with the seqlock read protocol and sorted
+/// (leaves are unsorted behind the bitmap — the range-scan overhead the
+/// paper measures vs. sorted leaves); no lock is held between
+/// [`Cursor::next`] calls. A leaf that splits after being buffered leaves
+/// its moved upper half duplicated on the next sibling, which the
+/// monotonicity filter drops.
+pub struct FpCursor<'a> {
+    tree: &'a FpTree,
+    next_leaf: PmOffset,
+    buf: Vec<(Key, Value)>,
+    pos: usize,
+    bound: Key,
+    last: Option<Key>,
+}
+
+impl<'a> FpCursor<'a> {
+    fn new(tree: &'a FpTree) -> Self {
+        FpCursor {
+            tree,
+            next_leaf: tree.head_leaf(),
+            buf: Vec::new(),
+            pos: 0,
+            bound: 0,
+            last: None,
         }
-        let map = self.inner.read();
-        let mut off = Self::lookup_leaf(&map, self.head_leaf(), lo);
+    }
+}
+
+impl Cursor for FpCursor<'_> {
+    fn seek(&mut self, target: Key) {
+        let map = self.tree.inner.read();
+        self.next_leaf = FpTree::lookup_leaf(&map, self.tree.head_leaf(), target);
         drop(map);
-        while off != NULL_OFFSET {
-            let leaf = self.leaf(off);
-            self.pool.charge_serial_reads(1);
-            // Unsorted leaves: every record must be read and sorted — the
-            // range-scan overhead the paper measures vs. sorted leaves.
+        self.bound = target;
+        self.last = None;
+        self.buf.clear();
+        self.pos = 0;
+    }
+
+    fn next(&mut self) -> Option<(Key, Value)> {
+        loop {
+            while self.pos < self.buf.len() {
+                let (k, v) = self.buf[self.pos];
+                self.pos += 1;
+                if k < self.bound || self.last.is_some_and(|l| k <= l) {
+                    continue;
+                }
+                self.last = Some(k);
+                return Some((k, v));
+            }
+            if self.next_leaf == NULL_OFFSET {
+                return None;
+            }
+            let leaf = self.tree.leaf(self.next_leaf);
+            self.tree.pool.charge_serial_reads(1);
             let mut batch = leaf.seq_read(|| {
                 let slots = leaf.used_slots();
-                self.pool
+                self.tree
+                    .pool
                     .charge_parallel_lines((slots.len() as u32).div_ceil(4).max(1));
                 slots
                     .into_iter()
@@ -481,25 +567,10 @@ impl PmIndex for FpTree {
                     .collect::<Vec<_>>()
             });
             batch.sort_unstable();
-            let mut exhausted = false;
-            for (k, v) in batch {
-                if k >= hi {
-                    exhausted = true;
-                    break;
-                }
-                if k >= lo {
-                    out.push((k, v));
-                }
-            }
-            if exhausted {
-                return;
-            }
-            off = leaf.sibling();
+            self.buf = batch;
+            self.pos = 0;
+            self.next_leaf = leaf.sibling();
         }
-    }
-
-    fn name(&self) -> &'static str {
-        "FP-tree"
     }
 }
 
@@ -544,12 +615,35 @@ mod tests {
     #[test]
     fn upsert_remove() {
         let (_p, t) = mk();
-        t.insert(9, 90).unwrap();
-        t.insert(9, 91).unwrap();
+        assert_eq!(t.insert(9, 90).unwrap(), None);
+        assert_eq!(t.insert(9, 91).unwrap(), Some(90));
         assert_eq!(t.get(9), Some(91));
+        assert_eq!(t.update(9, 92).unwrap(), Some(91));
+        assert_eq!(t.update(10, 100).unwrap(), None);
+        assert_eq!(t.get(10), None);
         assert!(t.remove(9));
         assert!(!t.remove(9));
         assert_eq!(t.get(9), None);
+    }
+
+    #[test]
+    fn cursor_streams_sorted_despite_unsorted_leaves() {
+        let (_p, t) = mk();
+        let keys = generate_keys(5000, KeyDist::Uniform, 23);
+        for &k in &keys {
+            t.insert(k, value_for(k)).unwrap();
+        }
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        let mut c = t.cursor();
+        let mut seen = Vec::new();
+        while let Some((k, _)) = c.next() {
+            seen.push(k);
+        }
+        assert_eq!(seen, sorted);
+        c.seek(sorted[100]);
+        assert_eq!(c.next(), Some((sorted[100], value_for(sorted[100]))));
+        assert_eq!(t.len(), keys.len());
     }
 
     #[test]

@@ -517,12 +517,14 @@ impl Pool {
         }
     }
 
-    /// Returns a block to the (volatile) size-class free list.
+    /// Returns a block to the (volatile) size-class free list and counts it
+    /// in [`stats::Snapshot::nodes_recycled`].
     ///
     /// The free list does not survive a crash; blocks freed before a crash
     /// leak, as in PM allocators without offline GC.
     pub fn free(&self, off: PmOffset, size: u64) {
         let size = size.max(8);
+        stats::count_recycled(1);
         self.freelists.lock().entry(size).or_default().push(off);
     }
 
@@ -576,11 +578,7 @@ impl Pool {
     /// # Panics
     ///
     /// Panics if the pool was created without [`PoolConfig::crash_log`].
-    pub fn crash_image_with(
-        &self,
-        cut: usize,
-        choose: impl FnMut(u64, usize) -> usize,
-    ) -> Vec<u8> {
+    pub fn crash_image_with(&self, cut: usize, choose: impl FnMut(u64, usize) -> usize) -> Vec<u8> {
         let log = self
             .crash
             .as_ref()

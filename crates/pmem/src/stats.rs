@@ -51,6 +51,9 @@ pub struct Snapshot {
     pub serial_misses: u64,
     /// Number of cache lines charged as parallel (prefetched) reads.
     pub parallel_lines: u64,
+    /// Number of blocks returned to the pool's free list for recycling
+    /// (e.g. leaves reclaimed by a FAIR merge).
+    pub nodes_recycled: u64,
     /// Nanoseconds spent in flush operations (including injected latency).
     pub flush_ns: u64,
     /// Nanoseconds attributed to the search phase.
@@ -75,6 +78,7 @@ impl Add for Snapshot {
             dmb_barriers: self.dmb_barriers + rhs.dmb_barriers,
             serial_misses: self.serial_misses + rhs.serial_misses,
             parallel_lines: self.parallel_lines + rhs.parallel_lines,
+            nodes_recycled: self.nodes_recycled + rhs.nodes_recycled,
             flush_ns: self.flush_ns + rhs.flush_ns,
             search_ns: self.search_ns + rhs.search_ns,
             update_ns: self.update_ns + rhs.update_ns,
@@ -94,6 +98,7 @@ thread_local! {
     static DMB: Cell<u64> = const { Cell::new(0) };
     static SERIAL: Cell<u64> = const { Cell::new(0) };
     static PARALLEL: Cell<u64> = const { Cell::new(0) };
+    static RECYCLED: Cell<u64> = const { Cell::new(0) };
     static FLUSH_NS: Cell<u64> = const { Cell::new(0) };
     static SEARCH_NS: Cell<u64> = const { Cell::new(0) };
     static UPDATE_NS: Cell<u64> = const { Cell::new(0) };
@@ -125,6 +130,11 @@ pub(crate) fn count_parallel(n: u64) {
     PARALLEL.with(|c| c.set(c.get() + n));
 }
 
+#[inline]
+pub(crate) fn count_recycled(n: u64) {
+    RECYCLED.with(|c| c.set(c.get() + n));
+}
+
 /// Resets this thread's counters to zero.
 pub fn reset() {
     FLUSHES.with(|c| c.set(0));
@@ -132,6 +142,7 @@ pub fn reset() {
     DMB.with(|c| c.set(0));
     SERIAL.with(|c| c.set(0));
     PARALLEL.with(|c| c.set(0));
+    RECYCLED.with(|c| c.set(0));
     FLUSH_NS.with(|c| c.set(0));
     SEARCH_NS.with(|c| c.set(0));
     UPDATE_NS.with(|c| c.set(0));
@@ -145,6 +156,7 @@ pub fn snapshot() -> Snapshot {
         dmb_barriers: DMB.with(Cell::get),
         serial_misses: SERIAL.with(Cell::get),
         parallel_lines: PARALLEL.with(Cell::get),
+        nodes_recycled: RECYCLED.with(Cell::get),
         flush_ns: FLUSH_NS.with(Cell::get),
         search_ns: SEARCH_NS.with(Cell::get),
         update_ns: UPDATE_NS.with(Cell::get),
@@ -191,6 +203,7 @@ mod tests {
         count_fence();
         count_serial(3);
         count_parallel(7);
+        count_recycled(2);
         count_dmb();
         let s = take();
         assert_eq!(s.flushes, 2);
@@ -198,6 +211,7 @@ mod tests {
         assert_eq!(s.fences, 1);
         assert_eq!(s.serial_misses, 3);
         assert_eq!(s.parallel_lines, 7);
+        assert_eq!(s.nodes_recycled, 2);
         assert_eq!(s.dmb_barriers, 1);
         assert_eq!(snapshot(), Snapshot::default());
     }
@@ -233,6 +247,7 @@ mod tests {
             dmb_barriers: 3,
             serial_misses: 4,
             parallel_lines: 5,
+            nodes_recycled: 9,
             flush_ns: 6,
             search_ns: 7,
             update_ns: 8,

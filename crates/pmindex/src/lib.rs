@@ -56,22 +56,78 @@ impl From<pmem::PmError> for IndexError {
     }
 }
 
+/// A streaming, resettable scan over an index.
+///
+/// A cursor is created by [`PmIndex::cursor`] positioned *before the
+/// smallest key*; [`Cursor::next`] then yields live `(key, value)` pairs in
+/// strictly ascending key order without materializing the result set.
+/// [`Cursor::seek`] repositions the cursor so the next call to `next`
+/// returns the first entry with `key >= target` — the B-link leaf-chain
+/// walk of the paper's §5.3 range-query evaluation.
+///
+/// ## Consistency under concurrency
+///
+/// Cursors over the lock-free indexes are *non-blocking snapshots of the
+/// leaf chain*: every key committed before the cursor passed over its
+/// position is observed exactly once, and no key is ever yielded twice or
+/// out of order (in-flight FAST shifts and half-finished FAIR splits are
+/// detected and filtered). Keys inserted or removed *while* the cursor is
+/// mid-flight may or may not be observed — the same guarantee the paper
+/// gives its lock-free range scans.
+pub trait Cursor {
+    /// Repositions the cursor: the next call to [`Cursor::next`] returns
+    /// the first entry with `key >= target`.
+    fn seek(&mut self, target: Key);
+
+    /// Returns the next entry in ascending key order, or `None` when the
+    /// index is exhausted.
+    fn next(&mut self) -> Option<(Key, Value)>;
+}
+
+impl Cursor for Box<dyn Cursor + '_> {
+    fn seek(&mut self, target: Key) {
+        (**self).seek(target)
+    }
+    fn next(&mut self) -> Option<(Key, Value)> {
+        (**self).next()
+    }
+}
+
 /// A persistent (or, for the B-link baseline, volatile) ordered key-value
 /// index.
 ///
 /// All methods take `&self`: implementations are internally synchronized,
 /// so the same trait serves the single-threaded latency experiments
 /// (Figures 3–6) and the multi-threaded scalability experiment (Figure 7).
+///
+/// The required surface is deliberately transaction-grade: upserts report
+/// the value they replaced, scans stream through [`Cursor`]s instead of
+/// materializing `Vec`s, and bulk construction goes through
+/// [`PmIndex::bulk_load`] so implementations can build their structure
+/// bottom-up.
 pub trait PmIndex: Send + Sync {
     /// Inserts `key → value`, replacing the previous value if the key
     /// already exists (B+-tree upsert semantics, as in the paper's TPC-C
-    /// usage).
+    /// usage). Returns the replaced value, or `None` if the key was new.
     ///
     /// # Errors
     ///
     /// [`IndexError::ReservedValue`] if `value` is 0 or `u64::MAX`;
     /// [`IndexError::PoolExhausted`] if the pool cannot fit more nodes.
-    fn insert(&self, key: Key, value: Value) -> Result<(), IndexError>;
+    fn insert(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError>;
+
+    /// Updates an *existing* key in place, returning the replaced value;
+    /// does **not** insert when the key is absent (returns `Ok(None)` and
+    /// leaves the index unchanged).
+    ///
+    /// Every implementation commits the new value with a single
+    /// failure-atomic 8-byte store, so a crash can expose the old value or
+    /// the new one, never a torn mixture.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::ReservedValue`] if `value` is 0 or `u64::MAX`.
+    fn update(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError>;
 
     /// Exact-match lookup.
     fn get(&self, key: Key) -> Option<Value>;
@@ -79,67 +135,122 @@ pub trait PmIndex: Send + Sync {
     /// Removes a key; returns `true` if it was present.
     fn remove(&self, key: Key) -> bool;
 
+    /// Opens a streaming cursor positioned before the smallest key.
+    fn cursor(&self) -> Box<dyn Cursor + '_>;
+
+    /// Number of live keys. O(n) unless an implementation overrides it;
+    /// intended for tests, tooling and capacity planning, not hot paths.
+    fn len(&self) -> usize {
+        let mut c = self.cursor();
+        let mut n = 0;
+        while c.next().is_some() {
+            n += 1;
+        }
+        n
+    }
+
+    /// True if the index holds no keys.
+    fn is_empty(&self) -> bool {
+        self.cursor().next().is_none()
+    }
+
     /// Appends every `(key, value)` with `lo <= key < hi`, in ascending key
     /// order, to `out`.
-    fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>);
+    ///
+    /// Convenience wrapper over [`PmIndex::cursor`] for callers that want a
+    /// materialized result; streaming consumers should drive a cursor
+    /// directly.
+    fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) {
+        if lo >= hi {
+            return;
+        }
+        let mut c = self.cursor();
+        c.seek(lo);
+        while let Some((k, v)) = c.next() {
+            if k >= hi {
+                break;
+            }
+            out.push((k, v));
+        }
+    }
+
+    /// Loads `items` in bulk, returning the number of *new* keys inserted
+    /// (duplicates upsert and are not counted).
+    ///
+    /// The default implementation loop-inserts, which is correct for any
+    /// input order. Implementations with a sorted layout (FAST+FAIR)
+    /// override it with a bottom-up builder that packs leaves directly and
+    /// expects ascending keys for the fast path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first insertion failure; items before it are loaded.
+    fn bulk_load(
+        &self,
+        items: &mut dyn Iterator<Item = (Key, Value)>,
+    ) -> Result<usize, IndexError> {
+        let mut fresh = 0;
+        for (k, v) in items {
+            if self.insert(k, v)?.is_none() {
+                fresh += 1;
+            }
+        }
+        Ok(fresh)
+    }
 
     /// Short human-readable name used in benchmark tables
     /// (e.g. `"FAST+FAIR"`, `"wB+-tree"`).
     fn name(&self) -> &'static str;
 }
 
+macro_rules! forward_pmindex {
+    () => {
+        fn insert(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
+            (**self).insert(key, value)
+        }
+        fn update(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
+            (**self).update(key, value)
+        }
+        fn get(&self, key: Key) -> Option<Value> {
+            (**self).get(key)
+        }
+        fn remove(&self, key: Key) -> bool {
+            (**self).remove(key)
+        }
+        fn cursor(&self) -> Box<dyn Cursor + '_> {
+            (**self).cursor()
+        }
+        fn len(&self) -> usize {
+            (**self).len()
+        }
+        fn is_empty(&self) -> bool {
+            (**self).is_empty()
+        }
+        fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) {
+            (**self).range(lo, hi, out)
+        }
+        fn bulk_load(
+            &self,
+            items: &mut dyn Iterator<Item = (Key, Value)>,
+        ) -> Result<usize, IndexError> {
+            (**self).bulk_load(items)
+        }
+        fn name(&self) -> &'static str {
+            (**self).name()
+        }
+    };
+}
+
 impl<T: PmIndex + ?Sized> PmIndex for &T {
-    fn insert(&self, key: Key, value: Value) -> Result<(), IndexError> {
-        (**self).insert(key, value)
-    }
-    fn get(&self, key: Key) -> Option<Value> {
-        (**self).get(key)
-    }
-    fn remove(&self, key: Key) -> bool {
-        (**self).remove(key)
-    }
-    fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) {
-        (**self).range(lo, hi, out)
-    }
-    fn name(&self) -> &'static str {
-        (**self).name()
-    }
+    forward_pmindex!();
 }
 
 impl<T: PmIndex + ?Sized> PmIndex for Box<T> {
-    fn insert(&self, key: Key, value: Value) -> Result<(), IndexError> {
-        (**self).insert(key, value)
-    }
-    fn get(&self, key: Key) -> Option<Value> {
-        (**self).get(key)
-    }
-    fn remove(&self, key: Key) -> bool {
-        (**self).remove(key)
-    }
-    fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) {
-        (**self).range(lo, hi, out)
-    }
-    fn name(&self) -> &'static str {
-        (**self).name()
-    }
+    forward_pmindex!();
 }
 
 impl<T: PmIndex + ?Sized> PmIndex for std::sync::Arc<T> {
-    fn insert(&self, key: Key, value: Value) -> Result<(), IndexError> {
-        (**self).insert(key, value)
-    }
-    fn get(&self, key: Key) -> Option<Value> {
-        (**self).get(key)
-    }
-    fn remove(&self, key: Key) -> bool {
-        (**self).remove(key)
-    }
-    fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) {
-        (**self).range(lo, hi, out)
-    }
-    fn name(&self) -> &'static str {
-        (**self).name()
-    }
+    forward_pmindex!();
 }
 
 /// Checks that a value is not one of the reserved bit patterns.
@@ -174,5 +285,115 @@ mod tests {
         assert!(e.to_string().contains("reserved"));
         let e: IndexError = pmem::PmError::PoolTooSmall.into();
         assert!(e.to_string().contains("exhausted"));
+    }
+
+    /// Minimal reference implementation used to pin down the default-method
+    /// contracts (`range`, `len`, `is_empty`, `bulk_load`).
+    struct ModelIndex(std::sync::Mutex<std::collections::BTreeMap<Key, Value>>);
+
+    struct ModelCursor<'a> {
+        idx: &'a ModelIndex,
+        from: Key,
+        done: bool,
+    }
+
+    impl Cursor for ModelCursor<'_> {
+        fn seek(&mut self, target: Key) {
+            self.from = target;
+            self.done = false;
+        }
+        fn next(&mut self) -> Option<(Key, Value)> {
+            if self.done {
+                return None;
+            }
+            let map = self.idx.0.lock().unwrap();
+            match map.range(self.from..).next() {
+                Some((&k, &v)) => {
+                    match k.checked_add(1) {
+                        Some(n) => self.from = n,
+                        None => self.done = true,
+                    }
+                    Some((k, v))
+                }
+                None => {
+                    self.done = true;
+                    None
+                }
+            }
+        }
+    }
+
+    impl PmIndex for ModelIndex {
+        fn insert(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
+            check_value(value)?;
+            Ok(self.0.lock().unwrap().insert(key, value))
+        }
+        fn update(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
+            check_value(value)?;
+            let mut map = self.0.lock().unwrap();
+            match map.get_mut(&key) {
+                Some(slot) => Ok(Some(std::mem::replace(slot, value))),
+                None => Ok(None),
+            }
+        }
+        fn get(&self, key: Key) -> Option<Value> {
+            self.0.lock().unwrap().get(&key).copied()
+        }
+        fn remove(&self, key: Key) -> bool {
+            self.0.lock().unwrap().remove(&key).is_some()
+        }
+        fn cursor(&self) -> Box<dyn Cursor + '_> {
+            Box::new(ModelCursor {
+                idx: self,
+                from: 0,
+                done: false,
+            })
+        }
+        fn name(&self) -> &'static str {
+            "model"
+        }
+    }
+
+    #[test]
+    fn default_methods_follow_the_contract() {
+        let idx = ModelIndex(std::sync::Mutex::new(Default::default()));
+        assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
+        // bulk_load counts only fresh keys.
+        let items = [(5u64, 50u64), (1, 10), (5, 51), (9, 90)];
+        let fresh = idx.bulk_load(&mut items.iter().copied()).unwrap();
+        assert_eq!(fresh, 3);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.get(5), Some(51));
+        // insert reports the replaced value.
+        assert_eq!(idx.insert(9, 91).unwrap(), Some(90));
+        assert_eq!(idx.insert(2, 20).unwrap(), None);
+        // update never inserts.
+        assert_eq!(idx.update(3, 30).unwrap(), None);
+        assert_eq!(idx.get(3), None);
+        assert_eq!(idx.update(1, 11).unwrap(), Some(10));
+        // range is the cursor-derived window.
+        let mut out = Vec::new();
+        idx.range(2, 9, &mut out);
+        assert_eq!(out, vec![(2, 20), (5, 51)]);
+        out.clear();
+        idx.range(9, 2, &mut out);
+        assert!(out.is_empty());
+        // A cursor can be reused via seek.
+        {
+            let mut c = idx.cursor();
+            assert_eq!(c.next(), Some((1, 11)));
+            c.seek(5);
+            assert_eq!(c.next(), Some((5, 51)));
+            assert_eq!(c.next(), Some((9, 91)));
+            assert_eq!(c.next(), None);
+        }
+        // Forwarding impls preserve the whole surface.
+        let boxed: Box<dyn PmIndex> = Box::new(idx);
+        assert_eq!(boxed.len(), 4);
+        assert_eq!(boxed.update(2, 21).unwrap(), Some(20));
+        let mut c = boxed.cursor();
+        c.seek(u64::MAX);
+        assert_eq!(c.next(), None);
     }
 }

@@ -92,6 +92,8 @@ pub enum Op {
     Search(Key),
     /// Delete.
     Delete(Key),
+    /// Range scan over `[lo, hi)`, driven through a [`crate::Cursor`].
+    Scan(Key, Key),
 }
 
 /// Builds the Fig. 7(c) mixed sequence over a preloaded key set: each round
@@ -114,6 +116,34 @@ pub fn mixed_ops(preloaded: &[Key], fresh: &[Key], rounds: usize, seed: u64) -> 
         }
         let idx = rng.gen_range(0..deletable.len());
         ops.push(Op::Delete(deletable.swap_remove(idx)));
+    }
+    ops
+}
+
+/// Builds a scan-heavy mixed sequence: each round is one range scan, four
+/// searches and one insert (1 : 4 : 1), exercising the streaming cursor
+/// path alongside the point operations.
+///
+/// Scan bounds cover `span` consecutive keys of the preloaded (sorted)
+/// population, like the paper's selection-ratio range queries (§5.3).
+pub fn scan_mixed_ops(preloaded: &[Key], fresh: &[Key], rounds: usize, seed: u64) -> Vec<Op> {
+    assert!(!preloaded.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sorted = preloaded.to_vec();
+    sorted.sort_unstable();
+    let span = (sorted.len() / 100).max(16).min(sorted.len() - 1);
+    let mut ops = Vec::with_capacity(rounds * 6);
+    let mut fresh_iter = fresh.iter().copied().cycle();
+    for _ in 0..rounds {
+        let start = rng.gen_range(0..sorted.len() - span);
+        let lo = sorted[start];
+        let hi = sorted[start + span];
+        ops.push(Op::Scan(lo, hi));
+        for _ in 0..4 {
+            let k = preloaded[rng.gen_range(0..preloaded.len())];
+            ops.push(Op::Search(k));
+        }
+        ops.push(Op::Insert(fresh_iter.next().expect("fresh keys nonempty")));
     }
     ops
 }
@@ -239,7 +269,27 @@ mod tests {
                     live.insert(k);
                 }
                 Op::Delete(k) => assert!(live.remove(&k), "deleted key that was not live"),
-                Op::Search(_) => {}
+                Op::Search(_) | Op::Scan(..) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn scan_mixed_ops_ratio_and_bounds() {
+        let mut pre = generate_keys(500, KeyDist::Uniform, 1);
+        let fresh = generate_keys(100, KeyDist::Uniform, 2);
+        let ops = scan_mixed_ops(&pre, &fresh, 20, 3);
+        assert_eq!(ops.len(), 120);
+        let scans = ops.iter().filter(|o| matches!(o, Op::Scan(..))).count();
+        let searches = ops.iter().filter(|o| matches!(o, Op::Search(_))).count();
+        let inserts = ops.iter().filter(|o| matches!(o, Op::Insert(_))).count();
+        assert_eq!((scans, searches, inserts), (20, 80, 20));
+        pre.sort_unstable();
+        for op in &ops {
+            if let Op::Scan(lo, hi) = op {
+                assert!(lo < hi);
+                let selected = pre.iter().filter(|&&k| k >= *lo && k < *hi).count();
+                assert!(selected >= 16, "scan selects {selected} keys");
             }
         }
     }

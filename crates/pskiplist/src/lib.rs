@@ -23,7 +23,7 @@
 use std::sync::Arc;
 
 use pmem::{stats, PmOffset, Pool, NULL_OFFSET};
-use pmindex::{check_value, IndexError, Key, PmIndex, Value};
+use pmindex::{check_value, Cursor, IndexError, Key, PmIndex, Value};
 
 /// Maximum tower height.
 pub const MAX_LEVEL: usize = 20;
@@ -53,7 +53,9 @@ pub struct PSkipList {
 
 impl std::fmt::Debug for PSkipList {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PSkipList").field("meta", &self.meta).finish()
+        f.debug_struct("PSkipList")
+            .field("meta", &self.meta)
+            .finish()
     }
 }
 
@@ -177,8 +179,54 @@ impl PSkipList {
     }
 }
 
+/// Streaming cursor over the persistent bottom list.
+///
+/// Holds the offset of the node *before* the next entry; skip-list nodes
+/// are never physically freed once published, so the position stays valid
+/// across concurrent inserts and tombstone deletes. Every hop is one
+/// dependent cache miss — the pointer-chasing cost that makes skip-list
+/// range scans up to 20× slower than FAST+FAIR (Fig. 4).
+pub struct SkipCursor<'a> {
+    list: &'a PSkipList,
+    /// Node whose level-0 successor is the next candidate.
+    cur: pmem::PmOffset,
+    /// Lower bound from the last seek: an insert racing between the
+    /// predecessor lookup and `next` can link a key below the target right
+    /// after `cur`, so the bound — not the start position — enforces the
+    /// `key >= target` contract.
+    bound: Key,
+}
+
+impl Cursor for SkipCursor<'_> {
+    fn seek(&mut self, target: Key) {
+        let (preds, _) = self.list.find_preds(target);
+        self.cur = preds[0];
+        self.bound = target;
+    }
+
+    fn next(&mut self) -> Option<(Key, Value)> {
+        loop {
+            let nxt = self.list.next(self.cur, 0);
+            if nxt == NULL_OFFSET {
+                return None;
+            }
+            self.list.pool.charge_serial_reads(1);
+            self.cur = nxt;
+            let k = self.list.key_of(nxt);
+            if k < self.bound {
+                continue; // linked below the seek target by a racing insert
+            }
+            let v = self.list.val_of(nxt);
+            if v != 0 {
+                return Some((k, v));
+            }
+            // Tombstone: skip.
+        }
+    }
+}
+
 impl PmIndex for PSkipList {
-    fn insert(&self, key: Key, value: Value) -> Result<(), IndexError> {
+    fn insert(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
         check_value(value)?;
         loop {
             let (preds, succs) = stats::timed(stats::Phase::Search, || self.find_preds(key));
@@ -187,19 +235,16 @@ impl PmIndex for PSkipList {
             if succs[0] != NULL_OFFSET && self.key_of(succs[0]) == key {
                 let done = stats::timed(stats::Phase::Update, || {
                     let cur = self.val_of(succs[0]);
-                    if self
-                        .pool
-                        .cas_u64(succs[0] + NODE_VAL, cur, value)
-                        .is_ok()
-                    {
+                    if self.pool.cas_u64(succs[0] + NODE_VAL, cur, value).is_ok() {
                         self.pool.persist(succs[0] + NODE_VAL, 8);
-                        true
+                        // A tombstoned node counts as an absent key.
+                        Some(if cur == 0 { None } else { Some(cur) })
                     } else {
-                        false
+                        None
                     }
                 });
-                if done {
-                    return Ok(());
+                if let Some(replaced) = done {
+                    return Ok(replaced);
                 }
                 continue;
             }
@@ -213,8 +258,7 @@ impl PmIndex for PSkipList {
                 for (l, &succ) in succs.iter().enumerate().take(level).skip(1) {
                     self.pool.store_u64(Self::next_off(node, l), succ);
                 }
-                self.pool
-                    .persist(node, NODE_NEXT + level as u64 * 8);
+                self.pool.persist(node, NODE_NEXT + level as u64 * 8);
                 // Publish: one CAS + one flush — the only failure-atomic
                 // commit the bottom list needs.
                 if self
@@ -235,7 +279,28 @@ impl PmIndex for PSkipList {
                 true
             });
             if committed {
-                return Ok(());
+                return Ok(None);
+            }
+        }
+    }
+
+    fn update(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
+        check_value(value)?;
+        loop {
+            let (_, succs) = self.find_preds(key);
+            let node = succs[0];
+            if node == NULL_OFFSET || self.key_of(node) != key {
+                return Ok(None);
+            }
+            let cur = self.val_of(node);
+            if cur == 0 {
+                return Ok(None); // tombstoned: absent
+            }
+            // Commit: one CAS + one flush, like every other skip-list
+            // commit point.
+            if self.pool.cas_u64(node + NODE_VAL, cur, value).is_ok() {
+                self.pool.persist(node + NODE_VAL, 8);
+                return Ok(Some(cur));
             }
         }
     }
@@ -287,26 +352,12 @@ impl PmIndex for PSkipList {
         }
     }
 
-    fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) {
-        if lo >= hi {
-            return;
-        }
-        let (preds, _) = self.find_preds(lo);
-        let mut cur = self.next(preds[0], 0);
-        while cur != NULL_OFFSET {
-            // One dependent miss per element: the pointer-chasing cost that
-            // makes skip-list range scans up to 20x slower (Fig. 4).
-            self.pool.charge_serial_reads(1);
-            let k = self.key_of(cur);
-            if k >= hi {
-                return;
-            }
-            let v = self.val_of(cur);
-            if v != 0 && k >= lo {
-                out.push((k, v));
-            }
-            cur = self.next(cur, 0);
-        }
+    fn cursor(&self) -> Box<dyn Cursor + '_> {
+        Box::new(SkipCursor {
+            list: self,
+            cur: self.head(),
+            bound: 0,
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -343,14 +394,59 @@ mod tests {
     #[test]
     fn upsert_tombstone_reinsert() {
         let (_p, t) = mk();
-        t.insert(10, 100).unwrap();
-        t.insert(10, 101).unwrap();
+        assert_eq!(t.insert(10, 100).unwrap(), None);
+        assert_eq!(t.insert(10, 101).unwrap(), Some(100));
         assert_eq!(t.get(10), Some(101));
+        assert_eq!(t.update(10, 150).unwrap(), Some(101));
+        assert_eq!(t.update(11, 110).unwrap(), None);
+        assert_eq!(t.get(11), None);
         assert!(t.remove(10));
         assert!(!t.remove(10));
         assert_eq!(t.get(10), None);
-        t.insert(10, 102).unwrap();
+        // Updating a tombstoned key is a no-op; re-inserting revives it
+        // and reports no replaced value.
+        assert_eq!(t.update(10, 103).unwrap(), None);
+        assert_eq!(t.get(10), None);
+        assert_eq!(t.insert(10, 102).unwrap(), None);
         assert_eq!(t.get(10), Some(102));
+    }
+
+    #[test]
+    fn cursor_skips_tombstones_and_reseeks() {
+        let (_p, t) = mk();
+        for k in 1..=200u64 {
+            t.insert(k, k + 5).unwrap();
+        }
+        for k in (1..=200u64).step_by(2) {
+            t.remove(k);
+        }
+        let mut c = t.cursor();
+        let mut seen = Vec::new();
+        while let Some((k, v)) = c.next() {
+            assert_eq!(v, k + 5);
+            seen.push(k);
+        }
+        let want: Vec<u64> = (1..=200).filter(|k| k % 2 == 0).collect();
+        assert_eq!(seen, want);
+        c.seek(101);
+        assert_eq!(c.next(), Some((102, 107)));
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn cursor_seek_bound_excludes_racing_inserts_below_target() {
+        // A key inserted after seek() but below the target must not leak
+        // out of the window (the seek contract is key >= target).
+        let (_p, t) = mk();
+        t.insert(40, 45).unwrap();
+        t.insert(200, 205).unwrap();
+        let mut c = t.cursor();
+        c.seek(100);
+        // Simulates an insert racing between the predecessor lookup and
+        // the first next(): key 50 links directly after the 40-node.
+        t.insert(50, 55).unwrap();
+        assert_eq!(c.next(), Some((200, 205)));
+        assert_eq!(c.next(), None);
     }
 
     #[test]
@@ -439,8 +535,7 @@ mod tests {
                 pmem::crash::Eviction::Random(cut as u64),
             ] {
                 let img = p.crash_image(cut, policy);
-                let p2 =
-                    Arc::new(Pool::from_image(&img, PoolConfig::new().size(4 << 20)).unwrap());
+                let p2 = Arc::new(Pool::from_image(&img, PoolConfig::new().size(4 << 20)).unwrap());
                 let t2 = PSkipList::open(Arc::clone(&p2), meta).unwrap();
                 for &k in &preload {
                     if k == 100 {

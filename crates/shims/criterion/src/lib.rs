@@ -72,9 +72,9 @@ impl Criterion {
         let s = &b.samples;
         assert!(!s.is_empty(), "bencher routine never called iter()");
         let mean = s.iter().sum::<f64>() / s.len() as f64;
-        let (lo, hi) = s
-            .iter()
-            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+        let (lo, hi) = s.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        });
         println!(
             "{id:<40} time: [{} {} {}]  ({} samples)",
             fmt_ns(lo),
@@ -87,8 +87,13 @@ impl Criterion {
 }
 
 enum Mode {
-    WarmUp { deadline: Instant },
-    Measure { sample_budget: Duration, max_samples: usize },
+    WarmUp {
+        deadline: Instant,
+    },
+    Measure {
+        sample_budget: Duration,
+        max_samples: usize,
+    },
 }
 
 /// Timing harness handed to benchmark routines.

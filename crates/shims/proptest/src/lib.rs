@@ -280,10 +280,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "macro_failure")]
     fn failing_property_panics_with_input() {
-        crate::test_runner::run(
-            "macro_failure",
-            &ProptestConfig::with_cases(8),
-            |_rng| Err(TestCaseError::fail("boom").with_input("input-dump".into())),
-        );
+        crate::test_runner::run("macro_failure", &ProptestConfig::with_cases(8), |_rng| {
+            Err(TestCaseError::fail("boom").with_input("input-dump".into()))
+        });
     }
 }

@@ -11,14 +11,16 @@
 //! The four mixes W1–W4 shift weight from New-Order (insert-heavy, many
 //! order-line inserts) toward Order-Status (search + range) — the axis
 //! along which Fig. 6 compares the indexes. Stock-Level and Delivery issue
-//! genuine range scans, which is what sinks WORT in this figure.
+//! genuine range scans — driven through streaming [`Cursor`]s, so no
+//! transaction materializes an unbounded result set — which is what sinks
+//! WORT in this figure.
 
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
-use pmindex::{IndexError, Key, PmIndex};
+use pmindex::{Cursor, IndexError, Key, PmIndex};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -119,7 +121,12 @@ impl Mix {
 
     /// All four paper mixes with their names.
     pub fn paper_mixes() -> [(&'static str, Mix); 4] {
-        [("W1", Mix::W1), ("W2", Mix::W2), ("W3", Mix::W3), ("W4", Mix::W4)]
+        [
+            ("W1", Mix::W1),
+            ("W2", Mix::W2),
+            ("W3", Mix::W3),
+            ("W4", Mix::W4),
+        ]
     }
 
     fn pick(&self, r: u32) -> Txn {
@@ -326,15 +333,21 @@ impl<I: PmIndex> TpccDb<I> {
 
     fn populate(&self) -> Result<(), IndexError> {
         let cfg = &self.cfg;
-        for i in 0..cfg.items {
-            self.item.insert(k_item(i), i + 1)?;
-        }
+        // The catalogue and stock tables have ascending keys: load them
+        // bottom-up through the bulk path (packed leaves, one flush per
+        // line on indexes that support it).
+        self.item
+            .bulk_load(&mut (0..cfg.items).map(|i| (k_item(i), i + 1)))?;
+        self.stock.bulk_load(
+            &mut (0..cfg.warehouses)
+                .flat_map(|w| (0..cfg.items).map(move |i| (w, i)))
+                .map(|(w, i)| {
+                    let id = self.stocks.push(StockRow { quantity: 100 });
+                    (k_stock(w, i), id)
+                }),
+        )?;
         for w in 0..cfg.warehouses {
             self.warehouse.insert(k_warehouse(w), w + 1)?;
-            for i in 0..cfg.items {
-                let id = self.stocks.push(StockRow { quantity: 100 });
-                self.stock.insert(k_stock(w, i), id)?;
-            }
             for d in 0..cfg.districts_per_warehouse {
                 let did = self.districts.push(DistrictRow {
                     next_o_id: cfg.initial_orders_per_district,
@@ -447,23 +460,33 @@ impl<I: PmIndex> TpccDb<I> {
         let d = rng.gen_range(0..cfg.districts_per_warehouse);
         let c = rng.gen_range(0..cfg.customers_per_district);
         self.customer.get(k_customer(w, d, c));
-        // Most recent order of the district: range over the order keyspace.
-        let mut orders = Vec::new();
-        self.order
-            .range(k_order(w, d, 0), k_order(w, d, u32::MAX as u64), &mut orders);
-        if let Some(&(okey, oid)) = orders.last() {
+        // Most recent order of the district: stream the order keyspace
+        // without materializing it, keeping only the last entry.
+        let hi = k_order(w, d, u32::MAX as u64);
+        let mut cur = self.order.cursor();
+        cur.seek(k_order(w, d, 0));
+        let mut newest = None;
+        while let Some((k, oid)) = cur.next() {
+            if k >= hi {
+                break;
+            }
+            newest = Some((k, oid));
+        }
+        if let Some((okey, oid)) = newest {
             let o = okey & 0xffff_ffff;
             let row = self.orders.get(oid);
-            let mut lines = Vec::new();
-            self.order_line.range(
-                k_orderline(w, d, o, 0),
-                k_orderline(w, d, o, 15) + 1,
-                &mut lines,
-            );
-            debug_assert!(lines.len() <= row.ol_cnt as usize);
-            for (_, lid) in lines {
+            let mut lines = self.order_line.cursor();
+            lines.seek(k_orderline(w, d, o, 0));
+            let line_hi = k_orderline(w, d, o, 15) + 1;
+            let mut n = 0usize;
+            while let Some((k, lid)) = lines.next() {
+                if k >= line_hi {
+                    break;
+                }
                 let _ = self.order_lines.get(lid);
+                n += 1;
             }
+            debug_assert!(n <= row.ol_cnt as usize);
         }
     }
 
@@ -471,29 +494,34 @@ impl<I: PmIndex> TpccDb<I> {
         let cfg = &self.cfg;
         let w = rng.gen_range(0..cfg.warehouses);
         for d in 0..cfg.districts_per_warehouse {
-            // Oldest undelivered order.
-            let mut pending = Vec::new();
-            self.new_order_idx
-                .range(k_order(w, d, 0), k_order(w, d, u32::MAX as u64), &mut pending);
-            let Some(&(okey, oid)) = pending.first() else {
+            // Oldest undelivered order: one seek, first hit — the cursor
+            // stops after a single entry instead of materializing the
+            // whole pending set.
+            let mut pending = self.new_order_idx.cursor();
+            pending.seek(k_order(w, d, 0));
+            let first = pending
+                .next()
+                .filter(|&(k, _)| k < k_order(w, d, u32::MAX as u64));
+            let Some((okey, oid)) = first else {
                 continue;
             };
             let o = okey & 0xffff_ffff;
             self.new_order_idx.remove(okey);
             self.orders.update(oid, |row| row.carrier = 1);
-            let mut lines = Vec::new();
-            self.order_line.range(
-                k_orderline(w, d, o, 0),
-                k_orderline(w, d, o, 15) + 1,
-                &mut lines,
-            );
-            let total: u64 = lines
-                .iter()
-                .map(|&(_, lid)| self.order_lines.get(lid).qty)
-                .sum();
+            let mut lines = self.order_line.cursor();
+            lines.seek(k_orderline(w, d, o, 0));
+            let line_hi = k_orderline(w, d, o, 15) + 1;
+            let mut total = 0u64;
+            while let Some((k, lid)) = lines.next() {
+                if k >= line_hi {
+                    break;
+                }
+                total += self.order_lines.get(lid).qty;
+            }
             let c = rng.gen_range(0..cfg.customers_per_district);
             if let Some(cid) = self.customer.get(k_customer(w, d, c)) {
-                self.customers.update(cid, |row| row.balance += total as i64);
+                self.customers
+                    .update(cid, |row| row.balance += total as i64);
             }
         }
     }
@@ -508,15 +536,16 @@ impl<I: PmIndex> TpccDb<I> {
             row.next_o_id
         };
         let from = next_o.saturating_sub(20);
-        // Range over the last 20 orders' lines (the big scan of TPC-C).
-        let mut lines = Vec::new();
-        self.order_line.range(
-            k_orderline(w, d, from, 0),
-            k_orderline(w, d, next_o, 0),
-            &mut lines,
-        );
+        // Stream the last 20 orders' lines (the big scan of TPC-C) through
+        // a cursor — no intermediate Vec even at spec scale.
+        let mut lines = self.order_line.cursor();
+        lines.seek(k_orderline(w, d, from, 0));
+        let hi = k_orderline(w, d, next_o, 0);
         let mut low = 0usize;
-        for (_, lid) in lines {
+        while let Some((k, lid)) = lines.next() {
+            if k >= hi {
+                break;
+            }
             let item = self.order_lines.get(lid).item;
             if let Some(sid) = self.stock.get(k_stock(w, item)) {
                 if self.stocks.get(sid).quantity < 15 {
@@ -569,9 +598,7 @@ mod tests {
     use std::sync::Arc;
 
     fn fastfair_db() -> TpccDb<fastfair::FastFairTree> {
-        let pool = Arc::new(
-            pmem::Pool::new(pmem::PoolConfig::new().size(256 << 20)).unwrap(),
-        );
+        let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::new().size(256 << 20)).unwrap());
         TpccDb::build(TpccConfig::small(), || {
             fastfair::FastFairTree::create(Arc::clone(&pool), fastfair::TreeOptions::new())
         })
@@ -656,9 +683,7 @@ mod tests {
 
     #[test]
     fn runs_on_wbtree_and_blink() {
-        let pool = Arc::new(
-            pmem::Pool::new(pmem::PoolConfig::new().size(256 << 20)).unwrap(),
-        );
+        let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::new().size(256 << 20)).unwrap());
         let db = TpccDb::build(TpccConfig::small(), || {
             wbtree::WbTree::create(Arc::clone(&pool))
         })

@@ -30,7 +30,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use pmem::{stats, PmOffset, Pool, NULL_OFFSET};
-use pmindex::{check_value, IndexError, Key, PmIndex, Value};
+use pmindex::{check_value, Cursor, IndexError, Key, PmIndex, Value};
 
 /// Node byte size (fixed at 1 KB as in the paper's evaluation).
 pub const NODE_SIZE: u64 = 1024;
@@ -112,7 +112,8 @@ impl<'a> Node<'a> {
         self.pool.store_u64(self.off + OFF_LEVEL, v);
     }
     fn key_at(&self, slot: usize) -> Key {
-        self.pool.load_u64(self.off + OFF_RECORDS + slot as u64 * 16)
+        self.pool
+            .load_u64(self.off + OFF_RECORDS + slot as u64 * 16)
     }
     fn val_at(&self, slot: usize) -> Value {
         self.pool
@@ -329,19 +330,27 @@ impl WbTree {
     }
 
     /// Inserts `(key, value)` into a node with free space using the
-    /// slot+bitmap protocol (upsert when the key exists).
-    fn insert_into_node(&self, off: PmOffset, key: Key, value: Value) -> Result<(), IndexError> {
+    /// slot+bitmap protocol; returns the replaced value when the key
+    /// already existed (upsert).
+    fn insert_into_node(
+        &self,
+        off: PmOffset,
+        key: Key,
+        value: Value,
+    ) -> Result<Option<Value>, IndexError> {
         let n = self.node(off);
         let sorted = n.sorted_slots();
         let pos = match n.search_sorted(&sorted, key) {
             Ok(p) => {
-                // Upsert: overwrite the value in place and persist it.
+                // Upsert: overwrite the value in place and persist it — one
+                // failure-atomic 8-byte store.
                 let s = sorted[p];
+                let old = n.val_at(s);
                 self.pool
                     .store_u64(n.off + OFF_RECORDS + s as u64 * 16 + 8, value);
                 self.pool
                     .persist(n.off + OFF_RECORDS + s as u64 * 16 + 8, 8);
-                return Ok(());
+                return Ok(Some(old));
             }
             Err(p) => p,
         };
@@ -351,7 +360,7 @@ impl WbTree {
         new_slots.insert(pos, slot as u8);
         let new_bitmap = n.bitmap() | (1u64 << (slot + 1));
         n.commit_slots(&new_slots, new_bitmap);
-        Ok(())
+        Ok(None)
     }
 
     /// Splits the full node at `off`, returning (split key, new sibling).
@@ -406,7 +415,7 @@ impl WbTree {
         value: Value,
         leaf: PmOffset,
         path: &[PmOffset],
-    ) -> Result<(), IndexError> {
+    ) -> Result<Option<Value>, IndexError> {
         // Fast path: no structure modification needed.
         if self.node(leaf).count() < CAPACITY {
             return self.insert_into_node(leaf, key, value);
@@ -429,15 +438,26 @@ impl WbTree {
         let mut k = key;
         let mut v = value;
         let mut depth = path.len();
+        // Only the first (leaf-level) insertion can replace the caller's
+        // key; the propagated separators are always fresh.
+        let mut at_leaf = true;
+        let mut replaced = None;
         loop {
             let n = self.node(target);
             if n.count() < CAPACITY {
-                self.insert_into_node(target, k, v)?;
+                let r = self.insert_into_node(target, k, v)?;
+                if at_leaf {
+                    replaced = r;
+                }
                 break;
             }
             let (split_key, sib) = self.split_node(target)?;
             let dest = if k < split_key { target } else { sib };
-            self.insert_into_node(dest, k, v)?;
+            let r = self.insert_into_node(dest, k, v)?;
+            if at_leaf {
+                replaced = r;
+                at_leaf = false;
+            }
             // Propagate the separator upward.
             if depth == 0 {
                 let new_root = Self::alloc_node(&self.pool, n.level() + 1)?;
@@ -457,18 +477,129 @@ impl WbTree {
             v = sib;
         }
         self.clear_log();
-        Ok(())
+        Ok(replaced)
+    }
+}
+
+/// Streaming cursor over the wB+-tree's sibling-linked leaves.
+///
+/// Buffers one leaf at a time, resolving the slot-array indirection per
+/// leaf under the tree's operation lock; the lock is *not* held between
+/// [`Cursor::next`] calls.
+pub struct WbCursor<'a> {
+    tree: &'a WbTree,
+    /// `None` = not positioned yet: the descent (and its lock
+    /// acquisition) happens lazily on the first `next`, so the common
+    /// `cursor()`-then-`seek` shape pays only one descent.
+    next_leaf: Option<PmOffset>,
+    buf: Vec<(Key, Value)>,
+    pos: usize,
+    bound: Key,
+    /// Monotonicity filter: drops re-reads after a concurrent split moved
+    /// already-emitted keys to a fresh sibling.
+    last: Option<Key>,
+}
+
+impl<'a> WbCursor<'a> {
+    fn new(tree: &'a WbTree) -> Self {
+        WbCursor {
+            tree,
+            next_leaf: None,
+            buf: Vec::new(),
+            pos: 0,
+            bound: 0,
+            last: None,
+        }
+    }
+}
+
+impl Cursor for WbCursor<'_> {
+    fn seek(&mut self, target: Key) {
+        let _g = self.tree.op_lock.lock();
+        self.bound = target;
+        self.last = None;
+        self.buf.clear();
+        self.pos = 0;
+        self.next_leaf = Some(self.tree.find_leaf(target).0);
+    }
+
+    fn next(&mut self) -> Option<(Key, Value)> {
+        loop {
+            while self.pos < self.buf.len() {
+                let (k, v) = self.buf[self.pos];
+                self.pos += 1;
+                if k < self.bound || self.last.is_some_and(|l| k <= l) {
+                    continue;
+                }
+                self.last = Some(k);
+                return Some((k, v));
+            }
+            let _g = self.tree.op_lock.lock();
+            let off = match self.next_leaf {
+                Some(NULL_OFFSET) => return None,
+                Some(off) => off,
+                None => {
+                    // First use without a seek: walk to the leftmost leaf.
+                    let mut off = self.tree.root();
+                    loop {
+                        let n = self.tree.node(off);
+                        if n.level() == 0 {
+                            break off;
+                        }
+                        off = n.leftmost();
+                    }
+                }
+            };
+            let n = self.tree.node(off);
+            // Slot indirection: records are visited out of physical order,
+            // costing more lines than the sorted layout of FAST+FAIR.
+            let slots = n.sorted_slots();
+            self.tree
+                .pool
+                .charge_parallel_lines((slots.len() as u32).div_ceil(2).max(1));
+            self.buf = slots
+                .into_iter()
+                .map(|s| (n.key_at(s), n.val_at(s)))
+                .collect();
+            self.pos = 0;
+            let sib = n.sibling();
+            self.next_leaf = Some(sib);
+            if sib != NULL_OFFSET {
+                self.tree.pool.charge_serial_reads(1);
+            }
+        }
     }
 }
 
 impl PmIndex for WbTree {
-    fn insert(&self, key: Key, value: Value) -> Result<(), IndexError> {
+    fn insert(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
         check_value(value)?;
         let _g = self.op_lock.lock();
         let (leaf, path) = stats::timed(stats::Phase::Search, || self.find_leaf(key));
         stats::timed(stats::Phase::Update, || {
             self.insert_recursive(key, value, leaf, &path)
         })
+    }
+
+    fn update(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
+        check_value(value)?;
+        let _g = self.op_lock.lock();
+        let (leaf, _) = stats::timed(stats::Phase::Search, || self.find_leaf(key));
+        let n = self.node(leaf);
+        let sorted = n.sorted_slots();
+        match n.search_sorted(&sorted, key) {
+            Ok(p) => stats::timed(stats::Phase::Update, || {
+                // One failure-atomic 8-byte value store.
+                let s = sorted[p];
+                let old = n.val_at(s);
+                self.pool
+                    .store_u64(n.off + OFF_RECORDS + s as u64 * 16 + 8, value);
+                self.pool
+                    .persist(n.off + OFF_RECORDS + s as u64 * 16 + 8, 8);
+                Ok(Some(old))
+            }),
+            Err(_) => Ok(None),
+        }
     }
 
     fn get(&self, key: Key) -> Option<Value> {
@@ -502,30 +633,8 @@ impl PmIndex for WbTree {
         }
     }
 
-    fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) {
-        let _g = self.op_lock.lock();
-        let (mut off, _) = self.find_leaf(lo);
-        while off != NULL_OFFSET {
-            let n = self.node(off);
-            // Slot indirection: records are visited out of physical order,
-            // costing more lines than the sorted layout of FAST+FAIR.
-            let slots = n.sorted_slots();
-            self.pool
-                .charge_parallel_lines((slots.len() as u32).div_ceil(2).max(1));
-            for &s in &slots {
-                let k = n.key_at(s);
-                if k >= hi {
-                    return;
-                }
-                if k >= lo {
-                    out.push((k, n.val_at(s)));
-                }
-            }
-            off = n.sibling();
-            if off != NULL_OFFSET {
-                self.pool.charge_serial_reads(1);
-            }
-        }
+    fn cursor(&self) -> Box<dyn Cursor + '_> {
+        Box::new(WbCursor::new(self))
     }
 
     fn name(&self) -> &'static str {
@@ -562,12 +671,36 @@ mod tests {
     #[test]
     fn upsert_and_remove() {
         let (_p, t) = mk();
-        t.insert(5, 50).unwrap();
-        t.insert(5, 51).unwrap();
+        assert_eq!(t.insert(5, 50).unwrap(), None);
+        assert_eq!(t.insert(5, 51).unwrap(), Some(50));
         assert_eq!(t.get(5), Some(51));
+        assert_eq!(t.update(5, 52).unwrap(), Some(51));
+        assert_eq!(t.update(6, 60).unwrap(), None);
+        assert_eq!(t.get(6), None);
         assert!(t.remove(5));
         assert!(!t.remove(5));
         assert_eq!(t.get(5), None);
+    }
+
+    #[test]
+    fn cursor_streams_sorted_and_reseeks() {
+        let (_p, t) = mk();
+        let keys = generate_keys(4000, KeyDist::Uniform, 21);
+        for &k in &keys {
+            t.insert(k, value_for(k)).unwrap();
+        }
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        let mut c = t.cursor();
+        let mut seen = Vec::new();
+        while let Some((k, v)) = c.next() {
+            assert_eq!(v, value_for(k));
+            seen.push(k);
+        }
+        assert_eq!(seen, sorted);
+        c.seek(sorted[2000]);
+        assert_eq!(c.next(), Some((sorted[2000], value_for(sorted[2000]))));
+        assert_eq!(t.len(), keys.len());
     }
 
     #[test]

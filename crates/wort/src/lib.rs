@@ -32,7 +32,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use pmem::{stats, PmOffset, Pool, NULL_OFFSET};
-use pmindex::{check_value, IndexError, Key, PmIndex, Value};
+use pmindex::{check_value, Cursor, IndexError, Key, PmIndex, Value};
 
 /// Node size: 8-byte header + 16 child slots.
 pub const NODE_SIZE: u64 = 8 + 16 * 8;
@@ -60,7 +60,9 @@ struct Header {
 impl Header {
     fn pack(self) -> u64 {
         debug_assert!(self.plen <= MAX_PREFIX);
-        (u64::from(self.depth) << 56) | (u64::from(self.plen) << 48) | (self.prefix & ((1 << 48) - 1))
+        (u64::from(self.depth) << 56)
+            | (u64::from(self.plen) << 48)
+            | (self.prefix & ((1 << 48) - 1))
     }
 
     fn unpack(v: u64) -> Header {
@@ -203,7 +205,7 @@ impl Wort {
         Ok(off)
     }
 
-    fn insert_locked(&self, key: Key, value: Value) -> Result<(), IndexError> {
+    fn insert_locked(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
         let mut parent_slot = self.meta + META_ROOT;
         let mut node = self.root();
         let mut d: u8 = 0;
@@ -252,7 +254,7 @@ impl Wort {
                 };
                 self.pool.store_u64(node, fixed.pack());
                 self.pool.persist(node, 8);
-                return Ok(());
+                return Ok(None);
             }
             d += prefix.len() as u8;
             let idx = nibble(key, d);
@@ -261,16 +263,17 @@ impl Wort {
             if d == 16 {
                 // Value position: a single persisted store (insert or
                 // update) — WORT's write-optimality.
+                let old = self.pool.load_u64(slot);
                 self.pool.store_u64(slot, value);
                 self.pool.persist(slot, 8);
-                return Ok(());
+                return Ok(if old == 0 { None } else { Some(old) });
             }
             let next = self.pool.load_u64(slot);
             if next == NULL_OFFSET {
                 let suffix = self.build_suffix(key, d, value)?;
                 self.pool.store_u64(slot, suffix);
                 self.pool.persist(slot, 8);
-                return Ok(());
+                return Ok(None);
             }
             parent_slot = slot;
             node = next;
@@ -354,6 +357,83 @@ impl Wort {
         }
     }
 
+    /// Updates an existing key's value slot with one persisted store;
+    /// returns the replaced value, or `None` (tree untouched) when absent.
+    fn update_locked(&self, key: Key, value: Value) -> Option<Value> {
+        let mut node = self.root();
+        let mut d: u8 = 0;
+        let mut visited = 0u32;
+        loop {
+            visited += 1;
+            if visited > 2 {
+                self.pool.charge_serial_reads(1);
+            }
+            let h = self.header(node);
+            let prefix = Self::effective_prefix(h, d);
+            for (j, &p) in prefix.iter().enumerate() {
+                if nibble(key, d + j as u8) != p {
+                    return None;
+                }
+            }
+            d += prefix.len() as u8;
+            let idx = nibble(key, d);
+            let slot_off = Self::child_off(node, idx);
+            let slot = self.pool.load_u64(slot_off);
+            d += 1;
+            if d == 16 {
+                if slot == 0 {
+                    return None;
+                }
+                // Commit: a single failure-atomic 8-byte store.
+                self.pool.store_u64(slot_off, value);
+                self.pool.persist(slot_off, 8);
+                return Some(slot);
+            }
+            if slot == NULL_OFFSET {
+                return None;
+            }
+            node = slot;
+        }
+    }
+
+    /// Smallest `(key, value)` with `key >= bound` in the subtree at
+    /// `node`, or `None`. The in-order successor search that drives the
+    /// cursor: one dependent miss per trie level, WORT's structural
+    /// range-scan handicap (Fig. 4).
+    fn min_ge(&self, node: PmOffset, d: u8, acc: u64, bound: Key) -> Option<(Key, Value)> {
+        if d > 2 {
+            self.pool.charge_serial_reads(1);
+        }
+        let h = self.header(node);
+        let prefix = Self::effective_prefix(h, d);
+        let mut acc2 = acc & Self::high_mask(d);
+        for (j, &p) in prefix.iter().enumerate() {
+            acc2 |= u64::from(p) << ((15 - (d + j as u8)) * 4);
+        }
+        let d = d + prefix.len() as u8;
+        for i in 0u8..16 {
+            let slot = self.child(node, i);
+            if slot == 0 {
+                continue;
+            }
+            let a = acc2 | (u64::from(i) << ((15 - d) * 4));
+            if d + 1 == 16 {
+                if a >= bound {
+                    return Some((a, slot));
+                }
+            } else {
+                // Skip subtrees wholly below the bound.
+                if (a | Self::low_mask(d + 1)) < bound {
+                    continue;
+                }
+                if let Some(found) = self.min_ge(slot, d + 1, a, bound) {
+                    return Some(found);
+                }
+            }
+        }
+        None
+    }
+
     /// Mask of the key bits fixed by the first `d` nibbles.
     fn high_mask(d: u8) -> u64 {
         if d == 0 {
@@ -373,11 +453,59 @@ impl Wort {
     }
 }
 
+/// Streaming cursor over a WORT.
+///
+/// The trie has no sibling-linked leaves, so the cursor re-descends for
+/// each entry: `next` finds the smallest key `>=` the running bound (one
+/// dependent cache miss per level). This per-key pointer chase is the
+/// structural reason WORT loses the paper's range-query comparison; the
+/// cursor surfaces it honestly instead of hiding it behind a batch DFS.
+pub struct WortCursor<'a> {
+    tree: &'a Wort,
+    bound: Key,
+    done: bool,
+}
+
+impl Cursor for WortCursor<'_> {
+    fn seek(&mut self, target: Key) {
+        self.bound = target;
+        self.done = false;
+    }
+
+    fn next(&mut self) -> Option<(Key, Value)> {
+        if self.done {
+            return None;
+        }
+        let _g = self.tree.op_lock.lock();
+        match self.tree.min_ge(self.tree.root(), 0, 0, self.bound) {
+            Some((k, v)) => {
+                match k.checked_add(1) {
+                    Some(n) => self.bound = n,
+                    None => self.done = true,
+                }
+                Some((k, v))
+            }
+            None => {
+                self.done = true;
+                None
+            }
+        }
+    }
+}
+
 impl PmIndex for Wort {
-    fn insert(&self, key: Key, value: Value) -> Result<(), IndexError> {
+    fn insert(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
         check_value(value)?;
         let _g = self.op_lock.lock();
         stats::timed(stats::Phase::Update, || self.insert_locked(key, value))
+    }
+
+    fn update(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
+        check_value(value)?;
+        let _g = self.op_lock.lock();
+        Ok(stats::timed(stats::Phase::Update, || {
+            self.update_locked(key, value)
+        }))
     }
 
     fn get(&self, key: Key) -> Option<Value> {
@@ -418,10 +546,20 @@ impl PmIndex for Wort {
         }
     }
 
+    fn cursor(&self) -> Box<dyn Cursor + '_> {
+        Box::new(WortCursor {
+            tree: self,
+            bound: 0,
+            done: false,
+        })
+    }
+
     fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) {
         if lo >= hi {
             return;
         }
+        // Materialized scans keep the batch DFS (shared prefix walk); the
+        // streaming cursor pays a descent per key instead.
         let _g = self.op_lock.lock();
         self.scan_node(self.root(), 0, 0, lo, hi, out);
     }
@@ -442,6 +580,31 @@ mod tests {
         let p = Arc::new(Pool::new(PoolConfig::new().size(256 << 20)).unwrap());
         let t = Wort::create(Arc::clone(&p)).unwrap();
         (p, t)
+    }
+
+    #[test]
+    fn upsert_update_and_cursor() {
+        let (_p, t) = mk();
+        let keys = generate_keys(3000, KeyDist::Uniform, 31);
+        for &k in &keys {
+            assert_eq!(t.insert(k, value_for(k)).unwrap(), None);
+        }
+        let probe = keys[7];
+        assert_eq!(t.insert(probe, 4242).unwrap(), Some(value_for(probe)));
+        assert_eq!(t.update(probe, 4243).unwrap(), Some(4242));
+        assert_eq!(t.update(probe ^ 0x5a5a_5a5a, 9).unwrap(), None);
+        t.insert(probe, value_for(probe)).unwrap();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        let mut c = t.cursor();
+        let mut seen = Vec::new();
+        while let Some((k, v)) = c.next() {
+            assert_eq!(v, value_for(k));
+            seen.push(k);
+        }
+        assert_eq!(seen, sorted);
+        c.seek(sorted[1500]);
+        assert_eq!(c.next(), Some((sorted[1500], value_for(sorted[1500]))));
     }
 
     #[test]
@@ -591,8 +754,7 @@ mod tests {
                 pmem::crash::Eviction::Random(cut as u64),
             ] {
                 let img = p.crash_image(cut, policy.clone());
-                let p2 =
-                    Arc::new(Pool::from_image(&img, PoolConfig::new().size(4 << 20)).unwrap());
+                let p2 = Arc::new(Pool::from_image(&img, PoolConfig::new().size(4 << 20)).unwrap());
                 let t2 = Wort::open(Arc::clone(&p2), meta).unwrap();
                 // Committed keys always visible.
                 for &k in &preload {
@@ -630,10 +792,26 @@ mod tests {
     #[test]
     fn adjacent_keys_and_extremes() {
         let (_p, t) = mk();
-        for k in [1u64, 2, 3, u64::MAX - 2, u64::MAX - 1, 1 << 63, (1 << 63) + 1] {
+        for k in [
+            1u64,
+            2,
+            3,
+            u64::MAX - 2,
+            u64::MAX - 1,
+            1 << 63,
+            (1 << 63) + 1,
+        ] {
             t.insert(k, value_for(k)).unwrap();
         }
-        for k in [1u64, 2, 3, u64::MAX - 2, u64::MAX - 1, 1 << 63, (1 << 63) + 1] {
+        for k in [
+            1u64,
+            2,
+            3,
+            u64::MAX - 2,
+            u64::MAX - 1,
+            1 << 63,
+            (1 << 63) + 1,
+        ] {
             assert_eq!(t.get(k), Some(value_for(k)), "key {k:#x}");
         }
     }

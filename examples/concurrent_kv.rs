@@ -22,10 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .size(512 << 20)
             .latency(LatencyProfile::new(0, 300)),
     )?);
-    let tree = Arc::new(FastFairTree::create(
-        Arc::clone(&pool),
-        TreeOptions::new(),
-    )?);
+    let tree = Arc::new(FastFairTree::create(Arc::clone(&pool), TreeOptions::new())?);
 
     let preload = generate_keys(200_000, KeyDist::Uniform, 1);
     for &k in &preload {

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Materialize the persistent image if the machine had lost power
         // after event `cut` (here: no eviction of unflushed lines).
         let image = pool.crash_image(cut, Eviction::None);
-        let p2 = Arc::new(Pool::from_image(&image, PoolConfig::default().size(8 << 20))?);
+        let p2 = Arc::new(Pool::from_image(
+            &image,
+            PoolConfig::default().size(8 << 20),
+        )?);
         let t2 = FastFairTree::open(Arc::clone(&p2), meta, TreeOptions::new())?;
 
         // 1. WITHOUT running recovery, every committed key is readable.

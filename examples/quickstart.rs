@@ -1,4 +1,6 @@
-//! Quickstart: create a pool, build a FAST+FAIR tree, do CRUD + range.
+//! Quickstart: create a pool, build a FAST+FAIR tree, and tour the
+//! production `PmIndex` surface — bulk load, upsert, in-place update,
+//! streaming cursor, delete and instant recovery.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -8,7 +10,7 @@ use std::sync::Arc;
 
 use fastfair_repro::fastfair::{FastFairTree, TreeOptions};
 use fastfair_repro::pmem::{Pool, PoolConfig};
-use fastfair_repro::pmindex::PmIndex;
+use fastfair_repro::pmindex::{Cursor, PmIndex};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. An emulated persistent-memory pool (64 MiB, DRAM-speed).
@@ -17,33 +19,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. A FAST+FAIR B+-tree with the paper's default 512-byte nodes.
     let tree = FastFairTree::create(Arc::clone(&pool), TreeOptions::new())?;
 
-    // 3. Insert. Every mutation is a sequence of failure-atomic 8-byte
-    //    stores; no logging, no copy-on-write.
-    for k in 1..=100_000u64 {
-        tree.insert(k, k * 2 + 1)?;
-    }
-    println!("inserted 100k keys, tree height = {}", tree.height());
+    // 3. Bulk-load a sorted stream bottom-up: leaves are packed at layout
+    //    level with one flush per cache line, and the whole tree becomes
+    //    visible through a single persisted root-pointer store.
+    let loaded = tree.bulk_load(&mut (1..=100_000u64).map(|k| (k, k * 2 + 1)))?;
+    println!("bulk-loaded {loaded} keys, tree height = {}", tree.height());
 
     // 4. Point lookups are lock-free.
     assert_eq!(tree.get(777), Some(777 * 2 + 1));
     assert_eq!(tree.get(0), None);
 
-    // 5. Range scans walk the sorted, sibling-linked leaves.
-    let mut out = Vec::new();
-    tree.range(500, 511, &mut out);
-    println!("range [500, 511): {out:?}");
-    assert_eq!(out.len(), 11);
+    // 5. Inserts are upserts that report the value they replaced; `update`
+    //    only touches existing keys. Both commit the overwrite with a
+    //    single failure-atomic 8-byte store.
+    assert_eq!(tree.insert(200_000, 11)?, None); // fresh key
+    assert_eq!(tree.insert(777, 42)?, Some(777 * 2 + 1)); // upsert
+    assert_eq!(tree.update(777, 43)?, Some(42)); // in-place update
+    assert_eq!(tree.update(300_000, 9)?, None); // absent: no insert
+    assert_eq!(tree.get(300_000), None);
 
-    // 6. Delete commits with a single 8-byte pointer store.
+    // 6. Range scans stream through a lock-free cursor over the sorted,
+    //    sibling-linked leaves — no materialized Vec, reusable via seek.
+    {
+        let mut cur = tree.cursor();
+        cur.seek(500);
+        let mut window = Vec::new();
+        while let Some((k, v)) = cur.next() {
+            if k >= 511 {
+                break;
+            }
+            window.push((k, v));
+        }
+        println!("cursor [500, 511): {window:?}");
+        assert_eq!(window.len(), 11);
+    }
+
+    // 7. Delete commits with a single 8-byte pointer store.
     assert!(tree.remove(777));
     assert_eq!(tree.get(777), None);
 
-    // 7. The structure is persistent: reopen the pool image and the tree
+    // 8. The structure is persistent: reopen the pool image and the tree
     //    is immediately usable (instant recovery).
     let meta = tree.meta_offset();
     let image = pool.volatile_image();
     drop(tree);
-    let pool2 = Arc::new(Pool::from_image(&image, PoolConfig::default().size(64 << 20))?);
+    let pool2 = Arc::new(Pool::from_image(
+        &image,
+        PoolConfig::default().size(64 << 20),
+    )?);
     let tree2 = FastFairTree::open(Arc::clone(&pool2), meta, TreeOptions::new())?;
     assert_eq!(tree2.get(778), Some(778 * 2 + 1));
     println!("reopened tree: {} keys intact", tree2.len());

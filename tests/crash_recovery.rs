@@ -102,7 +102,11 @@ fn full_stream_clean_crash_at_end_loses_nothing() {
     let p2 = Arc::new(Pool::from_image(&img, PoolConfig::new().size(POOL)).unwrap());
     let t2 = FastFairTree::open(Arc::clone(&p2), meta, TreeOptions::new()).unwrap();
     for &k in &keys {
-        assert_eq!(t2.get(k), Some(value_for(k)), "key {k} not durable at commit");
+        assert_eq!(
+            t2.get(k),
+            Some(value_for(k)),
+            "key {k} not durable at commit"
+        );
     }
     let mut out = Vec::new();
     t2.range(0, u64::MAX, &mut out);

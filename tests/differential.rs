@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use fastfair_repro::pmem::{Pool, PoolConfig};
 use fastfair_repro::pmindex::workload::{generate_keys, value_for, KeyDist};
-use fastfair_repro::pmindex::{IndexError, PmIndex};
+use fastfair_repro::pmindex::{Cursor, IndexError, PmIndex};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -48,9 +48,13 @@ enum Op {
     /// Insert with a fresh, globally unique value (like a freshly
     /// allocated record pointer — the uniqueness FAST relies on, §3.1).
     Insert(u64),
+    /// Update-only write: must not insert when the key is absent.
+    Update(u64),
     Remove(u64),
     Get(u64),
     Range(u64, u64),
+    /// The same window as Range, but driven through a streaming cursor.
+    CursorScan(u64, u64),
 }
 
 fn random_ops(n: usize, key_space: u64, seed: u64) -> Vec<Op> {
@@ -58,13 +62,18 @@ fn random_ops(n: usize, key_space: u64, seed: u64) -> Vec<Op> {
     (0..n)
         .map(|_| {
             let k = rng.gen_range(1..key_space);
-            match rng.gen_range(0..10) {
+            match rng.gen_range(0..12) {
                 0..=4 => Op::Insert(k),
-                5..=6 => Op::Remove(k),
-                7..=8 => Op::Get(k),
-                _ => {
+                5 => Op::Update(k),
+                6..=7 => Op::Remove(k),
+                8..=9 => Op::Get(k),
+                10 => {
                     let span = rng.gen_range(1..key_space / 4);
                     Op::Range(k, k.saturating_add(span))
+                }
+                _ => {
+                    let span = rng.gen_range(1..key_space / 4);
+                    Op::CursorScan(k, k.saturating_add(span))
                 }
             }
         })
@@ -78,20 +87,56 @@ fn apply(idx: &dyn PmIndex, model: &mut BTreeMap<u64, u64>, ops: &[Op]) -> Resul
             Op::Insert(k) => {
                 next_value += 8;
                 let v = next_value;
-                idx.insert(k, v)?;
-                model.insert(k, v);
+                assert_eq!(
+                    idx.insert(k, v)?,
+                    model.insert(k, v),
+                    "{}: insert {k} replaced value",
+                    idx.name()
+                );
+            }
+            Op::Update(k) => {
+                next_value += 8;
+                let v = next_value;
+                let want = match model.get_mut(&k) {
+                    Some(slot) => Some(std::mem::replace(slot, v)),
+                    None => None,
+                };
+                assert_eq!(idx.update(k, v)?, want, "{}: update {k}", idx.name());
             }
             Op::Remove(k) => {
-                assert_eq!(idx.remove(k), model.remove(&k).is_some(), "{}: remove {k}", idx.name());
+                assert_eq!(
+                    idx.remove(k),
+                    model.remove(&k).is_some(),
+                    "{}: remove {k}",
+                    idx.name()
+                );
             }
             Op::Get(k) => {
-                assert_eq!(idx.get(k), model.get(&k).copied(), "{}: get {k}", idx.name());
+                assert_eq!(
+                    idx.get(k),
+                    model.get(&k).copied(),
+                    "{}: get {k}",
+                    idx.name()
+                );
             }
             Op::Range(lo, hi) => {
                 let mut got = Vec::new();
                 idx.range(lo, hi, &mut got);
                 let want: Vec<(u64, u64)> = model.range(lo..hi).map(|(&k, &v)| (k, v)).collect();
                 assert_eq!(got, want, "{}: range [{lo}, {hi})", idx.name());
+            }
+            Op::CursorScan(lo, hi) => {
+                let mut got = Vec::new();
+                let mut c = idx.cursor();
+                c.seek(lo);
+                while let Some((k, v)) = c.next() {
+                    if k >= hi {
+                        break;
+                    }
+                    got.push((k, v));
+                }
+                let want: Vec<(u64, u64)> = model.range(lo..hi).map(|(&k, &v)| (k, v)).collect();
+                assert_eq!(got, want, "{}: cursor scan [{lo}, {hi})", idx.name());
             }
         }
     }
@@ -127,11 +172,18 @@ fn all_indexes_agree_with_model_sparse_keys() {
 fn bulk_load_then_full_scan_identical_across_indexes() {
     let pool = Arc::new(Pool::new(PoolConfig::new().size(512 << 20)).unwrap());
     let keys = generate_keys(30_000, KeyDist::Uniform, 5);
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
     let mut reference: Option<Vec<(u64, u64)>> = None;
     for idx in all_indexes(&pool) {
-        for &k in &keys {
-            idx.insert(k, value_for(k)).unwrap();
-        }
+        // Every index accepts the bulk path (packed bottom-up for
+        // FAST+FAIR, loop-insert fallback elsewhere) and agrees on the
+        // fresh-key count.
+        let fresh = idx
+            .bulk_load(&mut sorted.iter().map(|&k| (k, value_for(k))))
+            .unwrap();
+        assert_eq!(fresh, keys.len(), "{}: bulk load count", idx.name());
+        assert_eq!(idx.len(), keys.len(), "{}: len after bulk load", idx.name());
         let mut got = Vec::new();
         idx.range(0, u64::MAX, &mut got);
         match &reference {

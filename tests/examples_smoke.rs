@@ -1,9 +1,10 @@
 //! Smoke test: the `quickstart` example must run to completion.
 //!
 //! Invokes the same `cargo` binary driving this test to build and run the
-//! example end-to-end (pool creation, 100k inserts, lookups, range scan,
-//! delete, image reopen). `--offline` keeps the inner invocation hermetic —
-//! the workspace has only path dependencies.
+//! example end-to-end (pool creation, 100k-key bulk load, lookups, upsert
+//! and in-place update, streaming cursor scan, delete, image reopen).
+//! `--offline` keeps the inner invocation hermetic — the workspace has only
+//! path dependencies.
 
 use std::process::Command;
 
@@ -24,7 +25,12 @@ fn quickstart_runs_to_completion() {
     );
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(
-        stdout.contains("reopened tree: 99999 keys intact"),
+        stdout.contains("bulk-loaded 100000 keys"),
+        "unexpected quickstart output:\n{stdout}"
+    );
+    // 100k bulk-loaded + 1 fresh upsert - 1 delete.
+    assert!(
+        stdout.contains("reopened tree: 100000 keys intact"),
         "unexpected quickstart output:\n{stdout}"
     );
 }
