@@ -173,30 +173,109 @@ pub fn header(cells: &[&str]) {
     );
 }
 
-/// Warm-up load: sorts `keys` and bulk-loads them, panicking on failure.
+/// How the pre-measurement population is loaded (selected via
+/// `FF_BENCH_WARMUP`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Warmup {
+    /// Sorted [`PmIndex::bulk_load`] (the default): bottom-up build, one
+    /// flush per cache line, seconds instead of minutes at paper scale —
+    /// but FAST+FAIR leaves come out fully packed.
+    #[default]
+    Bulk,
+    /// Paper-faithful random insertion: keys go in through the ordinary
+    /// write path in their (random) generation order, leaving every index
+    /// at the ~70 % leaf occupancy the paper's §5 methodology produces.
+    /// Use when reproducing *absolute* numbers.
+    Random,
+}
+
+impl Warmup {
+    /// Reads the warm-up mode from `FF_BENCH_WARMUP` (`bulk` | `random`,
+    /// default: bulk).
+    pub fn from_env() -> Warmup {
+        match std::env::var("FF_BENCH_WARMUP").as_deref() {
+            Ok("random") => Warmup::Random,
+            _ => Warmup::Bulk,
+        }
+    }
+}
+
+/// Warm-up load honouring `FF_BENCH_WARMUP`; panics on failure.
 ///
-/// Indexes with a sorted layout (FAST+FAIR) build bottom-up with one flush
-/// per cache line; the baselines fall back to loop-inserting the sorted
-/// stream. The measured phase of every bench starts *after* this.
+/// The measured phase of every bench starts *after* this. See
+/// [`load_with`] for the two modes and the occupancy trade-off.
+pub fn load(index: &dyn PmIndex, keys: &[u64]) {
+    load_with(index, keys, Warmup::from_env());
+}
+
+/// Warm-up load with an explicit [`Warmup`] mode.
+///
+/// `Warmup::Bulk` sorts `keys` and bulk-loads them: indexes with a sorted
+/// layout (FAST+FAIR) build bottom-up with one flush per cache line; the
+/// baselines fall back to loop-inserting the sorted stream.
 ///
 /// Methodology note (documented deviation): the paper preloads by random
-/// insertion (~70 % leaf occupancy for every index), while this bulk path
+/// insertion (~70 % leaf occupancy for every index), while the bulk path
 /// leaves FAST+FAIR fully packed and the split-based baselines near-half
 /// occupancy from the sorted stream. Denser leaves flatter FAST+FAIR's
 /// scans slightly and make its first post-load inserts split-heavy; the
 /// *relative ordering* of the figures is unchanged, and the warm-up itself
-/// drops from minutes to seconds at paper scale.
-pub fn load(index: &dyn PmIndex, keys: &[u64]) {
-    let mut sorted = keys.to_vec();
-    sorted.sort_unstable();
-    let loaded = index
-        .bulk_load(&mut sorted.iter().map(|&k| (k, pmindex::workload::value_for(k))))
-        .expect("bench bulk load");
-    assert_eq!(loaded, sorted.len(), "bulk load dropped keys");
+/// drops from minutes to seconds at paper scale. `Warmup::Random`
+/// (`FF_BENCH_WARMUP=random`) restores the paper's methodology exactly:
+/// keys are inserted unsorted through the normal write path, so every
+/// index settles at its natural post-split occupancy.
+pub fn load_with(index: &dyn PmIndex, keys: &[u64], warmup: Warmup) {
+    match warmup {
+        Warmup::Bulk => {
+            let mut sorted = keys.to_vec();
+            sorted.sort_unstable();
+            let loaded = index
+                .bulk_load(&mut sorted.iter().map(|&k| (k, pmindex::workload::value_for(k))))
+                .expect("bench bulk load");
+            assert_eq!(loaded, sorted.len(), "bulk load dropped keys");
+        }
+        Warmup::Random => {
+            for &k in keys {
+                index
+                    .insert(k, pmindex::workload::value_for(k))
+                    .expect("bench random-insert warm-up");
+            }
+        }
+    }
 }
 
 /// The standard banner each bench prints first.
 pub fn banner(figure: &str, what: &str, scale: Scale) {
     println!("\n=== {figure}: {what} ===");
     println!("scale = {scale:?} (set FF_BENCH_SCALE=smoke|full|paper)  date = reproduction run");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmindex::workload::{generate_keys, value_for, KeyDist};
+
+    #[test]
+    fn warmup_modes_load_identical_content() {
+        let keys = generate_keys(3_000, KeyDist::Uniform, 9);
+        let pool = pool_with(LatencyProfile::dram(), keys.len());
+        let bulk = build_index(IndexKind::FastFair, &pool, 512);
+        let random = build_index(IndexKind::FastFair, &pool, 512);
+        load_with(bulk.as_ref(), &keys, Warmup::Bulk);
+        load_with(random.as_ref(), &keys, Warmup::Random);
+        assert_eq!(bulk.len(), keys.len());
+        assert_eq!(random.len(), keys.len());
+        for &k in &keys {
+            assert_eq!(random.get(k), Some(value_for(k)));
+            assert_eq!(bulk.get(k), random.get(k));
+        }
+    }
+
+    #[test]
+    fn warmup_default_is_bulk() {
+        assert_eq!(Warmup::default(), Warmup::Bulk);
+        // from_env falls back to Bulk when the variable is unset/unknown.
+        std::env::remove_var("FF_BENCH_WARMUP");
+        assert_eq!(Warmup::from_env(), Warmup::Bulk);
+    }
 }

@@ -520,6 +520,22 @@ impl FastFairTree {
     }
 }
 
+/// Router-facing persistence contract: `create_in`/`open_in` use the
+/// default [`TreeOptions`] (`open` re-reads node size and split strategy
+/// from the superblock regardless, so a tree created with custom options
+/// re-opens faithfully).
+impl pmindex::PersistentIndex for FastFairTree {
+    fn create_in(pool: Arc<Pool>) -> Result<Self, IndexError> {
+        FastFairTree::create(pool, TreeOptions::new())
+    }
+    fn open_in(pool: Arc<Pool>, meta: PmOffset) -> Result<Self, IndexError> {
+        FastFairTree::open(pool, meta, TreeOptions::new())
+    }
+    fn superblock(&self) -> PmOffset {
+        self.meta_offset()
+    }
+}
+
 impl Drop for FastFairTree {
     fn drop(&mut self) {
         // The handle is going away, so no reader of *this* handle can still

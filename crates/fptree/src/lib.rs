@@ -386,6 +386,18 @@ impl FpTree {
     }
 }
 
+impl pmindex::PersistentIndex for FpTree {
+    fn create_in(pool: Arc<Pool>) -> Result<Self, IndexError> {
+        FpTree::create(pool)
+    }
+    fn open_in(pool: Arc<Pool>, meta: PmOffset) -> Result<Self, IndexError> {
+        FpTree::open(pool, meta)
+    }
+    fn superblock(&self) -> PmOffset {
+        self.meta_offset()
+    }
+}
+
 impl PmIndex for FpTree {
     fn insert(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
         check_value(value)?;

@@ -27,16 +27,17 @@ pub const NULL_OFFSET: PmOffset = 0;
 /// Bytes reserved at the start of the pool for pool metadata.
 ///
 /// Layout: `[0..8)` magic, `[8..16)` root object offset, `[16..24)`
-/// allocation cursor (high-water mark), rest reserved. The allocation cursor
-/// is treated as failure-atomic allocator metadata (PM allocator recovery is
-/// outside the paper's scope); the *root offset* participates in normal
-/// crash semantics because index structures update it with an explicit
-/// store + persist.
+/// allocation cursor (high-water mark), `[24..32)` manifest offset, rest
+/// reserved. The allocation cursor is treated as failure-atomic allocator
+/// metadata (PM allocator recovery is outside the paper's scope); the *root
+/// offset* and the *manifest offset* participate in normal crash semantics
+/// because index structures update them with an explicit store + persist.
 pub const POOL_HEADER_SIZE: u64 = CACHE_LINE as u64;
 
 const MAGIC: u64 = 0x46_41_53_54_46_41_49_52; // "FASTFAIR"
 const ROOT_SLOT: u64 = 8;
 const CURSOR_SLOT: u64 = 16;
+const MANIFEST_SLOT: u64 = 24;
 
 /// A byte offset into a [`Pool`]; the persistent analogue of a pointer.
 pub type PmOffset = u64;
@@ -558,6 +559,33 @@ impl Pool {
         self.persist(ROOT_SLOT, 8);
     }
 
+    /// The pool's manifest offset (0 when unset).
+    ///
+    /// A second well-known header slot, reserved for *multi-structure*
+    /// metadata: the shard router stores the offset of its current
+    /// epoch-numbered shard-map record here. Distinct from
+    /// [`root`](Pool::root) so a pool can simultaneously host an index
+    /// (whose superblock the root slot names) and act as the manifest home
+    /// of a sharded deployment.
+    pub fn manifest(&self) -> PmOffset {
+        self.load_u64(MANIFEST_SLOT)
+    }
+
+    /// Sets and persists the manifest offset — one failure-atomic 8-byte
+    /// store followed by a flush + fence.
+    ///
+    /// This is the commit primitive for multi-structure updates (the
+    /// paper-faithful alternative to a redo/undo log): prepare an
+    /// arbitrarily large record elsewhere, persist it, then publish it with
+    /// this single atomic pointer flip. A crash exposes either the old
+    /// manifest or the new one, never a mixture. Each call is counted in
+    /// [`crate::stats::Snapshot::manifest_commits`].
+    pub fn set_manifest(&self, off: PmOffset) {
+        self.store_u64(MANIFEST_SLOT, off);
+        self.persist(MANIFEST_SLOT, 8);
+        stats::count_manifest_commit();
+    }
+
     /// Copies the current *volatile* contents of the pool.
     ///
     /// This is what the memory would look like if every cache line were
@@ -673,6 +701,22 @@ mod tests {
         let p = small_pool();
         assert_eq!(p.root(), NULL_OFFSET);
         p.set_root(4096);
+        assert_eq!(p.root(), 4096);
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_commit_count() {
+        let p = small_pool();
+        assert_eq!(p.manifest(), NULL_OFFSET);
+        stats::reset();
+        p.set_manifest(8192);
+        assert_eq!(p.manifest(), 8192);
+        let s = stats::take();
+        assert_eq!(s.manifest_commits, 1);
+        assert_eq!(s.flushes, 1); // one 8-byte slot: one line
+                                  // Root and manifest slots are independent.
+        p.set_root(4096);
+        assert_eq!(p.manifest(), 8192);
         assert_eq!(p.root(), 4096);
     }
 

@@ -54,6 +54,10 @@ pub struct Snapshot {
     /// Number of blocks returned to the pool's free list for recycling
     /// (e.g. leaves reclaimed by a FAIR merge).
     pub nodes_recycled: u64,
+    /// Number of failure-atomic manifest pointer flips
+    /// ([`crate::Pool::set_manifest`]) — one per committed multi-structure
+    /// update, e.g. a shard-map epoch change.
+    pub manifest_commits: u64,
     /// Nanoseconds spent in flush operations (including injected latency).
     pub flush_ns: u64,
     /// Nanoseconds attributed to the search phase.
@@ -79,6 +83,7 @@ impl Add for Snapshot {
             serial_misses: self.serial_misses + rhs.serial_misses,
             parallel_lines: self.parallel_lines + rhs.parallel_lines,
             nodes_recycled: self.nodes_recycled + rhs.nodes_recycled,
+            manifest_commits: self.manifest_commits + rhs.manifest_commits,
             flush_ns: self.flush_ns + rhs.flush_ns,
             search_ns: self.search_ns + rhs.search_ns,
             update_ns: self.update_ns + rhs.update_ns,
@@ -99,6 +104,7 @@ thread_local! {
     static SERIAL: Cell<u64> = const { Cell::new(0) };
     static PARALLEL: Cell<u64> = const { Cell::new(0) };
     static RECYCLED: Cell<u64> = const { Cell::new(0) };
+    static MANIFEST: Cell<u64> = const { Cell::new(0) };
     static FLUSH_NS: Cell<u64> = const { Cell::new(0) };
     static SEARCH_NS: Cell<u64> = const { Cell::new(0) };
     static UPDATE_NS: Cell<u64> = const { Cell::new(0) };
@@ -135,6 +141,11 @@ pub(crate) fn count_recycled(n: u64) {
     RECYCLED.with(|c| c.set(c.get() + n));
 }
 
+#[inline]
+pub(crate) fn count_manifest_commit() {
+    MANIFEST.with(|c| c.set(c.get() + 1));
+}
+
 /// Resets this thread's counters to zero.
 pub fn reset() {
     FLUSHES.with(|c| c.set(0));
@@ -143,6 +154,7 @@ pub fn reset() {
     SERIAL.with(|c| c.set(0));
     PARALLEL.with(|c| c.set(0));
     RECYCLED.with(|c| c.set(0));
+    MANIFEST.with(|c| c.set(0));
     FLUSH_NS.with(|c| c.set(0));
     SEARCH_NS.with(|c| c.set(0));
     UPDATE_NS.with(|c| c.set(0));
@@ -157,6 +169,7 @@ pub fn snapshot() -> Snapshot {
         serial_misses: SERIAL.with(Cell::get),
         parallel_lines: PARALLEL.with(Cell::get),
         nodes_recycled: RECYCLED.with(Cell::get),
+        manifest_commits: MANIFEST.with(Cell::get),
         flush_ns: FLUSH_NS.with(Cell::get),
         search_ns: SEARCH_NS.with(Cell::get),
         update_ns: UPDATE_NS.with(Cell::get),
@@ -204,6 +217,7 @@ mod tests {
         count_serial(3);
         count_parallel(7);
         count_recycled(2);
+        count_manifest_commit();
         count_dmb();
         let s = take();
         assert_eq!(s.flushes, 2);
@@ -212,6 +226,7 @@ mod tests {
         assert_eq!(s.serial_misses, 3);
         assert_eq!(s.parallel_lines, 7);
         assert_eq!(s.nodes_recycled, 2);
+        assert_eq!(s.manifest_commits, 1);
         assert_eq!(s.dmb_barriers, 1);
         assert_eq!(snapshot(), Snapshot::default());
     }
@@ -248,6 +263,7 @@ mod tests {
             serial_misses: 4,
             parallel_lines: 5,
             nodes_recycled: 9,
+            manifest_commits: 10,
             flush_ns: 6,
             search_ns: 7,
             update_ns: 8,

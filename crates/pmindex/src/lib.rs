@@ -9,12 +9,21 @@
 //! used by the paper's evaluation (§5): uniform random 8-byte keys, range
 //! scans with a selection ratio, and the mixed workload of Fig. 7(c)
 //! (sixteen searches : four inserts : one delete).
+//!
+//! Beyond the core trait, this crate carries the *router-facing* seam that
+//! `crates/shard` builds on: [`PersistentIndex`] (create/open an index
+//! inside a [`pmem::Pool`] and name its persistent superblock) and
+//! [`CursorIter`] (drive a [`Cursor`] as an [`Iterator`], e.g. to stream
+//! one index into another through [`PmIndex::bulk_load`]).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod workload;
 
 use std::fmt;
+use std::sync::Arc;
+
+use pmem::{PmOffset, Pool};
 
 /// Key type: the paper indexes 8-byte integer keys.
 pub type Key = u64;
@@ -35,6 +44,11 @@ pub enum IndexError {
     PoolExhausted(String),
     /// The value is one of the reserved bit patterns (0 or `u64::MAX`).
     ReservedValue(Value),
+    /// The operation is not supported by this store configuration, or
+    /// persistent metadata it needs is missing or corrupt (e.g. a shard
+    /// rebalance requested on a volatile router, or a pool without a valid
+    /// manifest).
+    Unsupported(String),
 }
 
 impl fmt::Display for IndexError {
@@ -44,6 +58,7 @@ impl fmt::Display for IndexError {
             IndexError::ReservedValue(v) => {
                 write!(f, "value {v:#x} is a reserved bit pattern (0 or u64::MAX)")
             }
+            IndexError::Unsupported(e) => write!(f, "unsupported by this store: {e}"),
         }
     }
 }
@@ -77,10 +92,40 @@ impl From<pmem::PmError> for IndexError {
 pub trait Cursor {
     /// Repositions the cursor: the next call to [`Cursor::next`] returns
     /// the first entry with `key >= target`.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmindex::{Cursor, PmIndex};
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+    /// let tree = fastfair::FastFairTree::create(pool, fastfair::TreeOptions::new())?;
+    /// tree.bulk_load(&mut [(10u64, 1u64), (20, 2), (30, 3)].into_iter())?;
+    /// let mut cur = tree.cursor();
+    /// cur.seek(15); // between keys: lands on the next one
+    /// assert_eq!(cur.next(), Some((20, 2)));
+    /// cur.seek(10); // seeking backwards reuses the same cursor
+    /// assert_eq!(cur.next(), Some((10, 1)));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     fn seek(&mut self, target: Key);
 
     /// Returns the next entry in ascending key order, or `None` when the
     /// index is exhausted.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmindex::{Cursor, PmIndex};
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+    /// let tree = fastfair::FastFairTree::create(pool, fastfair::TreeOptions::new())?;
+    /// tree.insert(2, 20)?;
+    /// tree.insert(1, 10)?;
+    /// let mut cur = tree.cursor(); // starts before the smallest key
+    /// assert_eq!(cur.next(), Some((1, 10)));
+    /// assert_eq!(cur.next(), Some((2, 20)));
+    /// assert_eq!(cur.next(), None);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     fn next(&mut self) -> Option<(Key, Value)>;
 }
 
@@ -110,6 +155,18 @@ pub trait PmIndex: Send + Sync {
     /// already exists (B+-tree upsert semantics, as in the paper's TPC-C
     /// usage). Returns the replaced value, or `None` if the key was new.
     ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmindex::PmIndex;
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+    /// let tree = fastfair::FastFairTree::create(pool, fastfair::TreeOptions::new())?;
+    /// assert_eq!(tree.insert(7, 70)?, None);       // fresh key
+    /// assert_eq!(tree.insert(7, 71)?, Some(70));   // upsert reports old value
+    /// assert!(tree.insert(8, 0).is_err());         // 0 is reserved
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
     /// # Errors
     ///
     /// [`IndexError::ReservedValue`] if `value` is 0 or `u64::MAX`;
@@ -124,22 +181,83 @@ pub trait PmIndex: Send + Sync {
     /// failure-atomic 8-byte store, so a crash can expose the old value or
     /// the new one, never a torn mixture.
     ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmindex::PmIndex;
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+    /// let tree = fastfair::FastFairTree::create(pool, fastfair::TreeOptions::new())?;
+    /// tree.insert(5, 50)?;
+    /// assert_eq!(tree.update(5, 51)?, Some(50)); // in-place
+    /// assert_eq!(tree.update(6, 60)?, None);     // absent: NOT inserted
+    /// assert_eq!(tree.get(6), None);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
     /// # Errors
     ///
     /// [`IndexError::ReservedValue`] if `value` is 0 or `u64::MAX`.
     fn update(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError>;
 
     /// Exact-match lookup.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmindex::PmIndex;
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+    /// let tree = fastfair::FastFairTree::create(pool, fastfair::TreeOptions::new())?;
+    /// tree.insert(3, 30)?;
+    /// assert_eq!(tree.get(3), Some(30));
+    /// assert_eq!(tree.get(4), None);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     fn get(&self, key: Key) -> Option<Value>;
 
     /// Removes a key; returns `true` if it was present.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmindex::PmIndex;
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+    /// let tree = fastfair::FastFairTree::create(pool, fastfair::TreeOptions::new())?;
+    /// tree.insert(9, 90)?;
+    /// assert!(tree.remove(9));
+    /// assert!(!tree.remove(9)); // already gone
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     fn remove(&self, key: Key) -> bool;
 
     /// Opens a streaming cursor positioned before the smallest key.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmindex::{Cursor, PmIndex};
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+    /// let tree = fastfair::FastFairTree::create(pool, fastfair::TreeOptions::new())?;
+    /// tree.bulk_load(&mut (1..=100u64).map(|k| (k, k + 1)))?;
+    /// let mut cur = tree.cursor();
+    /// assert_eq!(cur.next(), Some((1, 2))); // streams in ascending order
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     fn cursor(&self) -> Box<dyn Cursor + '_>;
 
     /// Number of live keys. O(n) unless an implementation overrides it;
     /// intended for tests, tooling and capacity planning, not hot paths.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmindex::PmIndex;
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+    /// let tree = fastfair::FastFairTree::create(pool, fastfair::TreeOptions::new())?;
+    /// tree.insert(1, 10)?;
+    /// tree.insert(2, 20)?;
+    /// assert_eq!(tree.len(), 2);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     fn len(&self) -> usize {
         let mut c = self.cursor();
         let mut n = 0;
@@ -150,6 +268,18 @@ pub trait PmIndex: Send + Sync {
     }
 
     /// True if the index holds no keys.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmindex::PmIndex;
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+    /// let tree = fastfair::FastFairTree::create(pool, fastfair::TreeOptions::new())?;
+    /// assert!(tree.is_empty());
+    /// tree.insert(1, 10)?;
+    /// assert!(!tree.is_empty());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     fn is_empty(&self) -> bool {
         self.cursor().next().is_none()
     }
@@ -160,6 +290,19 @@ pub trait PmIndex: Send + Sync {
     /// Convenience wrapper over [`PmIndex::cursor`] for callers that want a
     /// materialized result; streaming consumers should drive a cursor
     /// directly.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmindex::PmIndex;
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+    /// let tree = fastfair::FastFairTree::create(pool, fastfair::TreeOptions::new())?;
+    /// tree.bulk_load(&mut (1..=10u64).map(|k| (k, k * 10)))?;
+    /// let mut out = Vec::new();
+    /// tree.range(3, 6, &mut out); // half-open window [3, 6)
+    /// assert_eq!(out, vec![(3, 30), (4, 40), (5, 50)]);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     fn range(&self, lo: Key, hi: Key, out: &mut Vec<(Key, Value)>) {
         if lo >= hi {
             return;
@@ -182,6 +325,19 @@ pub trait PmIndex: Send + Sync {
     /// override it with a bottom-up builder that packs leaves directly and
     /// expects ascending keys for the fast path.
     ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmindex::PmIndex;
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+    /// let tree = fastfair::FastFairTree::create(pool, fastfair::TreeOptions::new())?;
+    /// tree.insert(2, 99)?; // pre-existing key
+    /// let fresh = tree.bulk_load(&mut [(1u64, 10u64), (2, 20), (3, 30)].into_iter())?;
+    /// assert_eq!(fresh, 2); // the duplicate upserted, not counted
+    /// assert_eq!(tree.get(2), Some(20));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
     /// # Errors
     ///
     /// Propagates the first insertion failure; items before it are loaded.
@@ -200,6 +356,16 @@ pub trait PmIndex: Send + Sync {
 
     /// Short human-readable name used in benchmark tables
     /// (e.g. `"FAST+FAIR"`, `"wB+-tree"`).
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmindex::PmIndex;
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+    /// let tree = fastfair::FastFairTree::create(pool, fastfair::TreeOptions::new())?;
+    /// assert_eq!(tree.name(), "FAST+FAIR");
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     fn name(&self) -> &'static str;
 }
 
@@ -253,7 +419,113 @@ impl<T: PmIndex + ?Sized> PmIndex for std::sync::Arc<T> {
     forward_pmindex!();
 }
 
+/// A [`PmIndex`] that lives inside a [`pmem::Pool`] and can be re-opened
+/// from its persistent superblock — the contract a *router* (such as
+/// `crates/shard`'s `ShardedStore`) needs to create per-shard indexes,
+/// record them in a crash-consistent manifest, and reconstruct the whole
+/// deployment after a restart.
+///
+/// Every persistent index in this repository (FAST+FAIR, wB+-tree,
+/// FP-tree, WORT, the persistent skip list) implements it; the volatile
+/// B-link baseline does not, because it has nothing to re-open.
+pub trait PersistentIndex: PmIndex + Sized {
+    /// Creates a fresh, empty index inside `pool` with the
+    /// implementation's default configuration.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmindex::{PersistentIndex, PmIndex};
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+    /// let tree = fastfair::FastFairTree::create_in(pool)?;
+    /// assert!(tree.is_empty());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::PoolExhausted`] if the pool cannot hold the
+    /// superblock and initial node(s).
+    fn create_in(pool: Arc<Pool>) -> Result<Self, IndexError>;
+
+    /// Re-opens the index whose superblock is at `meta` (the paper's
+    /// "instantaneous recovery" entry point).
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmindex::{PersistentIndex, PmIndex};
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+    /// let tree = fastfair::FastFairTree::create_in(Arc::clone(&pool))?;
+    /// tree.insert(1, 10)?;
+    /// let meta = tree.superblock();
+    /// drop(tree);
+    /// let again = fastfair::FastFairTree::open_in(pool, meta)?;
+    /// assert_eq!(again.get(1), Some(10));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Fails if no valid superblock lives at `meta`.
+    fn open_in(pool: Arc<Pool>, meta: PmOffset) -> Result<Self, IndexError>;
+
+    /// Offset of the persistent superblock identifying this index inside
+    /// its pool — what a directory object (or shard manifest) stores so
+    /// [`PersistentIndex::open_in`] can find the index again.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmindex::PersistentIndex;
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+    /// let tree = fastfair::FastFairTree::create_in(pool)?;
+    /// assert_ne!(tree.superblock(), 0); // offset 0 is the NULL pointer
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    fn superblock(&self) -> PmOffset;
+}
+
+/// Iterator adapter draining a [`Cursor`] — bridges the streaming-scan
+/// world into APIs that want an `Iterator`, most importantly
+/// [`PmIndex::bulk_load`]: `bulk_load(&mut CursorIter(src.cursor()))`
+/// streams one index into another without materializing it (how a shard
+/// rebalance or a compaction moves its data).
+///
+/// ```
+/// use std::sync::Arc;
+/// use pmindex::{CursorIter, PersistentIndex, PmIndex};
+///
+/// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+/// let src = fastfair::FastFairTree::create_in(Arc::clone(&pool))?;
+/// src.bulk_load(&mut (1..=500u64).map(|k| (k, k + 1)))?;
+/// let dst = fastfair::FastFairTree::create_in(pool)?;
+/// // Stream src -> dst through a cursor; ascending order hits the
+/// // bottom-up fast path on the destination.
+/// let moved = dst.bulk_load(&mut CursorIter(src.cursor()))?;
+/// assert_eq!(moved, 500);
+/// assert_eq!(dst.get(250), Some(251));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct CursorIter<C>(
+    /// The cursor to drain.
+    pub C,
+);
+
+impl<C: Cursor> Iterator for CursorIter<C> {
+    type Item = (Key, Value);
+    fn next(&mut self) -> Option<(Key, Value)> {
+        self.0.next()
+    }
+}
+
 /// Checks that a value is not one of the reserved bit patterns.
+///
+/// ```
+/// assert!(pmindex::check_value(1).is_ok());
+/// assert!(pmindex::check_value(0).is_err());
+/// assert!(pmindex::check_value(u64::MAX).is_err());
+/// ```
 ///
 /// # Errors
 ///

@@ -225,6 +225,18 @@ impl Cursor for SkipCursor<'_> {
     }
 }
 
+impl pmindex::PersistentIndex for PSkipList {
+    fn create_in(pool: Arc<Pool>) -> Result<Self, IndexError> {
+        PSkipList::create(pool)
+    }
+    fn open_in(pool: Arc<Pool>, meta: PmOffset) -> Result<Self, IndexError> {
+        PSkipList::open(pool, meta)
+    }
+    fn superblock(&self) -> PmOffset {
+        self.meta_offset()
+    }
+}
+
 impl PmIndex for PSkipList {
     fn insert(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
         check_value(value)?;

@@ -1,0 +1,1151 @@
+//! # Sharded `PmIndex` router with crash-atomic rebalancing
+//!
+//! The paper removes logging from *one* B+-tree; this crate scales the
+//! result *out*. A [`ShardedStore`] routes every operation of the
+//! [`PmIndex`] trait across `N` per-shard indexes — each typically in its
+//! own [`pmem::Pool`] — under a pluggable [`Partitioning`] (multiplicative
+//! hash or contiguous key ranges). Because `ShardedStore` itself
+//! implements [`PmIndex`], every harness in this repository (differential
+//! tests, TPC-C, the figure benches) runs against it unchanged.
+//!
+//! Three design points carry the paper's spirit upward a layer:
+//!
+//! * **Scans stay streaming.** [`PmIndex::cursor`] returns a K-way merged
+//!   cursor over per-shard [`Cursor`]s: a binary-heap merge under hash
+//!   partitioning, plain shard-order chaining under range partitioning.
+//!   Per-shard entries are pulled in small refill batches, so a cross-shard
+//!   scan never materializes a result set.
+//! * **The shard map commits like a FAST store.** A persistent deployment
+//!   records its shard map in an epoch-numbered, checksummed
+//!   [manifest](self) record; the only commit point is the single
+//!   failure-atomic 8-byte pointer flip of [`pmem::Pool::set_manifest`] —
+//!   multi-structure metadata updates without reintroducing a log.
+//! * **Rebalancing is cursor + bulk load + pointer flip.**
+//!   [`ShardedStore::rebalance_into`] streams one shard out through its
+//!   cursor, [`PmIndex::bulk_load`]s it bottom-up into a fresh pool
+//!   (packed leaves, one flush per cache line), and publishes the move by
+//!   committing the next manifest epoch. A crash at *any* intermediate
+//!   step recovers to the old shard map with the old shard intact — the
+//!   half-built replacement merely leaks, the standard PM-allocator
+//!   trade-off this repository documents on [`pmem::Pool::free`].
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pmem::{Pool, PoolConfig};
+//! use pmindex::{PersistentIndex, PmIndex};
+//! use shard::{Partitioning, ShardedStore};
+//!
+//! // Four FAST+FAIR shards, each in its own pool, hash partitioned.
+//! let pools: Vec<_> = (0..4)
+//!     .map(|_| Arc::new(Pool::new(PoolConfig::default().size(1 << 20)).unwrap()))
+//!     .collect();
+//! let manifest = Arc::clone(&pools[0]);
+//! let store: ShardedStore<fastfair::FastFairTree> =
+//!     ShardedStore::create(manifest, pools, Partitioning::Hash { shards: 4 })?;
+//! for k in 1..=1000u64 {
+//!     store.insert(k, k + 7)?;
+//! }
+//! assert_eq!(store.len(), 1000);
+//! let mut out = Vec::new();
+//! store.range(100, 110, &mut out); // merged across all four shards
+//! assert_eq!(out.len(), 10);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+
+mod manifest;
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use pmem::{PmOffset, Pool};
+use pmindex::{Cursor, CursorIter, IndexError, Key, PersistentIndex, PmIndex, Value};
+
+/// How keys are distributed across shards.
+///
+/// ```
+/// use shard::Partitioning;
+///
+/// let hash = Partitioning::Hash { shards: 4 };
+/// assert_eq!(hash.shards(), 4);
+///
+/// // Three contiguous ranges: [0, 100), [100, 200), [200, MAX].
+/// let range = Partitioning::Range { bounds: vec![100, 200] };
+/// assert_eq!(range.shards(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Partitioning {
+    /// Multiplicative hashing of the key: uniform load, order destroyed
+    /// across shards (scans use a heap merge).
+    Hash {
+        /// Number of shards.
+        shards: usize,
+    },
+    /// Contiguous key ranges: shard `i` owns `[bounds[i-1], bounds[i])`
+    /// (with implicit 0 and `u64::MAX` ends), preserving global key order
+    /// shard-to-shard (scans chain shards sequentially). `bounds` holds
+    /// the `N - 1` ascending split points of an `N`-shard deployment.
+    Range {
+        /// Exclusive upper bounds between adjacent shards, ascending.
+        bounds: Vec<Key>,
+    },
+}
+
+impl Partitioning {
+    /// Number of shards this partitioning describes.
+    ///
+    /// ```
+    /// assert_eq!(shard::Partitioning::Hash { shards: 8 }.shards(), 8);
+    /// assert_eq!(shard::Partitioning::Range { bounds: vec![] }.shards(), 1);
+    /// ```
+    pub fn shards(&self) -> usize {
+        match self {
+            Partitioning::Hash { shards } => *shards,
+            Partitioning::Range { bounds } => bounds.len() + 1,
+        }
+    }
+
+    /// The shard a key routes to.
+    ///
+    /// ```
+    /// use shard::Partitioning;
+    ///
+    /// let p = Partitioning::Range { bounds: vec![100, 200] };
+    /// assert_eq!(p.shard_of(5), 0);
+    /// assert_eq!(p.shard_of(100), 1); // bounds are exclusive above
+    /// assert_eq!(p.shard_of(u64::MAX), 2);
+    ///
+    /// let h = Partitioning::Hash { shards: 3 };
+    /// assert!(h.shard_of(42) < 3);
+    /// ```
+    pub fn shard_of(&self, key: Key) -> usize {
+        match self {
+            Partitioning::Hash { shards } => {
+                // Murmur-style finalizer: spread adjacent keys uniformly.
+                let mut h = key;
+                h ^= h >> 33;
+                h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+                h ^= h >> 33;
+                (h % *shards as u64) as usize
+            }
+            Partitioning::Range { bounds } => bounds.partition_point(|&b| b <= key),
+        }
+    }
+
+    /// Exclusive upper key bound of shard `i` (`u64::MAX` for the last
+    /// range shard; unused — 0 — under hash partitioning).
+    fn upper_bound(&self, i: usize) -> u64 {
+        match self {
+            Partitioning::Hash { .. } => 0,
+            Partitioning::Range { bounds } => bounds.get(i).copied().unwrap_or(u64::MAX),
+        }
+    }
+
+    fn kind(&self) -> u64 {
+        match self {
+            Partitioning::Hash { .. } => manifest::KIND_HASH,
+            Partitioning::Range { .. } => manifest::KIND_RANGE,
+        }
+    }
+
+    fn assert_valid(&self) {
+        assert!(self.shards() >= 1, "a sharded store needs at least 1 shard");
+        if let Partitioning::Range { bounds } = self {
+            assert!(
+                bounds.windows(2).all(|w| w[0] <= w[1]),
+                "range partition bounds must be ascending"
+            );
+        }
+    }
+}
+
+/// One shard: the current index plus a write gate.
+///
+/// Point/bulk writers hold the gate *shared* (they stay concurrent with
+/// each other — the underlying index is internally synchronized); a
+/// rebalance holds it *exclusively* for the duration of the copy so the
+/// streamed-out snapshot cannot miss a racing write. Readers never touch
+/// the gate: gets and cursors stay wait-free against a running rebalance.
+struct ShardSlot<I> {
+    index: RwLock<Arc<I>>,
+    write_gate: RwLock<()>,
+}
+
+impl<I> ShardSlot<I> {
+    fn new(index: Arc<I>) -> Self {
+        ShardSlot {
+            index: RwLock::new(index),
+            write_gate: RwLock::new(()),
+        }
+    }
+    fn current(&self) -> Arc<I> {
+        Arc::clone(&self.index.read())
+    }
+}
+
+/// Persistence side of a manifest-backed store.
+struct PersistState {
+    manifest_pool: Arc<Pool>,
+    /// Pool for each slot id; indexed by slot.
+    pools: Mutex<Vec<Arc<Pool>>>,
+    /// Slot id currently backing each shard.
+    slots: Mutex<Vec<u64>>,
+    epoch: AtomicU64,
+    /// Serializes rebalances (each bumps the manifest epoch).
+    rebalance: Mutex<()>,
+}
+
+/// A router over `N` per-shard [`PmIndex`] instances that is itself a
+/// [`PmIndex`].
+///
+/// Construct it volatile with [`ShardedStore::from_indexes`] (any index,
+/// no manifest), or persistent with [`ShardedStore::create`] /
+/// [`ShardedStore::open`] (indexes implementing [`PersistentIndex`],
+/// crash-consistent manifest, online [`ShardedStore::rebalance_into`]).
+pub struct ShardedStore<I> {
+    shards: Vec<ShardSlot<I>>,
+    partitioning: Partitioning,
+    persist: Option<PersistState>,
+}
+
+impl<I> std::fmt::Debug for ShardedStore<I> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedStore")
+            .field("shards", &self.shards.len())
+            .field("partitioning", &self.partitioning)
+            .field("manifest", &self.persist.is_some())
+            .finish()
+    }
+}
+
+impl<I: PmIndex> ShardedStore<I> {
+    /// Builds a *volatile* router over caller-constructed indexes: no
+    /// manifest is written, and [`ShardedStore::rebalance_into`] is
+    /// unavailable. This is the construction the benches use (the shard
+    /// map is rebuilt from scratch on every run) and the only one the
+    /// volatile B-link baseline supports.
+    ///
+    /// ```
+    /// use pmindex::PmIndex;
+    /// use shard::{Partitioning, ShardedStore};
+    ///
+    /// let store = ShardedStore::from_indexes(
+    ///     vec![blink::BlinkTree::new(), blink::BlinkTree::new()],
+    ///     Partitioning::Hash { shards: 2 },
+    /// );
+    /// store.insert(1, 10)?;
+    /// assert_eq!(store.get(1), Some(10));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indexes.len()` disagrees with the partitioning's shard
+    /// count, or if range bounds are not ascending.
+    pub fn from_indexes(indexes: Vec<I>, partitioning: Partitioning) -> Self {
+        partitioning.assert_valid();
+        assert_eq!(
+            indexes.len(),
+            partitioning.shards(),
+            "index count must match the partitioning's shard count"
+        );
+        ShardedStore {
+            shards: indexes
+                .into_iter()
+                .map(|i| ShardSlot::new(Arc::new(i)))
+                .collect(),
+            partitioning,
+            persist: None,
+        }
+    }
+
+    /// The partitioning in force.
+    ///
+    /// ```
+    /// use shard::{Partitioning, ShardedStore};
+    ///
+    /// let store = ShardedStore::from_indexes(
+    ///     vec![blink::BlinkTree::new()],
+    ///     Partitioning::Hash { shards: 1 },
+    /// );
+    /// assert_eq!(store.partitioning().shards(), 1);
+    /// ```
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// Number of shards (fixed for the lifetime of the store; rebalancing
+    /// moves a shard's *contents*, not the shard count).
+    ///
+    /// ```
+    /// use shard::{Partitioning, ShardedStore};
+    ///
+    /// let store = ShardedStore::from_indexes(
+    ///     vec![blink::BlinkTree::new(), blink::BlinkTree::new()],
+    ///     Partitioning::Range { bounds: vec![500] },
+    /// );
+    /// assert_eq!(store.shard_count(), 2);
+    /// ```
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of live keys in one shard — the load-balance observability
+    /// hook (a rebalancing policy watches these; the mechanism is
+    /// [`ShardedStore::rebalance_into`]).
+    ///
+    /// ```
+    /// use pmindex::PmIndex;
+    /// use shard::{Partitioning, ShardedStore};
+    ///
+    /// let store = ShardedStore::from_indexes(
+    ///     vec![blink::BlinkTree::new(), blink::BlinkTree::new()],
+    ///     Partitioning::Range { bounds: vec![100] },
+    /// );
+    /// store.insert(5, 50)?;   // -> shard 0
+    /// store.insert(150, 51)?; // -> shard 1
+    /// assert_eq!((store.shard_len(0), store.shard_len(1)), (1, 1));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.shards[shard].current().len()
+    }
+
+    fn route(&self, key: Key) -> &ShardSlot<I> {
+        &self.shards[self.partitioning.shard_of(key)]
+    }
+
+    fn feeds(&self) -> Vec<Feed<I>> {
+        self.shards.iter().map(|s| Feed::new(s.current())).collect()
+    }
+}
+
+impl<I: PersistentIndex> ShardedStore<I> {
+    /// Creates a fresh persistent deployment: one empty index per pool in
+    /// `shard_pools` (pool *slot* `i` backs shard `i` initially), and an
+    /// epoch-0 manifest committed into `manifest_pool` with a single
+    /// failure-atomic pointer flip.
+    ///
+    /// `manifest_pool` may be one of the shard pools (small deployments,
+    /// crash tests) or a dedicated pool (a real fleet).
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmem::{Pool, PoolConfig};
+    /// use shard::{Partitioning, ShardedStore};
+    ///
+    /// let pool = Arc::new(Pool::new(PoolConfig::default().size(1 << 20))?);
+    /// let store: ShardedStore<fastfair::FastFairTree> = ShardedStore::create(
+    ///     Arc::clone(&pool),
+    ///     vec![Arc::clone(&pool), Arc::clone(&pool)], // both shards share one pool
+    ///     Partitioning::Range { bounds: vec![1000] },
+    /// )?;
+    /// assert_eq!(store.epoch(), Some(0));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool exhaustion from index creation or the manifest
+    /// write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_pools.len()` disagrees with the partitioning's
+    /// shard count, or if range bounds are not ascending.
+    pub fn create(
+        manifest_pool: Arc<Pool>,
+        shard_pools: Vec<Arc<Pool>>,
+        partitioning: Partitioning,
+    ) -> Result<Self, IndexError> {
+        partitioning.assert_valid();
+        assert_eq!(
+            shard_pools.len(),
+            partitioning.shards(),
+            "pool count must match the partitioning's shard count"
+        );
+        let indexes = shard_pools
+            .iter()
+            .map(|p| I::create_in(Arc::clone(p)).map(Arc::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        let store = ShardedStore {
+            shards: indexes.into_iter().map(ShardSlot::new).collect(),
+            partitioning,
+            persist: Some(PersistState {
+                manifest_pool,
+                slots: Mutex::new((0..shard_pools.len() as u64).collect()),
+                pools: Mutex::new(shard_pools),
+                epoch: AtomicU64::new(0),
+                rebalance: Mutex::new(()),
+            }),
+        };
+        store.commit_manifest(0)?;
+        Ok(store)
+    }
+
+    /// Re-opens a deployment from its manifest: reads the record
+    /// `manifest_pool` points at, validates its checksum, reconstructs the
+    /// partitioning, and re-opens every shard's index from the pool its
+    /// manifest entry names (`pools[slot]`) — the sharded analogue of the
+    /// paper's instantaneous recovery.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmem::{Pool, PoolConfig};
+    /// use pmindex::PmIndex;
+    /// use shard::{Partitioning, ShardedStore};
+    ///
+    /// let pool = Arc::new(Pool::new(PoolConfig::default().size(1 << 20))?);
+    /// let store: ShardedStore<fastfair::FastFairTree> = ShardedStore::create(
+    ///     Arc::clone(&pool),
+    ///     vec![Arc::clone(&pool), Arc::clone(&pool)],
+    ///     Partitioning::Hash { shards: 2 },
+    /// )?;
+    /// store.insert(17, 170)?;
+    /// drop(store);
+    ///
+    /// let again: ShardedStore<fastfair::FastFairTree> =
+    ///     ShardedStore::open(Arc::clone(&pool), vec![Arc::clone(&pool), pool])?;
+    /// assert_eq!(again.get(17), Some(170));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::Unsupported`] if the pool holds no manifest, the
+    /// record fails its checksum, or an entry names a slot outside
+    /// `pools`; index-open failures propagate.
+    pub fn open(manifest_pool: Arc<Pool>, pools: Vec<Arc<Pool>>) -> Result<Self, IndexError> {
+        let rec = manifest::read(&manifest_pool)?;
+        let n = rec.entries.len();
+        let partitioning = if rec.kind == manifest::KIND_RANGE {
+            Partitioning::Range {
+                bounds: rec.entries[..n.saturating_sub(1)]
+                    .iter()
+                    .map(|e| e.bound)
+                    .collect(),
+            }
+        } else {
+            Partitioning::Hash { shards: n }
+        };
+        let mut shards = Vec::with_capacity(n);
+        let mut slots = Vec::with_capacity(n);
+        for e in &rec.entries {
+            let pool = pools.get(e.slot as usize).ok_or_else(|| {
+                IndexError::Unsupported(format!(
+                    "manifest names pool slot {} but only {} pools were supplied",
+                    e.slot,
+                    pools.len()
+                ))
+            })?;
+            shards.push(ShardSlot::new(Arc::new(I::open_in(
+                Arc::clone(pool),
+                e.meta,
+            )?)));
+            slots.push(e.slot);
+        }
+        Ok(ShardedStore {
+            shards,
+            partitioning,
+            persist: Some(PersistState {
+                manifest_pool,
+                pools: Mutex::new(pools),
+                slots: Mutex::new(slots),
+                epoch: AtomicU64::new(rec.epoch),
+                rebalance: Mutex::new(()),
+            }),
+        })
+    }
+
+    /// Current manifest epoch, or `None` for a volatile router. Every
+    /// committed rebalance increments it by exactly one.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmem::{Pool, PoolConfig};
+    /// use shard::{Partitioning, ShardedStore};
+    ///
+    /// let pool = Arc::new(Pool::new(PoolConfig::default().size(1 << 20))?);
+    /// let store: ShardedStore<fastfair::FastFairTree> = ShardedStore::create(
+    ///     Arc::clone(&pool),
+    ///     vec![pool],
+    ///     Partitioning::Hash { shards: 1 },
+    /// )?;
+    /// assert_eq!(store.epoch(), Some(0));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn epoch(&self) -> Option<u64> {
+        self.persist
+            .as_ref()
+            .map(|p| p.epoch.load(Ordering::Acquire))
+    }
+
+    /// The live shard map as `(pool slot, superblock offset)` per shard,
+    /// or `None` for a volatile router — what the manifest records; used
+    /// by the crash tests to assert old-or-new, never a mixture.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmem::{Pool, PoolConfig};
+    /// use shard::{Partitioning, ShardedStore};
+    ///
+    /// let pool = Arc::new(Pool::new(PoolConfig::default().size(1 << 20))?);
+    /// let store: ShardedStore<fastfair::FastFairTree> = ShardedStore::create(
+    ///     Arc::clone(&pool),
+    ///     vec![Arc::clone(&pool), pool],
+    ///     Partitioning::Hash { shards: 2 },
+    /// )?;
+    /// let map = store.shard_map().unwrap();
+    /// assert_eq!(map.len(), 2);
+    /// assert_eq!((map[0].0, map[1].0), (0, 1)); // initial slots
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn shard_map(&self) -> Option<Vec<(u64, PmOffset)>> {
+        let persist = self.persist.as_ref()?;
+        let slots = persist.slots.lock();
+        Some(
+            self.shards
+                .iter()
+                .zip(slots.iter())
+                .map(|(s, &slot)| (slot, s.current().superblock()))
+                .collect(),
+        )
+    }
+
+    /// Migrates one shard into a fresh index in `pool` (registered as pool
+    /// slot `slot`), returning the number of keys moved.
+    ///
+    /// The move is **online** for readers (gets and cursors on every shard,
+    /// including the one moving, proceed against the old index throughout)
+    /// and blocks writers *of that shard only*. Mechanically it is the
+    /// ROADMAP's cursor-compaction applied to a shard: stream the old index
+    /// through its cursor, [`PmIndex::bulk_load`] the stream bottom-up into
+    /// the fresh index (packed leaves — this doubles as defragmentation),
+    /// persist everything, then commit a manifest record with the next
+    /// epoch. The manifest pointer flip is the *only* commit point: a crash
+    /// any earlier recovers the old map with the old shard intact (the
+    /// half-built copy leaks); a crash any later recovers the new map. No
+    /// intermediate state is ever visible.
+    ///
+    /// `slot` may reuse the shard's current slot id (same-pool compaction),
+    /// name any existing slot, or extend the fleet by one
+    /// (`slot == pools.len()` at call time).
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmem::{Pool, PoolConfig};
+    /// use pmindex::PmIndex;
+    /// use shard::{Partitioning, ShardedStore};
+    ///
+    /// let pool = Arc::new(Pool::new(PoolConfig::default().size(4 << 20))?);
+    /// let store: ShardedStore<fastfair::FastFairTree> = ShardedStore::create(
+    ///     Arc::clone(&pool),
+    ///     vec![Arc::clone(&pool), Arc::clone(&pool)],
+    ///     Partitioning::Range { bounds: vec![500] },
+    /// )?;
+    /// for k in 1..=800u64 {
+    ///     store.insert(k, k)?;
+    /// }
+    /// // Move shard 0 ([1, 500)) onto a brand-new pool as slot 2.
+    /// let fresh = Arc::new(Pool::new(PoolConfig::default().size(4 << 20))?);
+    /// let moved = store.rebalance_into(0, 2, fresh)?;
+    /// assert_eq!(moved, 499);
+    /// assert_eq!(store.epoch(), Some(1));
+    /// assert_eq!(store.get(250), Some(250)); // data follows the shard
+    /// assert_eq!(store.len(), 800);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::Unsupported`] on a volatile router, for a shard id
+    /// out of range, or for a slot id beyond one past the current fleet;
+    /// pool exhaustion propagates (and leaves the old map committed).
+    pub fn rebalance_into(
+        &self,
+        shard: usize,
+        slot: u64,
+        pool: Arc<Pool>,
+    ) -> Result<usize, IndexError> {
+        let persist = self.persist.as_ref().ok_or_else(|| {
+            IndexError::Unsupported("rebalance requires a manifest-backed store".into())
+        })?;
+        if shard >= self.shards.len() {
+            return Err(IndexError::Unsupported(format!(
+                "shard {shard} out of range (have {})",
+                self.shards.len()
+            )));
+        }
+        // One rebalance at a time: each commits its own manifest epoch.
+        let _serial = persist.rebalance.lock();
+        // Validate the slot id up front but register the pool only after
+        // the copy succeeds: a failed rebalance must leave the fleet
+        // bookkeeping exactly as it found it. The length cannot change
+        // underneath us — rebalances are serialized and nothing else grows
+        // the fleet.
+        let fleet = persist.pools.lock().len();
+        if slot as usize > fleet {
+            return Err(IndexError::Unsupported(format!(
+                "slot {slot} would leave a gap (fleet has {fleet} pools)"
+            )));
+        }
+        let target = &self.shards[shard];
+        // Exclude writers of this shard for the copy; readers continue.
+        let _quiesce = target.write_gate.write();
+        let old = target.current();
+        let fresh = I::create_in(Arc::clone(&pool))?;
+        let moved = fresh.bulk_load(&mut CursorIter(old.cursor()))?;
+        // Build the next-epoch record: identical map except this shard.
+        let epoch = persist.epoch.load(Ordering::Acquire) + 1;
+        let rec = {
+            let slots = persist.slots.lock();
+            manifest::Record {
+                epoch,
+                kind: self.partitioning.kind(),
+                entries: self
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| manifest::Entry {
+                        slot: if i == shard { slot } else { slots[i] },
+                        meta: if i == shard {
+                            fresh.superblock()
+                        } else {
+                            s.current().superblock()
+                        },
+                        bound: self.partitioning.upper_bound(i),
+                    })
+                    .collect(),
+            }
+        };
+        // THE commit point. Everything the record names is already durable
+        // (bulk_load persists as it packs; create_in persisted the
+        // superblock); a crash before this flip recovers the old map.
+        manifest::commit(&persist.manifest_pool, &rec)?;
+        // Publish to the volatile side only after the durable commit —
+        // nothing below can fail. The index swap and the slot update
+        // happen under the slots lock so `shard_map` (which reads both
+        // under that lock) sees the old pair or the new pair, never a
+        // (new slot, old superblock) mixture.
+        {
+            let mut pools = persist.pools.lock();
+            if slot as usize == pools.len() {
+                pools.push(pool);
+            } else {
+                pools[slot as usize] = pool;
+            }
+        }
+        {
+            let mut slots = persist.slots.lock();
+            *target.index.write() = Arc::new(fresh);
+            slots[shard] = slot;
+            persist.epoch.store(epoch, Ordering::Release);
+        }
+        Ok(moved)
+    }
+
+    fn commit_manifest(&self, epoch: u64) -> Result<(), IndexError> {
+        let persist = self.persist.as_ref().expect("manifest-backed store");
+        let slots = persist.slots.lock();
+        let rec = manifest::Record {
+            epoch,
+            kind: self.partitioning.kind(),
+            entries: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| manifest::Entry {
+                    slot: slots[i],
+                    meta: s.current().superblock(),
+                    bound: self.partitioning.upper_bound(i),
+                })
+                .collect(),
+        };
+        manifest::commit(&persist.manifest_pool, &rec)
+    }
+}
+
+impl<I: PmIndex> PmIndex for ShardedStore<I> {
+    fn insert(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
+        let slot = self.route(key);
+        let _gate = slot.write_gate.read();
+        slot.current().insert(key, value)
+    }
+
+    fn update(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
+        let slot = self.route(key);
+        let _gate = slot.write_gate.read();
+        slot.current().update(key, value)
+    }
+
+    fn get(&self, key: Key) -> Option<Value> {
+        self.route(key).current().get(key)
+    }
+
+    fn remove(&self, key: Key) -> bool {
+        let slot = self.route(key);
+        let _gate = slot.write_gate.read();
+        slot.current().remove(key)
+    }
+
+    fn cursor(&self) -> Box<dyn Cursor + '_> {
+        match &self.partitioning {
+            Partitioning::Hash { .. } => Box::new(HashMergeCursor {
+                feeds: self.feeds(),
+                heap: BinaryHeap::new(),
+                primed: false,
+            }),
+            Partitioning::Range { .. } => Box::new(RangeChainCursor {
+                feeds: self.feeds(),
+                partitioning: self.partitioning.clone(),
+                active: 0,
+            }),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.current().len()).sum()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.current().is_empty())
+    }
+
+    fn bulk_load(
+        &self,
+        items: &mut dyn Iterator<Item = (Key, Value)>,
+    ) -> Result<usize, IndexError> {
+        // Split the stream by shard, preserving arrival order, so an
+        // ascending input stays ascending per shard and hits each index's
+        // bottom-up fast path. Deliberate trade-off: this transiently
+        // buffers the whole input (O(n) memory) — the underlying
+        // bulk loaders take their bottom-up path only on the FIRST load
+        // into an empty index, so flushing in bounded chunks would demote
+        // every chunk after the first to loop-inserts.
+        let mut per_shard: Vec<Vec<(Key, Value)>> = vec![Vec::new(); self.shards.len()];
+        for (k, v) in items {
+            per_shard[self.partitioning.shard_of(k)].push((k, v));
+        }
+        let mut fresh = 0;
+        for (i, chunk) in per_shard.into_iter().enumerate() {
+            if chunk.is_empty() {
+                continue;
+            }
+            let slot = &self.shards[i];
+            let _gate = slot.write_gate.read();
+            fresh += slot.current().bulk_load(&mut chunk.into_iter())?;
+        }
+        Ok(fresh)
+    }
+
+    fn name(&self) -> &'static str {
+        match self.partitioning {
+            Partitioning::Hash { .. } => "Sharded(hash)",
+            Partitioning::Range { .. } => "Sharded(range)",
+        }
+    }
+}
+
+/// Entries pulled per shard per refill. Each refill opens a fresh
+/// per-shard cursor and seeks — amortizing one tree descent over the
+/// whole batch.
+const FEED_BATCH: usize = 64;
+
+/// Buffered stream of one shard's entries.
+///
+/// Owns an `Arc` of the shard index (so a concurrent rebalance swapping
+/// the shard leaves an in-flight scan on its consistent snapshot) and
+/// re-opens a short-lived cursor per refill batch, sidestepping the
+/// self-referential borrow a long-lived `Box<dyn Cursor>` over the `Arc`
+/// would need.
+struct Feed<I> {
+    index: Arc<I>,
+    buf: VecDeque<(Key, Value)>,
+    next_seek: Key,
+    exhausted: bool,
+}
+
+impl<I: PmIndex> Feed<I> {
+    fn new(index: Arc<I>) -> Self {
+        Feed {
+            index,
+            buf: VecDeque::new(),
+            next_seek: 0,
+            exhausted: false,
+        }
+    }
+
+    fn reset(&mut self, target: Key) {
+        self.buf.clear();
+        self.next_seek = target;
+        self.exhausted = false;
+    }
+
+    fn pop(&mut self) -> Option<(Key, Value)> {
+        if self.buf.is_empty() && !self.exhausted {
+            let mut cur = self.index.cursor();
+            cur.seek(self.next_seek);
+            for _ in 0..FEED_BATCH {
+                match cur.next() {
+                    Some(entry) => self.buf.push_back(entry),
+                    None => {
+                        self.exhausted = true;
+                        break;
+                    }
+                }
+            }
+            match self.buf.back() {
+                Some(&(last, _)) => match last.checked_add(1) {
+                    Some(next) => self.next_seek = next,
+                    None => self.exhausted = true, // u64::MAX was yielded
+                },
+                None => self.exhausted = true,
+            }
+        }
+        self.buf.pop_front()
+    }
+}
+
+/// K-way heap merge over per-shard feeds (hash partitioning: every shard
+/// may hold keys from anywhere in the keyspace).
+struct HashMergeCursor<I> {
+    feeds: Vec<Feed<I>>,
+    /// Min-heap of the current head entry of each non-exhausted feed.
+    heap: BinaryHeap<Reverse<(Key, Value, usize)>>,
+    primed: bool,
+}
+
+impl<I: PmIndex> Cursor for HashMergeCursor<I> {
+    fn seek(&mut self, target: Key) {
+        for feed in &mut self.feeds {
+            feed.reset(target);
+        }
+        self.heap.clear();
+        self.primed = false;
+    }
+
+    fn next(&mut self) -> Option<(Key, Value)> {
+        if !self.primed {
+            self.primed = true;
+            for (i, feed) in self.feeds.iter_mut().enumerate() {
+                if let Some((k, v)) = feed.pop() {
+                    self.heap.push(Reverse((k, v, i)));
+                }
+            }
+        }
+        let Reverse((key, value, i)) = self.heap.pop()?;
+        if let Some((k, v)) = self.feeds[i].pop() {
+            self.heap.push(Reverse((k, v, i)));
+        }
+        Some((key, value))
+    }
+}
+
+/// Sequential shard chaining (range partitioning: shard order *is* key
+/// order, so no merge is needed — and only one shard is touched until it
+/// is exhausted).
+struct RangeChainCursor<I> {
+    feeds: Vec<Feed<I>>,
+    partitioning: Partitioning,
+    active: usize,
+}
+
+impl<I: PmIndex> Cursor for RangeChainCursor<I> {
+    fn seek(&mut self, target: Key) {
+        self.active = self.partitioning.shard_of(target);
+        for feed in &mut self.feeds[self.active..] {
+            feed.reset(target);
+        }
+    }
+
+    fn next(&mut self) -> Option<(Key, Value)> {
+        while self.active < self.feeds.len() {
+            if let Some(entry) = self.feeds[self.active].pop() {
+                return Some(entry);
+            }
+            self.active += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastfair::FastFairTree;
+    use pmem::PoolConfig;
+
+    fn pool(bytes: usize) -> Arc<Pool> {
+        Arc::new(Pool::new(PoolConfig::new().size(bytes)).unwrap())
+    }
+
+    fn hash_store(shards: usize) -> ShardedStore<FastFairTree> {
+        let p = pool(32 << 20);
+        ShardedStore::create(
+            Arc::clone(&p),
+            vec![p; shards],
+            Partitioning::Hash { shards },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hash_routing_covers_all_shards() {
+        let part = Partitioning::Hash { shards: 8 };
+        let mut hit = [false; 8];
+        for k in 1..1000u64 {
+            hit[part.shard_of(k)] = true;
+        }
+        assert!(hit.iter().all(|&h| h));
+    }
+
+    #[test]
+    fn range_routing_respects_bounds() {
+        let part = Partitioning::Range {
+            bounds: vec![10, 10, 20],
+        };
+        // Equal bounds leave shard 1 empty; routing still works.
+        assert_eq!(part.shard_of(9), 0);
+        assert_eq!(part.shard_of(10), 2);
+        assert_eq!(part.shard_of(19), 2);
+        assert_eq!(part.shard_of(20), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn mismatched_shard_count_panics() {
+        let p = pool(1 << 20);
+        let _ = ShardedStore::<FastFairTree>::create(
+            Arc::clone(&p),
+            vec![p],
+            Partitioning::Hash { shards: 2 },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn descending_bounds_panic() {
+        let _ = ShardedStore::from_indexes(
+            vec![tree_in_own_pool(), tree_in_own_pool(), tree_in_own_pool()],
+            Partitioning::Range {
+                bounds: vec![20, 10],
+            },
+        );
+    }
+
+    fn tree_in_own_pool() -> FastFairTree {
+        FastFairTree::create(pool(1 << 20), fastfair::TreeOptions::new()).unwrap()
+    }
+
+    #[test]
+    fn merged_cursor_is_globally_sorted_hash() {
+        let store = hash_store(4);
+        let keys: Vec<u64> = (1..2000).step_by(3).collect();
+        for &k in &keys {
+            store.insert(k, k + 1).unwrap();
+        }
+        let mut cur = store.cursor();
+        let mut seen = Vec::new();
+        while let Some((k, v)) = cur.next() {
+            assert_eq!(v, k + 1);
+            seen.push(k);
+        }
+        assert_eq!(seen, keys);
+        // Seek into the middle.
+        cur.seek(1000);
+        let (k, _) = cur.next().unwrap();
+        assert_eq!(k, keys.iter().copied().find(|&k| k >= 1000).unwrap());
+    }
+
+    #[test]
+    fn merged_cursor_is_globally_sorted_range() {
+        let p = pool(32 << 20);
+        let store: ShardedStore<FastFairTree> = ShardedStore::create(
+            Arc::clone(&p),
+            vec![Arc::clone(&p), Arc::clone(&p), p],
+            Partitioning::Range {
+                bounds: vec![700, 1400],
+            },
+        )
+        .unwrap();
+        let keys: Vec<u64> = (1..2100).step_by(7).collect();
+        for &k in &keys {
+            store.insert(k, k + 1).unwrap();
+        }
+        let collected: Vec<u64> = pmindex::CursorIter(store.cursor())
+            .map(|(k, _)| k)
+            .collect();
+        assert_eq!(collected, keys);
+        // A window straddling both split points.
+        let mut out = Vec::new();
+        store.range(650, 1450, &mut out);
+        let want: Vec<(u64, u64)> = keys
+            .iter()
+            .filter(|&&k| (650..1450).contains(&k))
+            .map(|&k| (k, k + 1))
+            .collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn bulk_load_splits_and_counts() {
+        let store = hash_store(3);
+        let fresh = store
+            .bulk_load(&mut (1..=999u64).map(|k| (k, k + 5)))
+            .unwrap();
+        assert_eq!(fresh, 999);
+        assert_eq!(store.len(), 999);
+        let dup = store
+            .bulk_load(&mut (500..=999u64).map(|k| (k, k)))
+            .unwrap();
+        assert_eq!(dup, 0);
+        assert_eq!(store.get(700), Some(700)); // upserted
+    }
+
+    #[test]
+    fn rebalance_on_volatile_store_is_unsupported() {
+        let store = ShardedStore::from_indexes(
+            vec![tree_in_own_pool(), tree_in_own_pool()],
+            Partitioning::Hash { shards: 2 },
+        );
+        assert!(matches!(
+            store.rebalance_into(0, 0, pool(1 << 20)),
+            Err(IndexError::Unsupported(_))
+        ));
+        assert_eq!(store.epoch(), None);
+        assert!(store.shard_map().is_none());
+    }
+
+    #[test]
+    fn rebalance_moves_data_and_bumps_epoch() {
+        let p = pool(32 << 20);
+        let store: ShardedStore<FastFairTree> = ShardedStore::create(
+            Arc::clone(&p),
+            vec![Arc::clone(&p), Arc::clone(&p)],
+            Partitioning::Range { bounds: vec![500] },
+        )
+        .unwrap();
+        for k in 1..=1000u64 {
+            store.insert(k, k + 1).unwrap();
+        }
+        let before = store.shard_map().unwrap();
+        let target = pool(32 << 20);
+        let moved = store.rebalance_into(1, 2, Arc::clone(&target)).unwrap();
+        assert_eq!(moved, 501); // keys 500..=1000
+        assert_eq!(store.epoch(), Some(1));
+        let after = store.shard_map().unwrap();
+        assert_eq!(after[0], before[0]); // untouched shard unchanged
+        assert_eq!(after[1].0, 2); // moved shard now on slot 2
+        assert_ne!(after[1].1, before[1].1);
+        // All data still present, reads route to the new pool.
+        assert_eq!(store.len(), 1000);
+        assert_eq!(store.get(750), Some(751));
+        // Writes continue to the new shard.
+        store.insert(600, 7).unwrap();
+        assert_eq!(store.get(600), Some(7));
+    }
+
+    #[test]
+    fn rebalance_bad_slot_or_shard_rejected() {
+        let p = pool(4 << 20);
+        let store: ShardedStore<FastFairTree> = ShardedStore::create(
+            Arc::clone(&p),
+            vec![Arc::clone(&p)],
+            Partitioning::Hash { shards: 1 },
+        )
+        .unwrap();
+        assert!(matches!(
+            store.rebalance_into(5, 0, Arc::clone(&p)),
+            Err(IndexError::Unsupported(_))
+        ));
+        assert!(matches!(
+            store.rebalance_into(0, 9, p),
+            Err(IndexError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn failed_rebalance_leaves_fleet_bookkeeping_intact() {
+        let p = pool(32 << 20);
+        let store: ShardedStore<FastFairTree> = ShardedStore::create(
+            Arc::clone(&p),
+            vec![Arc::clone(&p), Arc::clone(&p)],
+            Partitioning::Hash { shards: 2 },
+        )
+        .unwrap();
+        for k in 1..=2000u64 {
+            store.insert(k, k + 1).unwrap();
+        }
+        // A target pool too small for the shard: the copy fails mid-way.
+        let tiny = pool(pmem::POOL_HEADER_SIZE as usize + 128);
+        let before = store.shard_map().unwrap();
+        assert!(matches!(
+            store.rebalance_into(0, 2, tiny),
+            Err(IndexError::PoolExhausted(_))
+        ));
+        // Nothing changed: epoch, map, data — and the aborted slot was
+        // never registered, so the next extend-the-fleet rebalance still
+        // gets slot 2 (no phantom slot, no gap).
+        assert_eq!(store.epoch(), Some(0));
+        assert_eq!(store.shard_map().unwrap(), before);
+        assert_eq!(store.len(), 2000);
+        let big = pool(32 << 20);
+        store.rebalance_into(0, 2, big).unwrap();
+        assert_eq!(store.epoch(), Some(1));
+        assert_eq!(store.shard_map().unwrap()[0].0, 2);
+        assert_eq!(store.len(), 2000);
+    }
+
+    #[test]
+    fn reopen_after_rebalance_uses_new_map() {
+        let p = pool(32 << 20);
+        let store: ShardedStore<FastFairTree> = ShardedStore::create(
+            Arc::clone(&p),
+            vec![Arc::clone(&p), Arc::clone(&p)],
+            Partitioning::Hash { shards: 2 },
+        )
+        .unwrap();
+        for k in 1..=400u64 {
+            store.insert(k, k + 3).unwrap();
+        }
+        store.rebalance_into(0, 0, Arc::clone(&p)).unwrap();
+        let map = store.shard_map().unwrap();
+        drop(store);
+        let again: ShardedStore<FastFairTree> =
+            ShardedStore::open(Arc::clone(&p), vec![Arc::clone(&p), p]).unwrap();
+        assert_eq!(again.epoch(), Some(1));
+        assert_eq!(again.shard_map().unwrap(), map);
+        assert_eq!(again.len(), 400);
+        for k in 1..=400u64 {
+            assert_eq!(again.get(k), Some(k + 3));
+        }
+    }
+
+    #[test]
+    fn readers_stay_live_during_rebalance() {
+        // A cursor opened before a rebalance keeps streaming its snapshot.
+        let p = pool(32 << 20);
+        let store: ShardedStore<FastFairTree> = ShardedStore::create(
+            Arc::clone(&p),
+            vec![Arc::clone(&p), Arc::clone(&p)],
+            Partitioning::Range { bounds: vec![500] },
+        )
+        .unwrap();
+        for k in 1..=1000u64 {
+            store.insert(k, k + 1).unwrap();
+        }
+        let mut cur = store.cursor();
+        for want in 1..=100u64 {
+            assert_eq!(cur.next(), Some((want, want + 1)));
+        }
+        store.rebalance_into(0, 0, Arc::clone(&p)).unwrap();
+        for want in 101..=1000u64 {
+            assert_eq!(cur.next(), Some((want, want + 1)));
+        }
+        assert_eq!(cur.next(), None);
+    }
+}

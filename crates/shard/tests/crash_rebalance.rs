@@ -1,0 +1,145 @@
+//! Crash-atomicity sweep for the shard manifest and rebalancing.
+//!
+//! Everything (three shards + manifest) lives in ONE crash-logged pool, so
+//! the event log totally orders every store of a rebalance: the new index's
+//! creation, the streamed bulk load, the manifest record write, and the
+//! final 8-byte pointer flip. We then materialize the post-crash image at
+//! **every** cut point, under the minimal (nothing evicted), maximal
+//! (everything evicted) and pseudo-random eviction policies, re-open the
+//! deployment from its manifest, and require:
+//!
+//! * the recovered epoch/shard map is exactly the pre-rebalance map or the
+//!   post-rebalance map — never a mixture, never torn;
+//! * the recovered contents equal the committed key set exactly — no lost
+//!   and no duplicated keys, whichever side of the flip the crash fell on.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use fastfair::FastFairTree;
+use pmem::crash::Eviction;
+use pmem::{Pool, PoolConfig};
+use pmindex::{CursorIter, PmIndex};
+use shard::{Partitioning, ShardedStore};
+
+const POOL: usize = 4 << 20;
+const SHARDS: usize = 3;
+
+fn crash_pool() -> Arc<Pool> {
+    Arc::new(Pool::new(PoolConfig::new().size(POOL).crash_log(true)).unwrap())
+}
+
+fn contents(store: &ShardedStore<FastFairTree>) -> BTreeMap<u64, u64> {
+    CursorIter(store.cursor()).collect()
+}
+
+/// Runs the sweep for one partitioning; returns the number of cuts tested.
+fn sweep(partitioning: Partitioning, rebalance_shard: usize) -> usize {
+    let pool = crash_pool();
+    let store: ShardedStore<FastFairTree> = ShardedStore::create(
+        Arc::clone(&pool),
+        vec![Arc::clone(&pool); SHARDS],
+        partitioning,
+    )
+    .unwrap();
+
+    // Committed population: spread over the keyspace so every shard holds
+    // a piece under both partitionings.
+    let mut committed = BTreeMap::new();
+    for i in 1..=180u64 {
+        let k = i * 9973;
+        store.insert(k, k + 1).unwrap();
+        committed.insert(k, k + 1);
+    }
+
+    // Everything so far is durable context; enumerate crash points only
+    // across the rebalance itself.
+    let log = pool.crash_log().unwrap();
+    log.set_baseline(pool.volatile_image());
+
+    let pre_map = store.shard_map().unwrap();
+    let moved = store
+        .rebalance_into(rebalance_shard, rebalance_shard as u64, Arc::clone(&pool))
+        .unwrap();
+    assert!(moved > 0, "rebalanced shard should not be empty");
+    let post_map = store.shard_map().unwrap();
+    assert_ne!(pre_map, post_map);
+    assert_eq!(contents(&store), committed);
+
+    let total = log.len();
+    assert!(total > 50, "rebalance should emit a rich event stream");
+    for cut in 0..=total {
+        for policy in [Eviction::None, Eviction::All, Eviction::Random(cut as u64)] {
+            let img = pool.crash_image(cut, policy.clone());
+            let p2 = Arc::new(Pool::from_image(&img, PoolConfig::new().size(POOL)).unwrap());
+            let reopened: ShardedStore<FastFairTree> =
+                ShardedStore::open(Arc::clone(&p2), vec![Arc::clone(&p2); SHARDS])
+                    .unwrap_or_else(|e| panic!("cut {cut} {policy:?}: open failed: {e}"));
+            let epoch = reopened.epoch().unwrap();
+            let map = reopened.shard_map().unwrap();
+            match epoch {
+                0 => assert_eq!(map, pre_map, "cut {cut} {policy:?}: torn old map"),
+                1 => assert_eq!(map, post_map, "cut {cut} {policy:?}: torn new map"),
+                e => panic!("cut {cut} {policy:?}: impossible epoch {e}"),
+            }
+            // Old map or new map, the data must be byte-identical: no key
+            // lost, none duplicated, values intact.
+            let got = contents(&reopened);
+            assert_eq!(got, committed, "cut {cut} {policy:?} (epoch {epoch})");
+            assert_eq!(reopened.len(), committed.len(), "cut {cut} {policy:?}");
+        }
+    }
+    total + 1
+}
+
+#[test]
+fn rebalance_crash_sweep_hash() {
+    let cuts = sweep(Partitioning::Hash { shards: SHARDS }, 1);
+    assert!(cuts > 50);
+}
+
+#[test]
+fn rebalance_crash_sweep_range() {
+    let cuts = sweep(
+        Partitioning::Range {
+            bounds: vec![600_000, 1_200_000],
+        },
+        0,
+    );
+    assert!(cuts > 50);
+}
+
+/// A crash *between* two committed rebalances recovers one of the three
+/// reachable epochs, each with full data.
+#[test]
+fn back_to_back_rebalances_expose_only_committed_epochs() {
+    let pool = crash_pool();
+    let store: ShardedStore<FastFairTree> = ShardedStore::create(
+        Arc::clone(&pool),
+        vec![Arc::clone(&pool); SHARDS],
+        Partitioning::Hash { shards: SHARDS },
+    )
+    .unwrap();
+    let mut committed = BTreeMap::new();
+    for i in 1..=120u64 {
+        let k = i * 31;
+        store.insert(k, k + 2).unwrap();
+        committed.insert(k, k + 2);
+    }
+    let log = pool.crash_log().unwrap();
+    log.set_baseline(pool.volatile_image());
+
+    store.rebalance_into(0, 0, Arc::clone(&pool)).unwrap();
+    store.rebalance_into(2, 2, Arc::clone(&pool)).unwrap();
+    let total = log.len();
+    let stride = (total / 60).max(1);
+    for cut in (0..=total).step_by(stride) {
+        let img = pool.crash_image(cut, Eviction::Random(cut as u64));
+        let p2 = Arc::new(Pool::from_image(&img, PoolConfig::new().size(POOL)).unwrap());
+        let reopened: ShardedStore<FastFairTree> =
+            ShardedStore::open(Arc::clone(&p2), vec![Arc::clone(&p2); SHARDS]).unwrap();
+        let epoch = reopened.epoch().unwrap();
+        assert!(epoch <= 2, "cut {cut}: impossible epoch {epoch}");
+        assert_eq!(contents(&reopened), committed, "cut {cut} epoch {epoch}");
+    }
+}

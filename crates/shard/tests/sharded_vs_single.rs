@@ -1,0 +1,144 @@
+//! Differential test: a `ShardedStore<FastFairTree>` must be
+//! operation-for-operation indistinguishable from a single `FastFairTree`
+//! over randomized mixed workloads — inserts, in-place updates, deletes,
+//! point gets, materialized ranges and streaming cursor scans — under both
+//! partitionings.
+
+use std::sync::Arc;
+
+use fastfair::{FastFairTree, TreeOptions};
+use pmem::{Pool, PoolConfig};
+use pmindex::{Cursor, PmIndex};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use shard::{Partitioning, ShardedStore};
+
+fn pool(bytes: usize) -> Arc<Pool> {
+    Arc::new(Pool::new(PoolConfig::new().size(bytes)).unwrap())
+}
+
+fn scan(idx: &dyn PmIndex, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let mut c = idx.cursor();
+    c.seek(lo);
+    while let Some((k, v)) = c.next() {
+        if k >= hi {
+            break;
+        }
+        out.push((k, v));
+    }
+    out
+}
+
+fn run_against(sharded: &ShardedStore<FastFairTree>, key_space: u64, seed: u64) {
+    let single = FastFairTree::create(pool(64 << 20), TreeOptions::new()).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next_value = 0x4000u64;
+    for step in 0..6000 {
+        let k = rng.gen_range(1..key_space);
+        match rng.gen_range(0..12) {
+            0..=4 => {
+                next_value += 8;
+                assert_eq!(
+                    sharded.insert(k, next_value).unwrap(),
+                    single.insert(k, next_value).unwrap(),
+                    "step {step}: insert {k}"
+                );
+            }
+            5 => {
+                next_value += 8;
+                assert_eq!(
+                    sharded.update(k, next_value).unwrap(),
+                    single.update(k, next_value).unwrap(),
+                    "step {step}: update {k}"
+                );
+            }
+            6..=7 => {
+                assert_eq!(
+                    sharded.remove(k),
+                    single.remove(k),
+                    "step {step}: remove {k}"
+                );
+            }
+            8..=9 => {
+                assert_eq!(sharded.get(k), single.get(k), "step {step}: get {k}");
+            }
+            10 => {
+                let hi = k.saturating_add(rng.gen_range(1..key_space / 4));
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                sharded.range(k, hi, &mut a);
+                single.range(k, hi, &mut b);
+                assert_eq!(a, b, "step {step}: range [{k}, {hi})");
+            }
+            _ => {
+                let hi = k.saturating_add(rng.gen_range(1..key_space / 4));
+                assert_eq!(
+                    scan(sharded, k, hi),
+                    scan(&single, k, hi),
+                    "step {step}: cursor scan [{k}, {hi})"
+                );
+            }
+        }
+    }
+    assert_eq!(sharded.len(), single.len());
+    assert_eq!(
+        scan(sharded, 0, u64::MAX),
+        scan(&single, 0, u64::MAX),
+        "final contents diverge"
+    );
+}
+
+#[test]
+fn hash_sharded_matches_single_tree() {
+    let p = pool(128 << 20);
+    let sharded: ShardedStore<FastFairTree> =
+        ShardedStore::create(Arc::clone(&p), vec![p; 4], Partitioning::Hash { shards: 4 }).unwrap();
+    run_against(&sharded, 3_000, 0xcafe);
+}
+
+#[test]
+fn range_sharded_matches_single_tree() {
+    let p = pool(128 << 20);
+    let sharded: ShardedStore<FastFairTree> = ShardedStore::create(
+        Arc::clone(&p),
+        vec![p; 3],
+        Partitioning::Range {
+            bounds: vec![1_000, 2_000],
+        },
+    )
+    .unwrap();
+    run_against(&sharded, 3_000, 0xd1ff);
+}
+
+#[test]
+fn sparse_keyspace_with_interleaved_rebalances() {
+    // Mixed ops over the full u64 keyspace, with a rebalance dropped in
+    // every so often: the router must stay indistinguishable from the
+    // single tree across epoch changes.
+    let p = pool(128 << 20);
+    let sharded: ShardedStore<FastFairTree> = ShardedStore::create(
+        Arc::clone(&p),
+        vec![Arc::clone(&p); 3],
+        Partitioning::Hash { shards: 3 },
+    )
+    .unwrap();
+    let single = FastFairTree::create(pool(64 << 20), TreeOptions::new()).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut value = 0x8000u64;
+    for round in 0..6 {
+        for _ in 0..500 {
+            let k = rng.gen_range(1..u64::MAX - 1);
+            value += 8;
+            assert_eq!(
+                sharded.insert(k, value).unwrap(),
+                single.insert(k, value).unwrap()
+            );
+        }
+        let shard = round % 3;
+        sharded
+            .rebalance_into(shard, shard as u64, Arc::clone(&p))
+            .unwrap();
+        assert_eq!(sharded.epoch(), Some(round as u64 + 1));
+        assert_eq!(scan(&sharded, 0, u64::MAX), scan(&single, 0, u64::MAX));
+    }
+}

@@ -571,6 +571,18 @@ impl Cursor for WbCursor<'_> {
     }
 }
 
+impl pmindex::PersistentIndex for WbTree {
+    fn create_in(pool: Arc<Pool>) -> Result<Self, IndexError> {
+        WbTree::create(pool)
+    }
+    fn open_in(pool: Arc<Pool>, meta: PmOffset) -> Result<Self, IndexError> {
+        WbTree::open(pool, meta)
+    }
+    fn superblock(&self) -> PmOffset {
+        self.meta_offset()
+    }
+}
+
 impl PmIndex for WbTree {
     fn insert(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
         check_value(value)?;

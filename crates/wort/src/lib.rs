@@ -493,6 +493,18 @@ impl Cursor for WortCursor<'_> {
     }
 }
 
+impl pmindex::PersistentIndex for Wort {
+    fn create_in(pool: Arc<Pool>) -> Result<Self, IndexError> {
+        Wort::create(pool)
+    }
+    fn open_in(pool: Arc<Pool>, meta: PmOffset) -> Result<Self, IndexError> {
+        Wort::open(pool, meta)
+    }
+    fn superblock(&self) -> PmOffset {
+        self.meta_offset()
+    }
+}
+
 impl PmIndex for Wort {
     fn insert(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
         check_value(value)?;

@@ -10,6 +10,7 @@ pub use fptree;
 pub use pmem;
 pub use pmindex;
 pub use pskiplist;
+pub use shard;
 pub use tpcc;
 pub use wbtree;
 pub use wort;

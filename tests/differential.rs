@@ -40,6 +40,29 @@ fn all_indexes(pool: &Arc<Pool>) -> Vec<Box<dyn PmIndex>> {
         Box::new(fastfair_repro::wort::Wort::create(Arc::clone(pool)).unwrap()),
         Box::new(fastfair_repro::pskiplist::PSkipList::create(Arc::clone(pool)).unwrap()),
         Box::new(fastfair_repro::blink::BlinkTree::new()),
+        // The shard router is itself a PmIndex: it must agree with the
+        // model (and hence with every single-tree index) verbatim.
+        Box::new(
+            fastfair_repro::shard::ShardedStore::<fastfair_repro::fastfair::FastFairTree>::create(
+                Arc::clone(pool),
+                vec![Arc::clone(pool); 4],
+                fastfair_repro::shard::Partitioning::Hash { shards: 4 },
+            )
+            .unwrap(),
+        ),
+        Box::new(
+            fastfair_repro::shard::ShardedStore::<fastfair_repro::fastfair::FastFairTree>::create(
+                Arc::clone(pool),
+                vec![Arc::clone(pool); 3],
+                fastfair_repro::shard::Partitioning::Range {
+                    // Splits chosen so the dense workload (keys < 2000)
+                    // exercises all three shards and the sparse workload
+                    // lands mostly in the last — both are valid maps.
+                    bounds: vec![700, 1400],
+                },
+            )
+            .unwrap(),
+        ),
     ]
 }
 

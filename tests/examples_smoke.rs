@@ -1,36 +1,57 @@
-//! Smoke test: the `quickstart` example must run to completion.
+//! Smoke tests: the examples must run to completion.
 //!
-//! Invokes the same `cargo` binary driving this test to build and run the
-//! example end-to-end (pool creation, 100k-key bulk load, lookups, upsert
-//! and in-place update, streaming cursor scan, delete, image reopen).
-//! `--offline` keeps the inner invocation hermetic — the workspace has only
-//! path dependencies.
+//! Invokes the same `cargo` binary driving this test to build and run each
+//! example end-to-end. `--offline` keeps the inner invocation hermetic —
+//! the workspace has only path dependencies.
 
 use std::process::Command;
 
-#[test]
-fn quickstart_runs_to_completion() {
+/// Runs one example and asserts every expected line appears on stdout.
+fn run_example(name: &str, expects: &[&str]) {
     let cargo = env!("CARGO");
     let output = Command::new(cargo)
-        .args(["run", "--offline", "--quiet", "--example", "quickstart"])
+        .args(["run", "--offline", "--quiet", "--example", name])
         .current_dir(env!("CARGO_MANIFEST_DIR"))
         .output()
         .expect("failed to spawn cargo");
     assert!(
         output.status.success(),
-        "quickstart example failed ({}):\n--- stdout\n{}\n--- stderr\n{}",
+        "{name} example failed ({}):\n--- stdout\n{}\n--- stderr\n{}",
         output.status,
         String::from_utf8_lossy(&output.stdout),
         String::from_utf8_lossy(&output.stderr),
     );
     let stdout = String::from_utf8_lossy(&output.stdout);
-    assert!(
-        stdout.contains("bulk-loaded 100000 keys"),
-        "unexpected quickstart output:\n{stdout}"
+    for expect in expects {
+        assert!(
+            stdout.contains(expect),
+            "{name}: expected {expect:?} in output:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn quickstart_runs_to_completion() {
+    run_example(
+        "quickstart",
+        &[
+            "bulk-loaded 100000 keys",
+            // 100k bulk-loaded + 1 fresh upsert - 1 delete.
+            "reopened tree: 100000 keys intact",
+        ],
     );
-    // 100k bulk-loaded + 1 fresh upsert - 1 delete.
-    assert!(
-        stdout.contains("reopened tree: 100000 keys intact"),
-        "unexpected quickstart output:\n{stdout}"
+}
+
+#[test]
+fn sharded_kv_runs_to_completion() {
+    run_example(
+        "sharded_kv",
+        &[
+            "inserted 60000 keys across 3 shards",
+            "manifest epoch now 1",
+            "crash mid-rebalance: recovered epoch 0 with 5000 keys intact",
+            "crash after commit: recovered epoch 1 with 5000 keys intact",
+            "sharded_kv example finished OK",
+        ],
     );
 }
