@@ -15,6 +15,7 @@ use pmindex::Cursor;
 fn main() {
     let scale = Scale::from_env();
     banner("Figure 4", "range query speed-up vs SkipList", scale);
+    let mut smoke = SmokeReport::new("fig4_range_query", scale);
     let n = scale.n(10_000_000); // paper: 10M keys
     let keys = generate_keys(n, KeyDist::Uniform, 7);
     let mut sorted = keys.clone();
@@ -72,6 +73,18 @@ fn main() {
             })
             .collect();
         let skip = times[4];
+        // Sample the four speedups (SkipList vs itself is a constant 1).
+        for (i, (idx, _)) in built.iter().take(4).enumerate() {
+            smoke.sample(
+                format!(
+                    "sel{:.1}%/{}/speedup_vs_skiplist",
+                    ratio * 100.0,
+                    idx.name()
+                ),
+                skip / times[i],
+            );
+        }
+        smoke.sample(format!("sel{:.1}%/SkipList/secs", ratio * 100.0), skip);
         row(&[
             format!("{:.1}", ratio * 100.0),
             format!("{:.2}x", skip / times[0]),
@@ -81,5 +94,6 @@ fn main() {
             format!("{skip:.3}s"),
         ]);
     }
+    smoke.finish();
     println!("\npaper shape: FAST+FAIR highest speed-up (up to ~20x), then FP-tree, wB+-tree; WORT lowest.");
 }

@@ -14,7 +14,8 @@ fn main() {
     let scale = Scale::from_env();
     banner("Figure 6", "TPC-C throughput, mixes W1-W4", scale);
     let (cfg, txns) = match scale {
-        Scale::Smoke => (TpccConfig::small(), 2_000usize),
+        Scale::Quick => (TpccConfig::small(), 200usize),
+        Scale::Smoke => (TpccConfig::small(), 2_000),
         Scale::Full => (TpccConfig::paper(), 20_000),
         Scale::Paper => (TpccConfig::paper(), 200_000),
     };

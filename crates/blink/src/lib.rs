@@ -272,21 +272,40 @@ impl Drop for BlinkTree {
     }
 }
 
+/// The per-leaf read hook behind [`BlinkCursor`]: one leaf buffered under
+/// its read latch.
+struct BlinkChain<'a> {
+    tree: &'a BlinkTree,
+}
+
+impl pmindex::chain::LeafChain for BlinkChain<'_> {
+    type Leaf = *mut Node;
+
+    fn locate(&self, target: Key) -> *mut Node {
+        self.tree.find_leaf_shared(target)
+    }
+
+    fn first(&self) -> *mut Node {
+        self.tree.leftmost_leaf()
+    }
+
+    fn read(&self, leaf: *mut Node, buf: &mut Vec<(Key, Value)>) -> Option<*mut Node> {
+        // SAFETY: nodes live until the tree drops.
+        let g = unsafe { &*leaf }.lock.read();
+        buf.extend(g.keys.iter().copied().zip(g.vals.iter().copied()));
+        let next = g.next;
+        (!next.is_null()).then_some(next)
+    }
+}
+
 /// Streaming cursor over the volatile B-link leaf chain.
 ///
-/// Buffers one leaf under its read latch; between [`Cursor::next`] calls
+/// The [`pmindex::chain::LeafChainCursor`] instantiation for this index:
+/// buffers one leaf under its read latch; between [`Cursor::next`] calls
 /// no latch is held. Keys moved right by a concurrent split were already
-/// buffered, and the monotonicity filter drops any re-observed entry.
-pub struct BlinkCursor<'a> {
-    tree: &'a BlinkTree,
-    /// `None` = not positioned yet; the latched descent happens lazily on
-    /// the first `next`, so `cursor()`-then-`seek` pays one descent.
-    next_leaf: Option<*mut Node>,
-    buf: Vec<(Key, Value)>,
-    pos: usize,
-    bound: Key,
-    last: Option<Key>,
-}
+/// buffered, and the shared monotonicity filter drops any re-observed
+/// entry.
+pub struct BlinkCursor<'a>(pmindex::chain::LeafChainCursor<BlinkChain<'a>>);
 
 // SAFETY: the raw leaf pointer is only dereferenced under the node's
 // RwLock, and nodes live until the tree drops (which the 'a borrow
@@ -295,48 +314,17 @@ unsafe impl Send for BlinkCursor<'_> {}
 
 impl<'a> BlinkCursor<'a> {
     fn new(tree: &'a BlinkTree) -> Self {
-        BlinkCursor {
-            tree,
-            next_leaf: None,
-            buf: Vec::new(),
-            pos: 0,
-            bound: 0,
-            last: None,
-        }
+        BlinkCursor(pmindex::chain::LeafChainCursor::new(BlinkChain { tree }))
     }
 }
 
 impl Cursor for BlinkCursor<'_> {
     fn seek(&mut self, target: Key) {
-        self.next_leaf = Some(self.tree.find_leaf_shared(target));
-        self.bound = target;
-        self.last = None;
-        self.buf.clear();
-        self.pos = 0;
+        self.0.seek(target)
     }
 
     fn next(&mut self) -> Option<(Key, Value)> {
-        loop {
-            while self.pos < self.buf.len() {
-                let (k, v) = self.buf[self.pos];
-                self.pos += 1;
-                if k < self.bound || self.last.is_some_and(|l| k <= l) {
-                    continue;
-                }
-                self.last = Some(k);
-                return Some((k, v));
-            }
-            let leaf = match self.next_leaf {
-                Some(p) if p.is_null() => return None,
-                Some(p) => p,
-                None => self.tree.leftmost_leaf(),
-            };
-            // SAFETY: nodes live until the tree drops.
-            let g = unsafe { &*leaf }.lock.read();
-            self.buf = g.keys.iter().copied().zip(g.vals.iter().copied()).collect();
-            self.pos = 0;
-            self.next_leaf = Some(g.next);
-        }
+        self.0.next()
     }
 }
 

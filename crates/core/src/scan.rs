@@ -1,18 +1,19 @@
 //! Streaming range scans over the leaf chain: the lock-free [`TreeCursor`].
 //!
-//! A cursor descends to the leaf covering its seek target, then walks right
-//! through the sibling chain one leaf at a time, reading each leaf with the
-//! lock-free protocol of Algorithm 3 (buffering at most one node's worth of
-//! entries). Three tolerance rules come from the paper:
+//! The cursor is the FAST+FAIR instantiation of the shared
+//! [`pmindex::chain::LeafChainCursor`]: the drain loop, lower-bound
+//! filter and split-duplicate monotonicity filter live in `pmindex`; this
+//! module supplies only the per-leaf hook. Three tolerance rules come
+//! from the paper:
 //!
 //! * an in-flight FAST shift is detected by the leaf's switch counter: the
 //!   per-leaf read retries until it observes a quiescent direction, so a
 //!   torn view of a shifting node is never emitted;
 //! * a key may appear twice when the scan crosses a half-finished FAIR
 //!   split — the node and its fresh sibling form a "virtual single node"
-//!   with a duplicated upper half (Fig. 2). The cursor detects this exactly
-//!   as the paper describes ("the order of keys is incorrect when reaching
-//!   node B") and drops the duplicates with a monotonicity filter;
+//!   with a duplicated upper half (Fig. 2). The shared monotonicity filter
+//!   drops the duplicates, exactly as the paper describes ("the order of
+//!   keys is incorrect when reaching node B");
 //! * a leaf may be revisited via an old sibling pointer after a concurrent
 //!   split; the same filter handles it.
 //!
@@ -21,11 +22,50 @@
 //! entries still contain it, or the freshly linked sibling does.
 
 use pmem::{PmOffset, NULL_OFFSET};
+use pmindex::chain::{LeafChain, LeafChainCursor};
 use pmindex::{Cursor, Key, Value};
 
 use crate::lock::ReadGuard;
 use crate::search::read_leaf_entries;
 use crate::tree::FastFairTree;
+
+/// The per-leaf read hook: lock-free leaf snapshot (taking the leaf read
+/// latch only in the `FAST+FAIR+LeafLock` variant), sibling read after
+/// the entries, pointer-chase latency charged per hop.
+struct TreeChain<'a> {
+    tree: &'a FastFairTree,
+}
+
+impl LeafChain for TreeChain<'_> {
+    type Leaf = PmOffset;
+
+    fn locate(&self, target: Key) -> PmOffset {
+        self.tree.find_leaf(target)
+    }
+
+    fn first(&self) -> PmOffset {
+        self.tree.leftmost_leaf()
+    }
+
+    fn read(&self, off: PmOffset, buf: &mut Vec<(Key, Value)>) -> Option<PmOffset> {
+        let leaf = self.tree.node(off);
+        let entries = if self.tree.options().leaf_locks {
+            let _g = ReadGuard::lock(self.tree.pool(), leaf.lock_word_off());
+            read_leaf_entries(self.tree, leaf)
+        } else {
+            read_leaf_entries(self.tree, leaf)
+        };
+        buf.extend(entries);
+        // Read the sibling only after the entries (see module docs).
+        let sib = leaf.sibling();
+        if sib == NULL_OFFSET {
+            None
+        } else {
+            self.tree.node(sib).charge_hop();
+            Some(sib)
+        }
+    }
+}
 
 /// A streaming, lock-free cursor over a [`FastFairTree`].
 ///
@@ -35,88 +75,22 @@ use crate::tree::FastFairTree;
 /// Holds no locks between calls (unless the tree runs in the
 /// `FAST+FAIR+LeafLock` variant, where each per-leaf read takes the leaf's
 /// read latch for its duration only).
-pub struct TreeCursor<'a> {
-    tree: &'a FastFairTree,
-    /// Next leaf to read; `None` = not positioned yet (the descent happens
-    /// lazily on the first `next`, so a `cursor()` immediately followed by
-    /// `seek` — the common range-scan shape — pays only one descent).
-    next_leaf: Option<PmOffset>,
-    /// Entries of the leaf currently being drained.
-    buf: Vec<(Key, Value)>,
-    pos: usize,
-    /// Lower bound set by the last seek.
-    bound: Key,
-    /// Last key emitted: the monotonicity filter that drops the duplicated
-    /// upper half of an in-flight FAIR split.
-    last: Option<Key>,
-}
+pub struct TreeCursor<'a>(LeafChainCursor<TreeChain<'a>>);
 
 impl<'a> TreeCursor<'a> {
     /// Opens a cursor positioned before the smallest key.
     pub fn new(tree: &'a FastFairTree) -> Self {
-        TreeCursor {
-            tree,
-            next_leaf: None,
-            buf: Vec::new(),
-            pos: 0,
-            bound: 0,
-            last: None,
-        }
-    }
-
-    /// Reads one leaf with the lock-free retry protocol (taking the leaf
-    /// read latch only in the LeafLock variant).
-    fn read_leaf(&self, leaf: crate::layout::NodeRef<'a>) -> Vec<(Key, Value)> {
-        if self.tree.options().leaf_locks {
-            let _g = ReadGuard::lock(self.tree.pool(), leaf.lock_word_off());
-            read_leaf_entries(self.tree, leaf)
-        } else {
-            read_leaf_entries(self.tree, leaf)
-        }
+        TreeCursor(LeafChainCursor::new(TreeChain { tree }))
     }
 }
 
 impl Cursor for TreeCursor<'_> {
     fn seek(&mut self, target: Key) {
-        self.bound = target;
-        self.last = None;
-        self.buf.clear();
-        self.pos = 0;
-        self.next_leaf = Some(self.tree.find_leaf(target));
+        self.0.seek(target)
     }
 
     fn next(&mut self) -> Option<(Key, Value)> {
-        loop {
-            while self.pos < self.buf.len() {
-                let (k, v) = self.buf[self.pos];
-                self.pos += 1;
-                if k < self.bound {
-                    continue;
-                }
-                if self.last.is_some_and(|l| k <= l) {
-                    // Duplicate from a half-finished split (or a revisited
-                    // leaf): already emitted, skip.
-                    continue;
-                }
-                self.last = Some(k);
-                return Some((k, v));
-            }
-            let off = match self.next_leaf {
-                Some(NULL_OFFSET) => return None,
-                Some(off) => off,
-                // First use without a seek: descend to the leftmost leaf.
-                None => self.tree.leftmost_leaf(),
-            };
-            let leaf = self.tree.node(off);
-            self.buf = self.read_leaf(leaf);
-            self.pos = 0;
-            // Read the sibling only after the entries (see module docs).
-            let sib = leaf.sibling();
-            self.next_leaf = Some(sib);
-            if sib != NULL_OFFSET {
-                self.tree.node(sib).charge_hop();
-            }
-        }
+        self.0.next()
     }
 }
 

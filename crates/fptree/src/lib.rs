@@ -511,78 +511,68 @@ impl PmIndex for FpTree {
     }
 }
 
+/// The per-leaf read hook behind [`FpCursor`]: seqlock leaf snapshots,
+/// sorted per leaf (FP-tree leaves are unsorted behind the bitmap).
+struct FpChain<'a> {
+    tree: &'a FpTree,
+}
+
+impl pmindex::chain::LeafChain for FpChain<'_> {
+    type Leaf = PmOffset;
+
+    fn locate(&self, target: Key) -> PmOffset {
+        let map = self.tree.inner.read();
+        FpTree::lookup_leaf(&map, self.tree.head_leaf(), target)
+    }
+
+    fn first(&self) -> PmOffset {
+        self.tree.head_leaf()
+    }
+
+    fn read(&self, off: PmOffset, buf: &mut Vec<(Key, Value)>) -> Option<PmOffset> {
+        let leaf = self.tree.leaf(off);
+        self.tree.pool.charge_serial_reads(1);
+        let mut batch = leaf.seq_read(|| {
+            let slots = leaf.used_slots();
+            self.tree
+                .pool
+                .charge_parallel_lines((slots.len() as u32).div_ceil(4).max(1));
+            slots
+                .into_iter()
+                .map(|s| (leaf.key_at(s), leaf.val_at(s)))
+                .collect::<Vec<_>>()
+        });
+        batch.sort_unstable();
+        buf.extend(batch);
+        let sib = leaf.sibling();
+        (sib != NULL_OFFSET).then_some(sib)
+    }
+}
+
 /// Streaming cursor over the FP-tree's sibling-linked leaves.
 ///
-/// Each leaf is snapshotted with the seqlock read protocol and sorted
+/// The [`pmindex::chain::LeafChainCursor`] instantiation for this index:
+/// each leaf is snapshotted with the seqlock read protocol and sorted
 /// (leaves are unsorted behind the bitmap — the range-scan overhead the
 /// paper measures vs. sorted leaves); no lock is held between
 /// [`Cursor::next`] calls. A leaf that splits after being buffered leaves
-/// its moved upper half duplicated on the next sibling, which the
+/// its moved upper half duplicated on the next sibling, which the shared
 /// monotonicity filter drops.
-pub struct FpCursor<'a> {
-    tree: &'a FpTree,
-    next_leaf: PmOffset,
-    buf: Vec<(Key, Value)>,
-    pos: usize,
-    bound: Key,
-    last: Option<Key>,
-}
+pub struct FpCursor<'a>(pmindex::chain::LeafChainCursor<FpChain<'a>>);
 
 impl<'a> FpCursor<'a> {
     fn new(tree: &'a FpTree) -> Self {
-        FpCursor {
-            tree,
-            next_leaf: tree.head_leaf(),
-            buf: Vec::new(),
-            pos: 0,
-            bound: 0,
-            last: None,
-        }
+        FpCursor(pmindex::chain::LeafChainCursor::new(FpChain { tree }))
     }
 }
 
 impl Cursor for FpCursor<'_> {
     fn seek(&mut self, target: Key) {
-        let map = self.tree.inner.read();
-        self.next_leaf = FpTree::lookup_leaf(&map, self.tree.head_leaf(), target);
-        drop(map);
-        self.bound = target;
-        self.last = None;
-        self.buf.clear();
-        self.pos = 0;
+        self.0.seek(target)
     }
 
     fn next(&mut self) -> Option<(Key, Value)> {
-        loop {
-            while self.pos < self.buf.len() {
-                let (k, v) = self.buf[self.pos];
-                self.pos += 1;
-                if k < self.bound || self.last.is_some_and(|l| k <= l) {
-                    continue;
-                }
-                self.last = Some(k);
-                return Some((k, v));
-            }
-            if self.next_leaf == NULL_OFFSET {
-                return None;
-            }
-            let leaf = self.tree.leaf(self.next_leaf);
-            self.tree.pool.charge_serial_reads(1);
-            let mut batch = leaf.seq_read(|| {
-                let slots = leaf.used_slots();
-                self.tree
-                    .pool
-                    .charge_parallel_lines((slots.len() as u32).div_ceil(4).max(1));
-                slots
-                    .into_iter()
-                    .map(|s| (leaf.key_at(s), leaf.val_at(s)))
-                    .collect::<Vec<_>>()
-            });
-            batch.sort_unstable();
-            self.buf = batch;
-            self.pos = 0;
-            self.next_leaf = leaf.sibling();
-        }
+        self.0.next()
     }
 }
 

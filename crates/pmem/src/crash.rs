@@ -158,6 +158,21 @@ impl CrashLog {
     }
 }
 
+/// The crash-sweep seed injected through the environment: `FF_CRASH_SEED`
+/// parsed as a `u64`, or 0 when unset or unparsable.
+///
+/// CI's crash-matrix job runs every `crash_*` test target once per seed,
+/// so the pseudo-random eviction choices (and anything else a sweep
+/// derives from this) cover a different slice of the reachable crash
+/// states on each matrix leg instead of re-testing one fixed slice.
+/// Sweeps stay fully deterministic *per seed*.
+pub fn env_seed() -> u64 {
+    std::env::var("FF_CRASH_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
 /// Ready-made eviction policies for [`crate::Pool::crash_image`].
 #[derive(Debug, Clone)]
 pub enum Eviction {
@@ -176,6 +191,20 @@ pub enum Eviction {
 }
 
 impl Eviction {
+    /// Pseudo-random eviction whose seed mixes `salt` (typically the cut
+    /// index, so adjacent crash points draw different prefixes) with the
+    /// environment-injected sweep seed ([`env_seed`]) — what every crash
+    /// sweep in this repository uses so the CI seed matrix actually
+    /// varies the explored evictions.
+    pub fn random_with_env(salt: u64) -> Eviction {
+        // SplitMix64 the env seed so seed 0 and seed 1 diverge everywhere,
+        // not just in the low bits.
+        let mut z = env_seed().wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        Eviction::Random((z ^ (z >> 31)).wrapping_add(salt))
+    }
+
     /// Chooses the evicted-store prefix length for a dirty line with `n`
     /// pending stores.
     pub fn choose(&mut self, line: u64, n: usize) -> usize {
@@ -318,6 +347,24 @@ mod tests {
         for line in [0u64, 64, 128, 4096] {
             assert_eq!(a.choose(line, 5), b.choose(line, 5));
         }
+    }
+
+    #[test]
+    fn env_seeded_eviction_is_deterministic_per_seed() {
+        // Whatever FF_CRASH_SEED is (set or not), the derived policy is a
+        // pure function of (env seed, salt).
+        let mut a = Eviction::random_with_env(3);
+        let mut b = Eviction::random_with_env(3);
+        for line in [0u64, 64, 192] {
+            assert_eq!(a.choose(line, 4), b.choose(line, 4));
+        }
+        // Different salts give different policies.
+        let (Eviction::Random(x), Eviction::Random(y)) =
+            (Eviction::random_with_env(1), Eviction::random_with_env(2))
+        else {
+            panic!("random_with_env must yield Eviction::Random");
+        };
+        assert_ne!(x, y);
     }
 
     #[test]

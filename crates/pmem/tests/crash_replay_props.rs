@@ -13,6 +13,9 @@
 //!    never current on that word.
 //! 4. **Monotonicity in the cut**: extending the trace cannot change what
 //!    an earlier cut replays.
+//!
+//! Eviction seeds are salted with `FF_CRASH_SEED` (`pmem::crash::env_seed`)
+//! so the CI crash matrix varies the explored prefixes per leg.
 
 use std::collections::HashMap;
 
@@ -109,7 +112,7 @@ proptest! {
     fn replayed_words_were_once_current(ops in trace_strategy(), seed in 0u64..1000) {
         let (pool, base) = run_trace(&ops);
         let cut = pool.crash_log().unwrap().len();
-        let img = pool.crash_image(cut, Eviction::Random(seed));
+        let img = pool.crash_image(cut, Eviction::random_with_env(seed));
         // Every slot's persisted value must be one of the values that slot
         // actually held at some point (including its initial 0).
         for s in 0..SLOTS {
@@ -134,9 +137,9 @@ proptest! {
         // (allocator metadata is treated as failure-atomic, DESIGN.md §3).
         let (pool, _base) = run_trace(&ops);
         let k = pool.crash_log().unwrap().len() / 2;
-        let img1 = pool.crash_image(k, Eviction::Random(7));
+        let img1 = pool.crash_image(k, Eviction::random_with_env(7));
         pool.store_u64(pool.alloc(8, 8).unwrap(), 999);
-        let img2 = pool.crash_image(k, Eviction::Random(7));
+        let img2 = pool.crash_image(k, Eviction::random_with_env(7));
         prop_assert_eq!(&img1[64..], &img2[64..]);
     }
 }

@@ -1,0 +1,232 @@
+//! Shared leaf-chain cursor machinery.
+//!
+//! Every sibling-linked index in this repository (FAST+FAIR, wB+-tree,
+//! FP-tree, the volatile B-link tree) streams range scans the same way:
+//! descend to the leaf covering the seek target, buffer one leaf's
+//! entries, drain them through a lower-bound filter plus a strict-
+//! monotonicity filter (which drops the duplicated upper half of an
+//! in-flight split and any leaf revisited through a stale sibling
+//! pointer), then hop to the next leaf. Only the *per-leaf read* differs
+//! per index — how a leaf is located, snapshotted and chained.
+//!
+//! [`LeafChainCursor`] keeps that drain loop in exactly one place,
+//! parameterized over a [`LeafChain`] hook supplying the three
+//! index-specific pieces.
+
+use crate::{Cursor, Key, Value};
+
+/// The per-index hook behind a [`LeafChainCursor`]: how to find a leaf,
+/// where the chain starts, and how to read one leaf.
+///
+/// Implementations decide their own consistency protocol inside
+/// [`LeafChain::read`] — a lock-free switch-counter retry (FAST+FAIR), a
+/// seqlock snapshot (FP-tree), or a short-lived latch (wB+-tree,
+/// B-link). Entries must come back in ascending key order; cross-leaf
+/// duplicates are the adapter's problem, not the hook's.
+///
+/// ```
+/// use pmindex::chain::{LeafChain, LeafChainCursor};
+/// use pmindex::{Cursor, Key, Value};
+///
+/// /// A toy "index": fixed leaves of sorted entries, chained by index.
+/// struct Toy(Vec<Vec<(Key, Value)>>);
+///
+/// impl LeafChain for &Toy {
+///     type Leaf = usize;
+///     fn locate(&self, target: Key) -> usize {
+///         // Last leaf whose first key is <= target (or the first leaf).
+///         self.0.iter().rposition(|l| l.first().is_some_and(|&(k, _)| k <= target)).unwrap_or(0)
+///     }
+///     fn first(&self) -> usize {
+///         0
+///     }
+///     fn read(&self, leaf: usize, buf: &mut Vec<(Key, Value)>) -> Option<usize> {
+///         buf.extend_from_slice(&self.0[leaf]);
+///         (leaf + 1 < self.0.len()).then_some(leaf + 1)
+///     }
+/// }
+///
+/// let toy = Toy(vec![vec![(1, 10), (2, 20)], vec![(5, 50)]]);
+/// let mut cur = LeafChainCursor::new(&toy);
+/// cur.seek(2);
+/// assert_eq!(cur.next(), Some((2, 20)));
+/// assert_eq!(cur.next(), Some((5, 50)));
+/// assert_eq!(cur.next(), None);
+/// ```
+pub trait LeafChain {
+    /// Handle naming one leaf: a pool offset for the persistent indexes,
+    /// a raw node pointer for the volatile B-link tree.
+    type Leaf: Copy;
+
+    /// Descends to the leaf whose key range contains `target` (the seek
+    /// entry point).
+    fn locate(&self, target: Key) -> Self::Leaf;
+
+    /// The leftmost leaf — where a cursor that was never sought starts.
+    fn first(&self) -> Self::Leaf;
+
+    /// Reads one leaf's live entries (ascending) into `buf` and returns
+    /// the next leaf in the chain, or `None` at the end. Any sibling
+    /// pointer must be read *after* the entries, so a split racing the
+    /// read cannot hide the moved upper half: either the entries still
+    /// contain it, or the freshly linked sibling does.
+    fn read(&self, leaf: Self::Leaf, buf: &mut Vec<(Key, Value)>) -> Option<Self::Leaf>;
+}
+
+/// Where a [`LeafChainCursor`] currently stands in the chain.
+enum Pos<L> {
+    /// Never positioned: the descent happens lazily on the first `next`,
+    /// so the common `cursor()`-then-`seek` shape pays only one descent.
+    Unpositioned,
+    /// The next leaf to read.
+    At(L),
+    /// Chain exhausted.
+    End,
+}
+
+/// The shared streaming cursor over a sibling-linked leaf chain: one
+/// buffered leaf, a lower-bound filter, and the strict-monotonicity
+/// filter that makes half-finished splits and revisited leaves invisible
+/// (the paper's "virtual single node" tolerance, §4.1).
+///
+/// All four chain-walking indexes build their [`Cursor`] from this; see
+/// [`LeafChain`] for a runnable example and the per-leaf contract.
+pub struct LeafChainCursor<H: LeafChain> {
+    hook: H,
+    pos: Pos<H::Leaf>,
+    buf: Vec<(Key, Value)>,
+    idx: usize,
+    /// Lower bound set by the last seek.
+    bound: Key,
+    /// Last key emitted — the monotonicity filter.
+    last: Option<Key>,
+}
+
+impl<H: LeafChain> LeafChainCursor<H> {
+    /// Opens a cursor positioned before the smallest key.
+    ///
+    /// ```
+    /// use pmindex::chain::{LeafChain, LeafChainCursor};
+    /// use pmindex::{Cursor, Key, Value};
+    ///
+    /// struct One;
+    /// impl LeafChain for One {
+    ///     type Leaf = ();
+    ///     fn locate(&self, _t: Key) {}
+    ///     fn first(&self) {}
+    ///     fn read(&self, _l: (), buf: &mut Vec<(Key, Value)>) -> Option<()> {
+    ///         buf.push((7, 70));
+    ///         None
+    ///     }
+    /// }
+    ///
+    /// let mut cur = LeafChainCursor::new(One);
+    /// assert_eq!(cur.next(), Some((7, 70)));
+    /// ```
+    pub fn new(hook: H) -> Self {
+        LeafChainCursor {
+            hook,
+            pos: Pos::Unpositioned,
+            buf: Vec::new(),
+            idx: 0,
+            bound: 0,
+            last: None,
+        }
+    }
+}
+
+impl<H: LeafChain> Cursor for LeafChainCursor<H> {
+    fn seek(&mut self, target: Key) {
+        self.bound = target;
+        self.last = None;
+        self.buf.clear();
+        self.idx = 0;
+        self.pos = Pos::At(self.hook.locate(target));
+    }
+
+    fn next(&mut self) -> Option<(Key, Value)> {
+        loop {
+            while self.idx < self.buf.len() {
+                let (k, v) = self.buf[self.idx];
+                self.idx += 1;
+                if k < self.bound || self.last.is_some_and(|l| k <= l) {
+                    // Below the seek bound, or a duplicate from a
+                    // half-finished split / revisited leaf: skip.
+                    continue;
+                }
+                self.last = Some(k);
+                return Some((k, v));
+            }
+            let leaf = match self.pos {
+                Pos::End => return None,
+                Pos::At(leaf) => leaf,
+                Pos::Unpositioned => self.hook.first(),
+            };
+            self.buf.clear();
+            self.idx = 0;
+            self.pos = match self.hook.read(leaf, &mut self.buf) {
+                Some(next) => Pos::At(next),
+                None => Pos::End,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Leaves with deliberately overlapping content, as left behind by an
+    /// in-flight split: the adapter must emit each key exactly once.
+    struct Split;
+
+    impl LeafChain for Split {
+        type Leaf = u8;
+        fn locate(&self, target: Key) -> u8 {
+            if target >= 30 {
+                1
+            } else {
+                0
+            }
+        }
+        fn first(&self) -> u8 {
+            0
+        }
+        fn read(&self, leaf: u8, buf: &mut Vec<(Key, Value)>) -> Option<u8> {
+            match leaf {
+                // Node A still holds its upper half...
+                0 => {
+                    buf.extend_from_slice(&[(10, 1), (20, 2), (30, 3), (40, 4)]);
+                    Some(1)
+                }
+                // ... which its fresh sibling B duplicates.
+                _ => {
+                    buf.extend_from_slice(&[(30, 3), (40, 4), (50, 5)]);
+                    None
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn monotonicity_filter_drops_split_duplicates() {
+        let mut cur = LeafChainCursor::new(Split);
+        let mut got = Vec::new();
+        while let Some(e) = cur.next() {
+            got.push(e);
+        }
+        assert_eq!(got, vec![(10, 1), (20, 2), (30, 3), (40, 4), (50, 5)]);
+    }
+
+    #[test]
+    fn seek_applies_lower_bound_and_resets_filter() {
+        let mut cur = LeafChainCursor::new(Split);
+        cur.seek(35);
+        assert_eq!(cur.next(), Some((40, 4)));
+        assert_eq!(cur.next(), Some((50, 5)));
+        assert_eq!(cur.next(), None);
+        // Seeking backwards reuses the cursor.
+        cur.seek(0);
+        assert_eq!(cur.next(), Some((10, 1)));
+    }
+}

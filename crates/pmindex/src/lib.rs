@@ -14,10 +14,14 @@
 //! `crates/shard` builds on: [`PersistentIndex`] (create/open an index
 //! inside a [`pmem::Pool`] and name its persistent superblock) and
 //! [`CursorIter`] (drive a [`Cursor`] as an [`Iterator`], e.g. to stream
-//! one index into another through [`PmIndex::bulk_load`]).
+//! one index into another through [`PmIndex::bulk_load`]) — plus the
+//! [`chain`] module, the shared leaf-chain cursor adapter that the four
+//! sibling-linked indexes (FAST+FAIR, wB+-tree, FP-tree, B-link) build
+//! their cursors from.
 
 #![deny(missing_docs)]
 
+pub mod chain;
 pub mod workload;
 
 use std::fmt;

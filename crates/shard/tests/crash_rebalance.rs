@@ -69,7 +69,11 @@ fn sweep(partitioning: Partitioning, rebalance_shard: usize) -> usize {
     let total = log.len();
     assert!(total > 50, "rebalance should emit a rich event stream");
     for cut in 0..=total {
-        for policy in [Eviction::None, Eviction::All, Eviction::Random(cut as u64)] {
+        for policy in [
+            Eviction::None,
+            Eviction::All,
+            Eviction::random_with_env(cut as u64),
+        ] {
             let img = pool.crash_image(cut, policy.clone());
             let p2 = Arc::new(Pool::from_image(&img, PoolConfig::new().size(POOL)).unwrap());
             let reopened: ShardedStore<FastFairTree> =
@@ -134,7 +138,7 @@ fn back_to_back_rebalances_expose_only_committed_epochs() {
     let total = log.len();
     let stride = (total / 60).max(1);
     for cut in (0..=total).step_by(stride) {
-        let img = pool.crash_image(cut, Eviction::Random(cut as u64));
+        let img = pool.crash_image(cut, Eviction::random_with_env(cut as u64));
         let p2 = Arc::new(Pool::from_image(&img, PoolConfig::new().size(POOL)).unwrap());
         let reopened: ShardedStore<FastFairTree> =
             ShardedStore::open(Arc::clone(&p2), vec![Arc::clone(&p2); SHARDS]).unwrap();

@@ -1,0 +1,243 @@
+//! The order-preserving key codec: arbitrary byte strings → `u64` chunks.
+//!
+//! A byte key is cut into 7-byte groups, each packed big-endian into the
+//! high 56 bits of a `u64`; the low byte is a *discriminant* that encodes
+//! whether the chunk is the last one and, if so, how many bytes of the
+//! group are real (the rest is zero padding):
+//!
+//! ```text
+//! bits 63..8    bits 7..0
+//! ┌─────────────────────────┬──────────────────────────────────────┐
+//! │ up to 7 key bytes, BE,  │ 1 + len   (final chunk, len ∈ 0..=7) │
+//! │ zero-padded on the right│ 9         (continuation: more follow) │
+//! └─────────────────────────┴──────────────────────────────────────┘
+//! ```
+//!
+//! Because the payload bytes occupy the most significant bits and the
+//! discriminant of a final chunk (1..=8) is smaller than the continuation
+//! marker (9), comparing chunk sequences lexicographically as `u64`s gives
+//! exactly the lexicographic order of the original byte strings, and the
+//! mapping is injective — the two properties
+//! `crates/varkey/tests/codec_props.rs` pins down by property testing.
+//!
+//! Keys of at most [`MAX_INLINE`] bytes fit in a *single* final chunk, so
+//! they live directly in the underlying `u64` index ("inline"). Longer
+//! keys contribute only their *first* chunk as the index key; the full key
+//! bytes move to an overflow record (see [`crate::VarKeyStore`]). The
+//! first chunk is a monotone function of the key, so index order still
+//! follows key order; keys sharing a first chunk are ordered by the
+//! overflow chain.
+
+/// Longest key (in bytes) that encodes into a single chunk and therefore
+/// needs no overflow record.
+///
+/// ```
+/// assert_eq!(varkey::codec::MAX_INLINE, 7);
+/// assert_eq!(varkey::codec::encode(&[0u8; 7]).len(), 1);
+/// assert_eq!(varkey::codec::encode(&[0u8; 8]).len(), 2);
+/// ```
+pub const MAX_INLINE: usize = 7;
+
+/// Discriminant marking a chunk with more chunks after it. Final chunks
+/// use `1 + len` (1..=8), so `CONT` must exceed 8 for prefix order.
+const CONT: u8 = 9;
+
+fn pack(group: &[u8], disc: u8) -> u64 {
+    debug_assert!(group.len() <= MAX_INLINE);
+    let mut bytes = [0u8; 8];
+    bytes[..group.len()].copy_from_slice(group);
+    bytes[7] = disc;
+    u64::from_be_bytes(bytes)
+}
+
+/// Encodes a byte key into its full chunk sequence.
+///
+/// Comparing two encodings lexicographically (as `&[u64]`) is the same as
+/// comparing the keys lexicographically, and no two keys share an
+/// encoding:
+///
+/// ```
+/// use varkey::codec::encode;
+///
+/// assert!(encode(b"app") < encode(b"apple"));
+/// assert!(encode(b"apple") < encode(b"applesauce")); // crosses a chunk
+/// assert!(encode(b"") < encode(b"\0"));              // empty sorts first
+/// assert_ne!(encode(b"a"), encode(b"a\0"));          // injective
+/// ```
+pub fn encode(key: &[u8]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(key.len() / MAX_INLINE + 1);
+    let mut rest = key;
+    while rest.len() > MAX_INLINE {
+        out.push(pack(&rest[..MAX_INLINE], CONT));
+        rest = &rest[MAX_INLINE..];
+    }
+    out.push(pack(rest, 1 + rest.len() as u8));
+    out
+}
+
+/// The first chunk of a key's encoding — the `u64` the key occupies (or
+/// shares, for long keys) in the underlying index.
+///
+/// Monotone: `a <= b` (bytes) implies `first_chunk(a) <= first_chunk(b)`,
+/// and never 0 or `u64::MAX`, so it is always a legal index key.
+///
+/// ```
+/// use varkey::codec::{encode, first_chunk};
+///
+/// assert_eq!(first_chunk(b"pay"), encode(b"pay")[0]);
+/// assert!(first_chunk(b"pay") < first_chunk(b"payment"));
+/// assert_ne!(first_chunk(b""), 0);
+/// ```
+pub fn first_chunk(key: &[u8]) -> u64 {
+    if key.len() <= MAX_INLINE {
+        pack(key, 1 + key.len() as u8)
+    } else {
+        pack(&key[..MAX_INLINE], CONT)
+    }
+}
+
+/// True if `chunk` is a final chunk, i.e. it inlines a whole key of at
+/// most [`MAX_INLINE`] bytes (rather than heading an overflow chain).
+///
+/// ```
+/// use varkey::codec::{first_chunk, is_inline};
+///
+/// assert!(is_inline(first_chunk(b"short")));
+/// assert!(!is_inline(first_chunk(b"much longer key")));
+/// ```
+pub fn is_inline(chunk: u64) -> bool {
+    (chunk as u8) < CONT
+}
+
+/// Recovers the key bytes of an inline (single final chunk) encoding;
+/// `None` if `chunk` is a continuation chunk or malformed.
+///
+/// ```
+/// use varkey::codec::{decode_inline, first_chunk};
+///
+/// assert_eq!(decode_inline(first_chunk(b"kv")), Some(b"kv".to_vec()));
+/// assert_eq!(decode_inline(first_chunk(b"long-enough-key")), None);
+/// assert_eq!(decode_inline(0), None); // disc 0 is unused
+/// ```
+pub fn decode_inline(chunk: u64) -> Option<Vec<u8>> {
+    let disc = chunk as u8;
+    if !(1..=1 + MAX_INLINE as u8).contains(&disc) {
+        return None;
+    }
+    let len = (disc - 1) as usize;
+    let bytes = chunk.to_be_bytes();
+    // Reject non-canonical padding so decode ∘ encode is the identity and
+    // nothing else decodes.
+    if bytes[len..MAX_INLINE].iter().any(|&b| b != 0) {
+        return None;
+    }
+    Some(bytes[..len].to_vec())
+}
+
+/// A range-partition split point for byte keys: every key `>= prefix`
+/// routes to a chunk `>= prefix_bound(prefix)`, and (for prefixes of at
+/// most [`MAX_INLINE`] bytes) every key `< prefix` routes strictly below
+/// it — so a `shard::Partitioning::Range` over chunks with these bounds
+/// partitions the *byte* keyspace at the prefix.
+///
+/// Longer prefixes still give a valid (merely chunk-granular) bound: the
+/// handful of keys sharing the prefix's first 7 bytes land on one side.
+///
+/// ```
+/// use varkey::codec::{first_chunk, prefix_bound};
+///
+/// let split = prefix_bound(b"m");
+/// assert!(first_chunk(b"lemur") < split);
+/// assert!(first_chunk(b"m") >= split);
+/// assert!(first_chunk(b"mango-smoothie") >= split);
+/// ```
+pub fn prefix_bound(prefix: &[u8]) -> u64 {
+    first_chunk(prefix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_key_is_nonzero_single_chunk() {
+        assert_eq!(encode(b""), vec![1]);
+        assert_eq!(first_chunk(b""), 1);
+        assert_eq!(decode_inline(1), Some(Vec::new()));
+    }
+
+    #[test]
+    fn chunk_boundaries() {
+        assert_eq!(encode(&[0xab; 7]).len(), 1);
+        let two = encode(&[0xab; 8]);
+        assert_eq!(two.len(), 2);
+        assert!(!is_inline(two[0]));
+        assert!(is_inline(two[1]));
+        assert_eq!(encode(&[0xab; 14]).len(), 2);
+        assert_eq!(encode(&[0xab; 15]).len(), 3);
+    }
+
+    #[test]
+    fn zero_padding_does_not_collide() {
+        // "a" vs "a\0" vs "a\0\0": same payload bytes, different disc.
+        let a = encode(b"a");
+        let a0 = encode(b"a\0");
+        let a00 = encode(b"a\0\0");
+        assert!(a < a0 && a0 < a00);
+        assert_ne!(a, a0);
+        // A 7-byte key vs the same bytes continuing.
+        assert!(first_chunk(b"abcdefg") < first_chunk(b"abcdefgh"));
+    }
+
+    #[test]
+    fn chunks_never_reserved_patterns() {
+        for key in [&b""[..], b"\0", &[0xff; 7], &[0xff; 20], b"x"] {
+            for &c in &encode(key) {
+                assert_ne!(c, 0, "key {key:?}");
+                assert_ne!(c, u64::MAX, "key {key:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_inline_rejects_noncanonical() {
+        // disc says 1 byte, but padding bytes are nonzero.
+        let bad = pack(b"ab", 2);
+        assert_eq!(decode_inline(bad), None);
+        assert_eq!(decode_inline(pack(b"ab", 3)), Some(b"ab".to_vec()));
+        assert_eq!(decode_inline(pack(b"abcdefg", CONT)), None);
+    }
+
+    #[test]
+    fn exhaustive_order_small_alphabet() {
+        // All keys up to length 3 over {0, 1, 0x7f, 0xff}: encoding order
+        // must equal byte order, pairwise.
+        let alphabet = [0u8, 1, 0x7f, 0xff];
+        let mut keys: Vec<Vec<u8>> = vec![Vec::new()];
+        for len in 1..=3usize {
+            let mut level = vec![Vec::new()];
+            for _ in 0..len {
+                level = level
+                    .into_iter()
+                    .flat_map(|k| {
+                        alphabet.iter().map(move |&b| {
+                            let mut k2 = k.clone();
+                            k2.push(b);
+                            k2
+                        })
+                    })
+                    .collect();
+            }
+            keys.extend(level);
+        }
+        for a in &keys {
+            for b in &keys {
+                assert_eq!(
+                    encode(a).cmp(&encode(b)),
+                    a.cmp(b),
+                    "order mismatch: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests pinning the key codec's two load-bearing guarantees
+//! for byte strings of 0–64 bytes:
+//!
+//! * **order preservation**: `encode(a) < encode(b)` (lexicographic over
+//!   the chunk sequence) exactly when `a < b` lexicographically;
+//! * **injectivity**: equal encodings only for equal keys (the `Equal`
+//!   arm of the same comparison).
+//!
+//! Plus the two derived facts the store relies on: the *first* chunk is
+//! monotone (so the underlying `u64` index sorts byte keys correctly up
+//! to chunk granularity), and inline encode/decode is the identity on
+//! keys of at most `MAX_INLINE` bytes.
+
+use proptest::prelude::*;
+use varkey::codec::{decode_inline, encode, first_chunk, MAX_INLINE};
+
+/// Byte strings 0–64 bytes long. A small alphabet maximizes shared
+/// prefixes — the regime where ordering bugs hide.
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // Adversarial: tiny alphabet, heavy prefix sharing.
+        2 => prop::collection::vec(0u64..4, 0..65)
+            .prop_map(|v| v.into_iter().map(|b| b as u8).collect()),
+        // General: full byte range.
+        1 => prop::collection::vec(0u64..256, 0..65)
+            .prop_map(|v| v.into_iter().map(|b| b as u8).collect()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn order_preserving_and_injective(a in key_strategy(), b in key_strategy()) {
+        prop_assert_eq!(
+            encode(&a).cmp(&encode(&b)),
+            a.cmp(&b),
+            "keys {:?} vs {:?}",
+            &a,
+            &b
+        );
+    }
+
+    #[test]
+    fn first_chunk_is_monotone(a in key_strategy(), b in key_strategy()) {
+        // first_chunk may merge keys sharing a long prefix (chains
+        // resolve those), but it must never invert their order.
+        if a < b {
+            prop_assert!(first_chunk(&a) <= first_chunk(&b), "{:?} vs {:?}", &a, &b);
+        }
+        // And it is never a reserved index-key pattern.
+        prop_assert_ne!(first_chunk(&a), 0);
+        prop_assert_ne!(first_chunk(&a), u64::MAX);
+    }
+
+    #[test]
+    fn inline_roundtrip(a in key_strategy()) {
+        let chunks = encode(&a);
+        if a.len() <= MAX_INLINE {
+            prop_assert_eq!(chunks.len(), 1);
+            prop_assert_eq!(decode_inline(chunks[0]), Some(a));
+        } else {
+            prop_assert_eq!(chunks.len(), a.len().div_ceil(MAX_INLINE));
+            // A continuation head never decodes as an inline key.
+            prop_assert_eq!(decode_inline(chunks[0]), None);
+        }
+    }
+}

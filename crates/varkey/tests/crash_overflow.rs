@@ -1,0 +1,254 @@
+//! Crash sweep for overflow-record allocation and chain maintenance.
+//!
+//! A `VarKeyStore<FastFairTree>` lives with its overflow records in ONE
+//! crash-logged pool, so the event log totally orders every store of
+//! every chain mutation: record allocation and fill, the single 8-byte
+//! link flip, in-place value overwrites, and unlinks. We materialize the
+//! post-crash image at sampled cut points under the minimal, maximal and
+//! env-seeded pseudo-random eviction policies (`FF_CRASH_SEED` varies the
+//! latter across CI's crash matrix), re-open the store, and require:
+//!
+//! * every key committed before the in-flight operation is present with
+//!   its exact committed value — key bytes and value never torn;
+//! * the in-flight operation is atomic: old state or new state, nothing
+//!   in between (a half-linked record is invisible, a half-removed key is
+//!   still fully there);
+//! * a full cursor scan agrees with the committed model (modulo the one
+//!   in-flight key), so no phantom or duplicated chain entries exist.
+//!
+//! A separate (crash-free) test pins the leak story: every removed
+//! record is returned to the pool's free list, observable via
+//! `pmem::stats::nodes_recycled` and a flat allocator high-water mark on
+//! re-insertion.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use fastfair::{FastFairTree, TreeOptions};
+use pmem::crash::Eviction;
+use pmem::{Pool, PoolConfig};
+use varkey::{ByteCursor, VarKeyIndex, VarKeyStore};
+
+const POOL: usize = 8 << 20;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Op {
+    Insert(Vec<u8>, u64),
+    Update(Vec<u8>, u64),
+    Remove(Vec<u8>),
+}
+
+impl Op {
+    fn key(&self) -> &[u8] {
+        match self {
+            Op::Insert(k, _) | Op::Update(k, _) | Op::Remove(k) => k,
+        }
+    }
+}
+
+/// Long keys across three regimes: one heavily shared 7-byte prefix (all
+/// collide into a single chain), a moderately shared prefix, and unique
+/// prefixes (chains of length one).
+fn long_key(i: u64) -> Vec<u8> {
+    match i % 3 {
+        0 => format!("chain:0-member-{:03}", i / 3).into_bytes(),
+        1 => format!("mid:{}:suffix-{:04}", i % 6, i).into_bytes(),
+        _ => format!("uniq{:03}-tail-{}", i, i * 7).into_bytes(),
+    }
+}
+
+fn reopen(img: &[u8], meta: u64) -> VarKeyStore<FastFairTree> {
+    let pool = Arc::new(Pool::from_image(img, PoolConfig::new().size(POOL)).unwrap());
+    let tree = FastFairTree::open(Arc::clone(&pool), meta, TreeOptions::new()).unwrap();
+    VarKeyStore::new(tree, pool)
+}
+
+fn contents(store: &VarKeyStore<FastFairTree>) -> BTreeMap<Vec<u8>, u64> {
+    let mut out = BTreeMap::new();
+    let mut c = store.cursor();
+    while let Some((k, v)) = c.next() {
+        assert!(out.insert(k, v).is_none(), "duplicated key in scan");
+    }
+    out
+}
+
+#[test]
+fn crash_sweep_overflow_chains_old_or_new() {
+    let pool = Arc::new(Pool::new(PoolConfig::new().size(POOL).crash_log(true)).unwrap());
+    let tree = FastFairTree::create(Arc::clone(&pool), TreeOptions::new().node_size(256)).unwrap();
+    let store = VarKeyStore::new(tree, Arc::clone(&pool));
+
+    // Durable preload: 18 long keys spread over the three regimes.
+    let mut committed: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+    for i in 0..18u64 {
+        let k = long_key(i);
+        store.insert(&k, 1000 + i).unwrap();
+        committed.insert(k, 1000 + i);
+    }
+    let log = pool.crash_log().unwrap();
+    log.set_baseline(pool.volatile_image());
+
+    // The op stream under test: fresh inserts into existing chains and
+    // fresh chunks, in-place updates, removals at head/middle/tail.
+    let mut ops: Vec<Op> = Vec::new();
+    for i in 18..30u64 {
+        ops.push(Op::Insert(long_key(i), 2000 + i));
+    }
+    for i in [0u64, 4, 8] {
+        ops.push(Op::Update(long_key(i), 3000 + i));
+    }
+    for i in [3u64, 1, 20, 11] {
+        ops.push(Op::Remove(long_key(i)));
+    }
+    ops.push(Op::Insert(long_key(3), 4003)); // re-insert a removed key
+
+    // Record the committed model at each op boundary.
+    let mut boundaries: Vec<(usize, BTreeMap<Vec<u8>, u64>)> = Vec::new();
+    for op in &ops {
+        boundaries.push((log.len(), committed.clone()));
+        match op {
+            Op::Insert(k, v) => {
+                store.insert(k, *v).unwrap();
+                committed.insert(k.clone(), *v);
+            }
+            Op::Update(k, v) => {
+                assert!(store.update(k, *v).unwrap().is_some());
+                committed.insert(k.clone(), *v);
+            }
+            Op::Remove(k) => {
+                assert!(store.remove(k));
+                committed.remove(k);
+            }
+        }
+    }
+    let total = log.len();
+    boundaries.push((total, committed.clone()));
+    let meta = store.inner().meta_offset();
+
+    let stride = (total / 150).max(1);
+    let mut cut = 0usize;
+    while cut <= total {
+        let idx = boundaries.partition_point(|(b, _)| *b <= cut) - 1;
+        let at_boundary = boundaries[idx].0 == cut;
+        let state = &boundaries[idx].1;
+        let inflight = (!at_boundary && idx < ops.len()).then(|| &ops[idx]);
+        for policy in [
+            Eviction::None,
+            Eviction::All,
+            Eviction::random_with_env(cut as u64),
+        ] {
+            let img = pool.crash_image(cut, policy.clone());
+            let reopened = reopen(&img, meta);
+
+            // Committed keys exact, modulo the in-flight key.
+            for (k, &v) in state {
+                if inflight.is_some_and(|op| op.key() == k.as_slice()) {
+                    continue;
+                }
+                assert_eq!(
+                    reopened.get(k),
+                    Some(v),
+                    "cut {cut} {policy:?}: committed key {k:?}"
+                );
+            }
+            // The in-flight op is atomic: old or new, never torn.
+            if let Some(op) = inflight {
+                let got = reopened.get(op.key());
+                let old = state.get(op.key()).copied();
+                let new = match op {
+                    Op::Insert(_, v) | Op::Update(_, v) => Some(*v),
+                    Op::Remove(_) => None,
+                };
+                assert!(
+                    got == old || got == new,
+                    "cut {cut} {policy:?}: in-flight {op:?} torn: {got:?}"
+                );
+            }
+            // Full scan: well-formed keys, no phantoms, no duplicates.
+            let mut scanned = contents(&reopened);
+            if let Some(op) = inflight {
+                // Normalize the one undetermined key before comparing.
+                scanned.remove(op.key());
+                let mut want = state.clone();
+                want.remove(op.key());
+                assert_eq!(scanned, want, "cut {cut} {policy:?}");
+            } else {
+                assert_eq!(&scanned, state, "cut {cut} {policy:?}");
+            }
+        }
+        if cut == total {
+            break;
+        }
+        cut = (cut + stride).min(total);
+    }
+}
+
+#[test]
+fn crash_during_bulk_chain_build_is_invisible_until_commit() {
+    // bulk_load pre-builds whole chains and hands the inner tree a
+    // sorted chunk stream whose only commit point is the tree's
+    // persisted root store: every crash image shows the empty store or
+    // the full load.
+    let pool = Arc::new(Pool::new(PoolConfig::new().size(POOL).crash_log(true)).unwrap());
+    let tree = FastFairTree::create(Arc::clone(&pool), TreeOptions::new().node_size(256)).unwrap();
+    let store = VarKeyStore::new(tree, Arc::clone(&pool));
+    let log = pool.crash_log().unwrap();
+    log.set_baseline(pool.volatile_image());
+
+    let items: Vec<(Vec<u8>, u64)> = (0..120u64).map(|i| (long_key(i), i + 1)).collect();
+    let want: BTreeMap<Vec<u8>, u64> = items.iter().cloned().collect();
+    store.bulk_load(&mut items.into_iter()).unwrap();
+    let meta = store.inner().meta_offset();
+    let total = log.len();
+
+    for cut in (0..=total).step_by(7) {
+        for policy in [
+            Eviction::None,
+            Eviction::All,
+            Eviction::random_with_env(cut as u64 + 1),
+        ] {
+            let img = pool.crash_image(cut, policy.clone());
+            let reopened = reopen(&img, meta);
+            let got = contents(&reopened);
+            assert!(
+                got.is_empty() || got == want,
+                "cut {cut} {policy:?}: bulk load half-visible ({} of {} keys)",
+                got.len(),
+                want.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn removed_overflow_records_recycle_with_zero_leaks() {
+    let pool = Arc::new(Pool::new(PoolConfig::new().size(POOL)).unwrap());
+    let tree = FastFairTree::create(Arc::clone(&pool), TreeOptions::new()).unwrap();
+    let store = VarKeyStore::new(tree, Arc::clone(&pool));
+
+    // One long chain (every key shares the 7-byte prefix "chain:0"), so
+    // removals below are pure record unlinks — the inner tree's own node
+    // recycling (which waits for a quiescent point) stays out of the
+    // accounting.
+    let keys: Vec<Vec<u8>> = (0..40u64).map(|i| long_key(i * 3)).collect();
+    for (i, k) in keys.iter().enumerate() {
+        store.insert(k, (i + 1) as u64).unwrap();
+    }
+    pmem::stats::reset();
+    for k in &keys[1..] {
+        assert!(store.remove(k));
+    }
+    // Every removed record went straight back to the free list...
+    assert_eq!(
+        pmem::stats::take().nodes_recycled,
+        keys.len() as u64 - 1,
+        "overflow records leaked on remove"
+    );
+    // ... and re-inserting the same keys allocates nothing new: the
+    // records are identically sized, so the free list satisfies them all.
+    let hw = pool.high_water();
+    for (i, k) in keys.iter().enumerate().skip(1) {
+        store.insert(k, (i + 1) as u64).unwrap();
+    }
+    assert_eq!(pool.high_water(), hw, "re-insert leaked fresh allocations");
+}

@@ -481,93 +481,73 @@ impl WbTree {
     }
 }
 
+/// The per-leaf read hook behind [`WbCursor`]: each call takes the
+/// tree's operation lock for its own duration only.
+struct WbChain<'a> {
+    tree: &'a WbTree,
+}
+
+impl pmindex::chain::LeafChain for WbChain<'_> {
+    type Leaf = PmOffset;
+
+    fn locate(&self, target: Key) -> PmOffset {
+        let _g = self.tree.op_lock.lock();
+        self.tree.find_leaf(target).0
+    }
+
+    fn first(&self) -> PmOffset {
+        let _g = self.tree.op_lock.lock();
+        let mut off = self.tree.root();
+        loop {
+            let n = self.tree.node(off);
+            if n.level() == 0 {
+                break off;
+            }
+            off = n.leftmost();
+        }
+    }
+
+    fn read(&self, off: PmOffset, buf: &mut Vec<(Key, Value)>) -> Option<PmOffset> {
+        let _g = self.tree.op_lock.lock();
+        let n = self.tree.node(off);
+        // Slot indirection: records are visited out of physical order,
+        // costing more lines than the sorted layout of FAST+FAIR.
+        let slots = n.sorted_slots();
+        self.tree
+            .pool
+            .charge_parallel_lines((slots.len() as u32).div_ceil(2).max(1));
+        buf.extend(slots.into_iter().map(|s| (n.key_at(s), n.val_at(s))));
+        let sib = n.sibling();
+        if sib == NULL_OFFSET {
+            None
+        } else {
+            self.tree.pool.charge_serial_reads(1);
+            Some(sib)
+        }
+    }
+}
+
 /// Streaming cursor over the wB+-tree's sibling-linked leaves.
 ///
-/// Buffers one leaf at a time, resolving the slot-array indirection per
+/// The [`pmindex::chain::LeafChainCursor`] instantiation for this index:
+/// buffers one leaf at a time, resolving the slot-array indirection per
 /// leaf under the tree's operation lock; the lock is *not* held between
 /// [`Cursor::next`] calls.
-pub struct WbCursor<'a> {
-    tree: &'a WbTree,
-    /// `None` = not positioned yet: the descent (and its lock
-    /// acquisition) happens lazily on the first `next`, so the common
-    /// `cursor()`-then-`seek` shape pays only one descent.
-    next_leaf: Option<PmOffset>,
-    buf: Vec<(Key, Value)>,
-    pos: usize,
-    bound: Key,
-    /// Monotonicity filter: drops re-reads after a concurrent split moved
-    /// already-emitted keys to a fresh sibling.
-    last: Option<Key>,
-}
+pub struct WbCursor<'a>(pmindex::chain::LeafChainCursor<WbChain<'a>>);
 
 impl<'a> WbCursor<'a> {
     fn new(tree: &'a WbTree) -> Self {
-        WbCursor {
-            tree,
-            next_leaf: None,
-            buf: Vec::new(),
-            pos: 0,
-            bound: 0,
-            last: None,
-        }
+        WbCursor(pmindex::chain::LeafChainCursor::new(WbChain { tree }))
     }
 }
 
 impl Cursor for WbCursor<'_> {
     fn seek(&mut self, target: Key) {
-        let _g = self.tree.op_lock.lock();
-        self.bound = target;
-        self.last = None;
-        self.buf.clear();
-        self.pos = 0;
-        self.next_leaf = Some(self.tree.find_leaf(target).0);
+        self.0.seek(target)
     }
 
     fn next(&mut self) -> Option<(Key, Value)> {
-        loop {
-            while self.pos < self.buf.len() {
-                let (k, v) = self.buf[self.pos];
-                self.pos += 1;
-                if k < self.bound || self.last.is_some_and(|l| k <= l) {
-                    continue;
-                }
-                self.last = Some(k);
-                return Some((k, v));
-            }
-            let _g = self.tree.op_lock.lock();
-            let off = match self.next_leaf {
-                Some(NULL_OFFSET) => return None,
-                Some(off) => off,
-                None => {
-                    // First use without a seek: walk to the leftmost leaf.
-                    let mut off = self.tree.root();
-                    loop {
-                        let n = self.tree.node(off);
-                        if n.level() == 0 {
-                            break off;
-                        }
-                        off = n.leftmost();
-                    }
-                }
-            };
-            let n = self.tree.node(off);
-            // Slot indirection: records are visited out of physical order,
-            // costing more lines than the sorted layout of FAST+FAIR.
-            let slots = n.sorted_slots();
-            self.tree
-                .pool
-                .charge_parallel_lines((slots.len() as u32).div_ceil(2).max(1));
-            self.buf = slots
-                .into_iter()
-                .map(|s| (n.key_at(s), n.val_at(s)))
-                .collect();
-            self.pos = 0;
-            let sib = n.sibling();
-            self.next_leaf = Some(sib);
-            if sib != NULL_OFFSET {
-                self.tree.pool.charge_serial_reads(1);
-            }
-        }
+        self.0.next()
     }
 }
 

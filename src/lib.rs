@@ -12,5 +12,6 @@ pub use pmindex;
 pub use pskiplist;
 pub use shard;
 pub use tpcc;
+pub use varkey;
 pub use wbtree;
 pub use wort;

@@ -14,12 +14,18 @@ use fastfair_repro::pmindex::PmIndex;
 
 const POOL: usize = 16 << 20;
 
+/// The CI crash-matrix seed (`FF_CRASH_SEED`): salts both the generated
+/// workload and the pseudo-random eviction choices.
+fn es() -> u64 {
+    fastfair_repro::pmem::crash::env_seed()
+}
+
 #[test]
 fn randomized_stream_survives_sampled_crashes() {
     let pool = Arc::new(Pool::new(PoolConfig::new().size(POOL).crash_log(true)).unwrap());
     let tree = FastFairTree::create(Arc::clone(&pool), TreeOptions::new().node_size(256)).unwrap();
 
-    let preload = generate_keys(300, KeyDist::Uniform, 1);
+    let preload = generate_keys(300, KeyDist::Uniform, 1 ^ es());
     let mut committed: BTreeMap<u64, u64> = BTreeMap::new();
     for &k in &preload {
         tree.insert(k, value_for(k)).unwrap();
@@ -29,7 +35,7 @@ fn randomized_stream_survives_sampled_crashes() {
     log.set_baseline(pool.volatile_image());
 
     // A stream of 400 mixed ops; record the model state at each boundary.
-    let fresh = generate_keys(400, KeyDist::Uniform, 2);
+    let fresh = generate_keys(400, KeyDist::Uniform, 2 ^ es());
     let mut boundaries: Vec<(usize, BTreeMap<u64, u64>)> = Vec::new();
     for (i, &k) in fresh.iter().enumerate() {
         boundaries.push((log.len(), committed.clone()));
@@ -53,7 +59,11 @@ fn randomized_stream_survives_sampled_crashes() {
         let idx = boundaries.partition_point(|(b, _)| *b <= cut) - 1;
         let at_boundary = boundaries[idx].0 == cut;
         let state = &boundaries[idx].1;
-        for policy in [Eviction::None, Eviction::All, Eviction::Random(cut as u64)] {
+        for policy in [
+            Eviction::None,
+            Eviction::All,
+            Eviction::random_with_env(cut as u64),
+        ] {
             let img = pool.crash_image(cut, policy.clone());
             let p2 = Arc::new(Pool::from_image(&img, PoolConfig::new().size(POOL)).unwrap());
             let t2 = FastFairTree::open(Arc::clone(&p2), meta, TreeOptions::new()).unwrap();
@@ -89,7 +99,7 @@ fn randomized_stream_survives_sampled_crashes() {
 fn full_stream_clean_crash_at_end_loses_nothing() {
     let pool = Arc::new(Pool::new(PoolConfig::new().size(POOL).crash_log(true)).unwrap());
     let tree = FastFairTree::create(Arc::clone(&pool), TreeOptions::new()).unwrap();
-    let keys = generate_keys(5000, KeyDist::Uniform, 3);
+    let keys = generate_keys(5000, KeyDist::Uniform, 3 ^ es());
     for &k in &keys {
         tree.insert(k, value_for(k)).unwrap();
     }
@@ -123,7 +133,7 @@ fn logging_variant_stream_also_recovers() {
             .split(fastfair_repro::fastfair::SplitStrategy::Logging),
     )
     .unwrap();
-    let keys = generate_keys(60, KeyDist::DenseShuffled, 4);
+    let keys = generate_keys(60, KeyDist::DenseShuffled, 4 ^ es());
     for &k in &keys[..30] {
         tree.insert(k, value_for(k)).unwrap();
     }
@@ -134,7 +144,7 @@ fn logging_variant_stream_also_recovers() {
     }
     let meta = tree.meta_offset();
     for cut in (0..=log.len()).step_by(13) {
-        let img = pool.crash_image(cut, Eviction::Random(cut as u64));
+        let img = pool.crash_image(cut, Eviction::random_with_env(cut as u64));
         let p2 = Arc::new(Pool::from_image(&img, PoolConfig::new().size(POOL)).unwrap());
         let t2 = FastFairTree::open(Arc::clone(&p2), meta, TreeOptions::new()).unwrap();
         for &k in &keys[..30] {
