@@ -13,7 +13,9 @@
 
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
 
+use epoch::EpochDomain;
 use parking_lot::{Mutex, RwLock};
 use pmindex::{check_value, Cursor, IndexError, Key, PmIndex, Value};
 
@@ -31,14 +33,19 @@ struct Inner {
     /// Upper bound of this node's key range (None = +inf).
     high_key: Option<Key>,
     level: u32,
+    /// Set by the empty-leaf merge after the node is bypassed: latched
+    /// writers that raced the unlink must retraverse, readers move right.
+    deleted: bool,
 }
 
 struct Node {
     lock: RwLock<Inner>,
 }
 
-// SAFETY: nodes are only mutated under their RwLock; raw pointers are
-// stable for the tree's lifetime (nodes are never freed until Drop).
+// SAFETY: nodes are only mutated under their RwLock; raw pointers stay
+// valid while they are held — a node freed before Drop must first be
+// unlinked and retired through the tree's epoch domain, which defers the
+// actual free until every pinned reader has moved on.
 unsafe impl Send for Node {}
 unsafe impl Sync for Node {}
 
@@ -47,8 +54,14 @@ pub struct BlinkTree {
     root: AtomicPtr<Node>,
     /// Serializes root growth.
     root_lock: Mutex<()>,
-    /// All allocated nodes, freed on Drop.
-    registry: Mutex<Vec<*mut Node>>,
+    /// All live nodes, freed on Drop. Nodes unlinked by the empty-leaf
+    /// merge are removed here (O(1)) and handed to the epoch domain.
+    registry: Mutex<std::collections::HashSet<*mut Node>>,
+    /// Reclamation domain: readers hold raw node pointers between latch
+    /// acquisitions, so a merged-away node's `Box` may only drop once two
+    /// epochs have passed — the volatile analogue of the persistent
+    /// indexes' limbo lists.
+    epoch: Arc<EpochDomain>,
 }
 
 // SAFETY: all shared state is behind locks/atomics.
@@ -75,7 +88,8 @@ impl BlinkTree {
         let t = BlinkTree {
             root: AtomicPtr::new(ptr::null_mut()),
             root_lock: Mutex::new(()),
-            registry: Mutex::new(Vec::new()),
+            registry: Mutex::new(std::collections::HashSet::new()),
+            epoch: EpochDomain::new(),
         };
         let root = t.alloc(Inner {
             leaf: true,
@@ -85,6 +99,7 @@ impl BlinkTree {
             next: ptr::null_mut(),
             high_key: None,
             level: 0,
+            deleted: false,
         });
         t.root.store(root, Ordering::Release);
         t
@@ -94,7 +109,7 @@ impl BlinkTree {
         let p = Box::into_raw(Box::new(Node {
             lock: RwLock::new(inner),
         }));
-        self.registry.lock().push(p);
+        self.registry.lock().insert(p);
         p
     }
 
@@ -107,9 +122,20 @@ impl BlinkTree {
     fn find_leaf_shared(&self, key: Key) -> *mut Node {
         let mut cur = self.root_node();
         loop {
-            // SAFETY: nodes live until Drop.
+            // SAFETY: nodes retired by a merge are only freed once every
+            // guard pinned at retirement time drops; the caller pins
+            // around the whole operation.
             let node = unsafe { &*cur };
             let g = node.lock.read();
+            if g.deleted {
+                // Merged away while we were walking. Its range was
+                // absorbed by the LEFT sibling, so moving right would
+                // land on a node that does not cover `key`; retraverse
+                // from the root instead (the parent no longer routes
+                // here).
+                cur = self.root_node();
+                continue;
+            }
             if let Some(h) = g.high_key {
                 if key >= h {
                     cur = g.next;
@@ -144,50 +170,75 @@ impl BlinkTree {
     /// Inserts `(key, value)` at `level`, write-latching and moving right;
     /// returns the replaced value on an upsert.
     fn insert_at_level(&self, level: u32, key: Key, value: u64) -> Option<u64> {
-        // Descend (shared latches) to the target level.
-        let mut cur = self.root_node();
-        {
-            let g = unsafe { &*cur }.lock.read();
-            if g.level < level {
-                drop(g);
-                self.grow_root(level, key, value);
-                return None;
-            }
-        }
-        loop {
-            let node = unsafe { &*cur };
-            let g = node.lock.read();
-            if let Some(h) = g.high_key {
-                if key >= h {
-                    cur = g.next;
-                    continue;
+        'restart: loop {
+            // Descend (shared latches) to the target level.
+            let mut cur = self.root_node();
+            {
+                let g = unsafe { &*cur }.lock.read();
+                if g.level < level {
+                    drop(g);
+                    self.grow_root(level, key, value);
+                    return None;
                 }
             }
-            if g.level == level {
+            loop {
+                let node = unsafe { &*cur };
+                let g = node.lock.read();
+                if g.deleted {
+                    // A deleted node's range moved LEFT; re-descend.
+                    drop(g);
+                    continue 'restart;
+                }
+                if let Some(h) = g.high_key {
+                    if key >= h {
+                        cur = g.next;
+                        continue;
+                    }
+                }
+                if g.level == level {
+                    break;
+                }
+                let idx = g.keys.partition_point(|&k| k <= key);
+                cur = if idx == 0 {
+                    g.leftmost
+                } else {
+                    g.vals[idx - 1] as *mut Node
+                };
+            }
+            // Write-latch, moving right as needed.
+            let mut node = unsafe { &*cur };
+            let mut g = node.lock.write();
+            loop {
+                if g.deleted {
+                    // Unlinked while we waited for the latch; inserting
+                    // here would lose the key. Retraverse from the root.
+                    drop(g);
+                    continue 'restart;
+                }
+                if let Some(h) = g.high_key {
+                    if key >= h {
+                        let next = g.next;
+                        drop(g);
+                        node = unsafe { &*next };
+                        g = node.lock.write();
+                        continue;
+                    }
+                }
                 break;
             }
-            let idx = g.keys.partition_point(|&k| k <= key);
-            cur = if idx == 0 {
-                g.leftmost
-            } else {
-                g.vals[idx - 1] as *mut Node
-            };
+            let _ = node;
+            return self.insert_into_latched(g, key, value);
         }
-        // Write-latch, moving right as needed.
-        let mut node = unsafe { &*cur };
-        let mut g = node.lock.write();
-        loop {
-            if let Some(h) = g.high_key {
-                if key >= h {
-                    let next = g.next;
-                    drop(g);
-                    node = unsafe { &*next };
-                    g = node.lock.write();
-                    continue;
-                }
-            }
-            break;
-        }
+    }
+
+    /// Second half of an insert: the target node is write-latched, not
+    /// deleted, and covers `key`.
+    fn insert_into_latched(
+        &self,
+        mut g: parking_lot::RwLockWriteGuard<'_, Inner>,
+        key: Key,
+        value: u64,
+    ) -> Option<u64> {
         match g.keys.binary_search(&key) {
             Ok(i) => {
                 // Upsert in place under the write latch.
@@ -227,6 +278,7 @@ impl BlinkTree {
             next: g.next,
             high_key: g.high_key,
             level: g.level,
+            deleted: false,
         });
         g.next = sib;
         g.high_key = Some(sep);
@@ -255,13 +307,117 @@ impl BlinkTree {
             next: ptr::null_mut(),
             high_key: None,
             level,
+            deleted: false,
         });
         self.root.store(new_root, Ordering::Release);
+    }
+
+    /// Unlinks the empty leaf at `leaf_ptr` (Lehman-Yao deletion,
+    /// simplified to the same shape as the FAIR merge): remove the
+    /// parent's routing entry, bypass the node in the leaf chain while
+    /// the left sibling absorbs its key range, mark it deleted so latched
+    /// racers retraverse, then retire the `Box` through the epoch domain
+    /// — readers hold raw pointers between latch acquisitions, so the
+    /// node may only drop once every pinned guard has moved on.
+    ///
+    /// Latching order is parent → left → node (top-down, left-to-right);
+    /// all other writers hold one latch at a time, so no cycle exists.
+    /// Best effort: any bail-out leaves a harmless empty leaf.
+    fn try_unlink_empty_leaf(&self, leaf_ptr: *mut Node, key: Key) {
+        if self.root_node() == leaf_ptr {
+            return; // the root leaf is never unlinked
+        }
+        // Shared-latch descent to the level-1 parent covering `key`.
+        let mut cur = self.root_node();
+        {
+            let g = unsafe { &*cur }.lock.read();
+            if g.level < 1 {
+                return;
+            }
+        }
+        loop {
+            let node = unsafe { &*cur };
+            let g = node.lock.read();
+            if g.deleted {
+                // Only leaves are ever unlinked, so an internal node can
+                // never be deleted; bail defensively (best effort).
+                return;
+            }
+            if let Some(h) = g.high_key {
+                if key >= h {
+                    cur = g.next;
+                    continue;
+                }
+            }
+            if g.level == 1 {
+                break;
+            }
+            let idx = g.keys.partition_point(|&k| k <= key);
+            cur = if idx == 0 {
+                g.leftmost
+            } else {
+                g.vals[idx - 1] as *mut Node
+            };
+        }
+        let parent = unsafe { &*cur };
+        let mut pg = parent.lock.write();
+        // Re-verify everything under the latches; bail quietly otherwise.
+        if pg.deleted || pg.level != 1 {
+            return;
+        }
+        if let Some(h) = pg.high_key {
+            if key >= h {
+                return; // parent split under us; the next delete retries
+            }
+        }
+        let Some(i) = pg.vals.iter().position(|&v| v == leaf_ptr as u64) else {
+            return; // the parent's leftmost child: no left sibling here
+        };
+        let left_ptr = if i == 0 {
+            pg.leftmost
+        } else {
+            pg.vals[i - 1] as *mut Node
+        };
+        if left_ptr.is_null() {
+            return;
+        }
+        let left = unsafe { &*left_ptr };
+        let mut lg = left.lock.write();
+        let node = unsafe { &*leaf_ptr };
+        let mut ng = node.lock.write();
+        if lg.deleted || ng.deleted || lg.next != leaf_ptr || !ng.leaf || !ng.keys.is_empty() {
+            return;
+        }
+        // Step 1: drop the routing entry.
+        pg.keys.remove(i);
+        pg.vals.remove(i);
+        // Step 2: bypass the node; the left sibling absorbs its range so
+        // future inserts in that range land left of the chain cut.
+        lg.next = ng.next;
+        lg.high_key = ng.high_key;
+        // Step 3: latched racers must retraverse; readers move right.
+        ng.deleted = true;
+        drop(ng);
+        drop(lg);
+        drop(pg);
+        // Hand ownership from the registry to the epoch domain.
+        self.registry.lock().remove(&leaf_ptr);
+        let addr = leaf_ptr as usize;
+        self.epoch.defer_units(move || {
+            // SAFETY: the pointer came from Box::into_raw, was removed
+            // from the registry (so Drop will not free it again), and two
+            // epochs have passed since every reader that could hold it.
+            unsafe { drop(Box::from_raw(addr as *mut Node)) };
+            1
+        });
     }
 }
 
 impl Drop for BlinkTree {
     fn drop(&mut self) {
+        // Retired nodes were removed from the registry when they entered
+        // limbo, so the two reclamation paths free disjoint sets (the
+        // epoch domain flushes its remainder when its Arc drops below).
         for &p in self.registry.lock().iter() {
             // SAFETY: each pointer came from Box::into_raw and is freed
             // exactly once here.
@@ -274,8 +430,13 @@ impl Drop for BlinkTree {
 
 /// The per-leaf read hook behind [`BlinkCursor`]: one leaf buffered under
 /// its read latch.
+///
+/// The epoch guard pins the cursor's whole lifetime: the saved next-leaf
+/// pointer stays dereferenceable even if a delete merges that leaf away
+/// mid-scan — its `Box` cannot drop until this cursor does.
 struct BlinkChain<'a> {
     tree: &'a BlinkTree,
+    _pin: epoch::Guard,
 }
 
 impl pmindex::chain::LeafChain for BlinkChain<'_> {
@@ -290,7 +451,8 @@ impl pmindex::chain::LeafChain for BlinkChain<'_> {
     }
 
     fn read(&self, leaf: *mut Node, buf: &mut Vec<(Key, Value)>) -> Option<*mut Node> {
-        // SAFETY: nodes live until the tree drops.
+        // SAFETY: the cursor's epoch pin keeps even a merged-away node
+        // alive for as long as this hook can be handed its pointer.
         let g = unsafe { &*leaf }.lock.read();
         buf.extend(g.keys.iter().copied().zip(g.vals.iter().copied()));
         let next = g.next;
@@ -308,13 +470,17 @@ impl pmindex::chain::LeafChain for BlinkChain<'_> {
 pub struct BlinkCursor<'a>(pmindex::chain::LeafChainCursor<BlinkChain<'a>>);
 
 // SAFETY: the raw leaf pointer is only dereferenced under the node's
-// RwLock, and nodes live until the tree drops (which the 'a borrow
-// prevents while a cursor exists).
+// RwLock, and the cursor's epoch pin keeps it alive until the cursor
+// drops (the guard's own state transitions are all compare-and-swap, so
+// dropping the cursor on another thread is sound).
 unsafe impl Send for BlinkCursor<'_> {}
 
 impl<'a> BlinkCursor<'a> {
     fn new(tree: &'a BlinkTree) -> Self {
-        BlinkCursor(pmindex::chain::LeafChainCursor::new(BlinkChain { tree }))
+        BlinkCursor(pmindex::chain::LeafChainCursor::new(BlinkChain {
+            tree,
+            _pin: tree.epoch.pin(),
+        }))
     }
 }
 
@@ -331,15 +497,22 @@ impl Cursor for BlinkCursor<'_> {
 impl PmIndex for BlinkTree {
     fn insert(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
         check_value(value)?;
+        let _pin = self.epoch.pin();
         Ok(self.insert_at_level(0, key, value))
     }
 
     fn update(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
         check_value(value)?;
+        let _pin = self.epoch.pin();
         let mut cur = self.find_leaf_shared(key);
         loop {
             let node = unsafe { &*cur };
             let mut g = node.lock.write();
+            if g.deleted {
+                drop(g);
+                cur = self.find_leaf_shared(key);
+                continue;
+            }
             if let Some(h) = g.high_key {
                 if key >= h {
                     cur = g.next;
@@ -354,9 +527,15 @@ impl PmIndex for BlinkTree {
     }
 
     fn get(&self, key: Key) -> Option<Value> {
+        let _pin = self.epoch.pin();
         let leaf = self.find_leaf_shared(key);
         let g = unsafe { &*leaf }.lock.read();
-        // Re-check the range under the latch (a split may have raced).
+        // Re-check the range under the latch (a split or merge may have
+        // raced the descent).
+        if g.deleted {
+            drop(g);
+            return self.get(key);
+        }
         if let Some(h) = g.high_key {
             if key >= h {
                 drop(g);
@@ -367,10 +546,16 @@ impl PmIndex for BlinkTree {
     }
 
     fn remove(&self, key: Key) -> bool {
+        let _pin = self.epoch.pin();
         let mut cur = self.find_leaf_shared(key);
         loop {
             let node = unsafe { &*cur };
             let mut g = node.lock.write();
+            if g.deleted {
+                drop(g);
+                cur = self.find_leaf_shared(key);
+                continue;
+            }
             if let Some(h) = g.high_key {
                 if key >= h {
                     cur = g.next;
@@ -381,6 +566,12 @@ impl PmIndex for BlinkTree {
                 Ok(i) => {
                     g.keys.remove(i);
                     g.vals.remove(i);
+                    let emptied = g.leaf && g.keys.is_empty();
+                    drop(g);
+                    if emptied {
+                        // Merge the emptied leaf away (best effort).
+                        self.try_unlink_empty_leaf(cur, key);
+                    }
                     true
                 }
                 Err(_) => false,
@@ -539,6 +730,152 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn emptied_leaves_are_merged_and_nodes_dropped_online() {
+        let t = BlinkTree::new();
+        let n = (CAP * 8) as u64;
+        for k in 1..=n {
+            t.insert(k, k + 1).unwrap();
+        }
+        let nodes_before = t.registry.lock().len();
+        for k in (CAP as u64 + 1)..=n {
+            assert!(t.remove(k));
+        }
+        // Merged leaves left the registry for the epoch domain's limbo.
+        let nodes_after = t.registry.lock().len();
+        assert!(
+            nodes_after < nodes_before,
+            "no leaf was unlinked ({nodes_before} -> {nodes_after})"
+        );
+        // Retired boxes sit in limbo unless the amortized maintenance
+        // already drained some (it does under FF_EPOCH_STRESS=1).
+        assert!(t.epoch.limbo_len() > 0 || t.epoch.recycled() > 0);
+        // Drive the clock: the retired boxes drop while the tree serves.
+        t.epoch.try_advance();
+        t.epoch.try_advance();
+        t.epoch.collect();
+        assert!(t.epoch.recycled() > 0);
+        for k in 1..=CAP as u64 {
+            assert_eq!(t.get(k), Some(k + 1));
+        }
+        assert_eq!(t.get(CAP as u64 + 1), None);
+        // The tree keeps absorbing inserts into the merged range.
+        for k in (CAP as u64 + 1)..=n {
+            t.insert(k, k + 2).unwrap();
+        }
+        for k in (CAP as u64 + 1)..=n {
+            assert_eq!(t.get(k), Some(k + 2));
+        }
+        assert_eq!(t.len(), n as usize);
+    }
+
+    #[test]
+    fn inserts_racing_merges_never_lose_keys() {
+        // Regression: an insert descending into a leaf that a concurrent
+        // merge unlinks must retraverse from the root (the deleted
+        // node's range was absorbed LEFT; moving right would drop the
+        // key into a node the parent never routes that key to).
+        for round in 0..8u64 {
+            let t = Arc::new(BlinkTree::new());
+            let n = (CAP * 20) as u64;
+            for k in 1..=n {
+                t.insert(k * 2, k).unwrap(); // even keys only
+            }
+            std::thread::scope(|s| {
+                {
+                    // Remover: empties whole leaves front to back.
+                    let t = Arc::clone(&t);
+                    s.spawn(move || {
+                        for k in 1..=n {
+                            assert!(t.remove(k * 2));
+                        }
+                    });
+                }
+                for w in 0..2u64 {
+                    // Inserters: fresh odd keys landing in the exact
+                    // ranges being merged away.
+                    let t = Arc::clone(&t);
+                    s.spawn(move || {
+                        for k in (w..n).step_by(2) {
+                            t.insert(k * 2 + 1, k + round + 1).unwrap();
+                        }
+                    });
+                }
+            });
+            // Every odd key must be findable — a lost insert means the
+            // descent dropped it into a node its parent does not route.
+            for k in 0..n {
+                assert_eq!(
+                    t.get(k * 2 + 1),
+                    Some(k + round + 1),
+                    "round {round}: inserted key {} lost to a racing merge",
+                    k * 2 + 1
+                );
+            }
+            assert_eq!(t.len(), n as usize);
+        }
+    }
+
+    #[test]
+    fn concurrent_removes_and_reads_with_merges() {
+        let t = Arc::new(BlinkTree::new());
+        let n = (CAP * 40) as u64;
+        for k in 1..=n {
+            t.insert(k, k + 1).unwrap();
+        }
+        // Two removers empty disjoint halves (forcing merges) while two
+        // readers hammer gets and a scanner streams cursors.
+        std::thread::scope(|s| {
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            for half in 0..2u64 {
+                let t = Arc::clone(&t);
+                let lo = 1 + half * (n / 2);
+                let hi = (half + 1) * (n / 2);
+                s.spawn(move || {
+                    for k in lo..=hi {
+                        if !k.is_multiple_of(8) {
+                            assert!(t.remove(k));
+                        }
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let t = Arc::clone(&t);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut k = 1u64;
+                    while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                        let got = t.get(k);
+                        if k.is_multiple_of(8) {
+                            assert_eq!(got, Some(k + 1), "kept key {k} must stay");
+                        }
+                        k = k % n + 1;
+                    }
+                });
+            }
+            {
+                let t = Arc::clone(&t);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    for _ in 0..20 {
+                        let mut c = t.cursor();
+                        let mut last = 0u64;
+                        while let Some((k, _)) = c.next() {
+                            assert!(k > last, "cursor out of order at {k}");
+                            last = k;
+                        }
+                    }
+                    stop.store(true, std::sync::atomic::Ordering::Release);
+                });
+            }
+        });
+        // Exactly the multiples of 8 survive.
+        assert_eq!(t.len(), (n / 8) as usize);
+        for k in (8..=n).step_by(8) {
+            assert_eq!(t.get(k), Some(k + 1));
+        }
     }
 
     #[test]

@@ -184,12 +184,14 @@ impl FastFairTree {
                 level += 1;
             }
             // Commit: one persisted 8-byte store of the root pointer. The
-            // old root leaf becomes garbage and is recycled.
+            // old root leaf becomes garbage; a concurrent lock-free reader
+            // could still be standing on it, so it is retired through the
+            // epoch domain rather than freed on the spot.
             let old_root = self.root_offset_for_bulk();
             let new_root = fences[0].1;
             self.pool.store_u64(self.meta + META_ROOT, new_root);
             self.pool.persist(self.meta + META_ROOT, 8);
-            self.pool.free(old_root, u64::from(self.node_size()));
+            self.retire_node(old_root);
         }
 
         let mut fresh = packed;

@@ -20,11 +20,14 @@
 //! entry is gone, and `covering_sibling` never redirects into an empty
 //! node). The unlinked node is *retired* rather than freed on the spot:
 //! lock-free readers may still be traversing it, so its block goes onto
-//! the tree's volatile retired list and is returned to [`pmem::Pool::free`]
-//! by [`FastFairTree::recover`] or when the handle drops (both quiescent).
-//! Recycled blocks are counted in `pmem::stats` (`nodes_recycled`). The
-//! list does not survive a crash — pre-crash retirees leak, matching PM
-//! allocators without offline GC.
+//! the tree's epoch-domain limbo list (`crates/epoch`) and returns to
+//! [`pmem::Pool::free`] once two epochs have passed — **online**, while
+//! traffic is live, counted in `pmem::stats` (`nodes_limbo`,
+//! `nodes_recycled_online`). [`FastFairTree::recover`] and `Drop` (both
+//! quiescent) flush whatever is still in limbo. Limbo does not survive a
+//! crash — pre-crash retirees leak, matching PM allocators without
+//! offline GC — and a node is either on a chain or in limbo, never both,
+//! so the crash-recovery sweep can never double-free.
 
 use pmem::{PmOffset, NULL_OFFSET};
 use pmindex::Key;

@@ -119,7 +119,7 @@ impl std::error::Error for ConsistencyError {}
 impl FastFairTree {
     /// Offsets of every node on the sibling chain of `level`, starting from
     /// the leftmost node reachable from the root.
-    fn level_chain(&self, level: u32) -> Vec<PmOffset> {
+    pub(crate) fn level_chain(&self, level: u32) -> Vec<PmOffset> {
         let mut node = self.node(self.root());
         if node.level() < level {
             return Vec::new();

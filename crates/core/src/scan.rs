@@ -32,8 +32,15 @@ use crate::tree::FastFairTree;
 /// The per-leaf read hook: lock-free leaf snapshot (taking the leaf read
 /// latch only in the `FAST+FAIR+LeafLock` variant), sibling read after
 /// the entries, pointer-chase latency charged per hop.
+///
+/// The epoch guard pins the cursor's whole lifetime: the cursor saves the
+/// next leaf's offset between [`Cursor::next`] calls, and the pin is what
+/// keeps a concurrently merged-away (retired) leaf from being recycled —
+/// and its block reused — under the cursor's feet. The cost is that a
+/// long-lived cursor stalls reclamation, never correctness.
 struct TreeChain<'a> {
     tree: &'a FastFairTree,
+    _pin: epoch::Guard,
 }
 
 impl LeafChain for TreeChain<'_> {
@@ -80,7 +87,10 @@ pub struct TreeCursor<'a>(LeafChainCursor<TreeChain<'a>>);
 impl<'a> TreeCursor<'a> {
     /// Opens a cursor positioned before the smallest key.
     pub fn new(tree: &'a FastFairTree) -> Self {
-        TreeCursor(LeafChainCursor::new(TreeChain { tree }))
+        TreeCursor(LeafChainCursor::new(TreeChain {
+            tree,
+            _pin: tree.epoch().pin(),
+        }))
     }
 }
 

@@ -19,8 +19,9 @@
 //! 56  reserved
 //! ```
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
+use epoch::EpochDomain;
 use pmem::{stats, PmOffset, Pool, NULL_OFFSET};
 use pmindex::{Cursor, IndexError, Key, PmIndex, Value};
 
@@ -156,13 +157,16 @@ pub struct FastFairTree {
     pub(crate) node_size: u32,
     pub(crate) cap: u16,
     pub(crate) opts: TreeOptions,
-    /// Leaves unlinked by a FAIR merge, awaiting recycling. Lock-free
-    /// readers may still be traversing an unlinked node, so the merge path
-    /// only *retires* it here; [`FastFairTree::recover`] (quiescent by
-    /// contract) and `Drop` return the blocks to [`Pool::free`]. Volatile
-    /// by design: a crash empties the list and the blocks leak, matching
-    /// PM allocators without offline GC.
-    pub(crate) retired: Mutex<Vec<PmOffset>>,
+    /// Epoch-based reclamation domain. Lock-free readers may still be
+    /// traversing a node a FAIR merge just unlinked, so the merge path
+    /// *retires* the block into this domain's limbo lists; once two
+    /// epochs have passed — every reader pinned at retirement time has
+    /// left its critical section — the block returns to [`Pool::free`]
+    /// **while traffic is live**. [`FastFairTree::recover`] and `Drop`
+    /// (both quiescent by contract) flush whatever is still in limbo.
+    /// Limbo is volatile by design: a crash empties it and the blocks
+    /// leak, matching PM allocators without offline GC.
+    pub(crate) epoch: Arc<EpochDomain>,
     name: &'static str,
 }
 
@@ -257,9 +261,16 @@ impl FastFairTree {
             node_size,
             cap: capacity(node_size),
             opts,
-            retired: Mutex::new(Vec::new()),
+            epoch: EpochDomain::new(),
             name,
         }
+    }
+
+    /// The tree's epoch-based reclamation domain — exposed so tests,
+    /// tooling and reclamation policies can observe or drive the clock
+    /// (e.g. force a deterministic advance/collect between phases).
+    pub fn epoch(&self) -> &Arc<EpochDomain> {
+        &self.epoch
     }
 
     /// The pool this tree lives in.
@@ -473,25 +484,19 @@ impl FastFairTree {
         }
     }
 
-    /// Retires an unlinked node for later recycling (see the `retired`
-    /// field docs).
+    /// Retires an unlinked node into the epoch domain: the block returns
+    /// to [`Pool::free`] once two epochs have passed, while traffic is
+    /// live (see the `epoch` field docs).
     pub(crate) fn retire_node(&self, off: PmOffset) {
-        self.retired
-            .lock()
-            .expect("retired list poisoned")
-            .push(off);
+        self.epoch
+            .retire_pm(&self.pool, off, u64::from(self.node_size));
     }
 
-    /// Returns every retired node to the pool's free list; the caller must
-    /// guarantee no concurrent reader can still hold a reference (recovery
-    /// and drop both do).
+    /// Returns every limbo-held node to the pool's free list immediately;
+    /// the caller must guarantee no concurrent reader can still hold a
+    /// reference (recovery and drop both do).
     pub(crate) fn reclaim_retired(&self) -> usize {
-        let drained: Vec<PmOffset> =
-            std::mem::take(&mut *self.retired.lock().expect("retired list poisoned"));
-        for &off in &drained {
-            self.pool.free(off, u64::from(self.node_size));
-        }
-        drained.len()
+        self.epoch.flush()
     }
 
     fn get_impl(&self, key: Key) -> Option<Value> {
@@ -534,13 +539,42 @@ impl pmindex::PersistentIndex for FastFairTree {
     fn superblock(&self) -> PmOffset {
         self.meta_offset()
     }
+
+    /// Walks every level chain and returns the whole tree — nodes,
+    /// limbo-held retirees, superblock and (for the logging strategy) the
+    /// undo buffer — to the pool's free list. Caller guarantees exclusive
+    /// access; the shard router defers this call through its epoch domain
+    /// so it runs only after every reader of the evacuated index is gone.
+    fn reclaim_storage(&self) -> usize {
+        // Limbo first: merge-retired nodes are no longer on any chain.
+        let mut freed = self.epoch.flush();
+        let mut seen = std::collections::BTreeSet::new();
+        for level in (0..=self.height()).rev() {
+            for off in self.level_chain(level) {
+                if seen.insert(off) {
+                    self.pool.free(off, u64::from(self.node_size));
+                    freed += 1;
+                }
+            }
+        }
+        if self.opts.split == SplitStrategy::Logging {
+            let area = self.pool.load_u64(self.meta + META_LOG_AREA);
+            if area != NULL_OFFSET {
+                self.pool.free(area, 8 + u64::from(self.node_size));
+                freed += 1;
+            }
+        }
+        self.pool.free(self.meta, 64);
+        freed + 1
+    }
 }
 
 impl Drop for FastFairTree {
     fn drop(&mut self) {
         // The handle is going away, so no reader of *this* handle can still
-        // hold references into retired nodes; give the blocks back to the
-        // pool for the next tree (or table) sharing it.
+        // hold references into limbo-held nodes; give any blocks online
+        // reclamation has not yet collected back to the pool for the next
+        // tree (or table) sharing it.
         self.reclaim_retired();
     }
 }
@@ -548,19 +582,23 @@ impl Drop for FastFairTree {
 impl PmIndex for FastFairTree {
     fn insert(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
         pmindex::check_value(value)?;
+        let _pin = self.epoch.pin();
         crate::insert::tree_insert(self, key, value)
     }
 
     fn update(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
         pmindex::check_value(value)?;
+        let _pin = self.epoch.pin();
         crate::insert::tree_update(self, key, value)
     }
 
     fn get(&self, key: Key) -> Option<Value> {
+        let _pin = self.epoch.pin();
         stats::timed(stats::Phase::Search, || self.get_impl(key))
     }
 
     fn remove(&self, key: Key) -> bool {
+        let _pin = self.epoch.pin();
         crate::delete::tree_remove(self, key)
     }
 
@@ -587,6 +625,7 @@ impl PmIndex for FastFairTree {
         &self,
         items: &mut dyn Iterator<Item = (Key, Value)>,
     ) -> Result<usize, IndexError> {
+        let _pin = self.epoch.pin();
         self.bulk_load_sorted(items)
     }
 

@@ -1,0 +1,216 @@
+//! Crash sweeps across the epoch-reclamation window.
+//!
+//! The crash story of `crates/epoch` is *degradation, never corruption*:
+//! limbo lists are volatile, so a crash at **any** point between a
+//! merge's retire and the collector's free must leave a pool that
+//! recovers with zero lost keys and zero double-frees — the post-crash
+//! image simply still contains the unlinked node (it leaks, or the
+//! recover-time sweep re-discovers it if it is still chained).
+//!
+//! The sweeps drive the clock *explicitly* between operations so the
+//! event log contains every phase of the reclamation lifecycle:
+//!
+//! 1. deletes that empty leaves → FAIR merges retire them into limbo;
+//! 2. `try_advance`/`collect` → blocks return to the free list;
+//! 3. an insert wave that **reuses the recycled blocks** — the scary
+//!    images, where a crashed store log replays writes into a node's
+//!    second life on top of remnants of its first.
+//!
+//! Every cut × eviction policy must satisfy: tolerant consistency before
+//! repair, committed keys readable, strict consistency and intact data
+//! after `recover()`, and a post-recovery refill that stays exact (a
+//! double-free would hand one block to two owners and fail the
+//! differential or the structural check).
+//!
+//! Randomized parts are salted with `pmem::crash::env_seed()`
+//! (`FF_CRASH_SEED`), so the CI crash-matrix job explores a different
+//! slice of the reachable crash states per seed leg.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use fastfair::{FastFairTree, TreeOptions};
+use pmem::crash::Eviction;
+use pmem::{Pool, PoolConfig};
+use pmindex::workload::value_for;
+use pmindex::PmIndex;
+
+const POOL_BYTES: usize = 8 << 20;
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Insert(u64),
+    Delete(u64),
+    /// Advance the reclamation clock once and collect.
+    Tick,
+}
+
+/// Runs `steps` on a crash-logged tree and sweeps every `cut_stride`-th
+/// crash point under several eviction policies.
+fn reclaim_crash_sweep(preload: &[u64], steps: &[Step], cut_stride: usize) {
+    let opts = TreeOptions::new().node_size(256);
+    let pool = Arc::new(Pool::new(PoolConfig::new().size(POOL_BYTES).crash_log(true)).unwrap());
+    let tree = FastFairTree::create(Arc::clone(&pool), opts).unwrap();
+    let mut committed: BTreeMap<u64, u64> = BTreeMap::new();
+    for &k in preload {
+        tree.insert(k, value_for(k)).unwrap();
+        committed.insert(k, value_for(k));
+    }
+    let log = pool.crash_log().unwrap();
+    log.set_baseline(pool.volatile_image());
+
+    // Committed state before each step (for the in-flight tolerance of
+    // whichever single op a cut lands inside).
+    let mut boundaries: Vec<(usize, BTreeMap<u64, u64>)> = Vec::new();
+    let mut retired_total = 0u64;
+    for &step in steps {
+        boundaries.push((log.len(), committed.clone()));
+        match step {
+            Step::Insert(k) => {
+                tree.insert(k, value_for(k)).unwrap();
+                committed.insert(k, value_for(k));
+            }
+            Step::Delete(k) => {
+                tree.remove(k);
+                committed.remove(&k);
+            }
+            Step::Tick => {
+                tree.epoch().try_advance();
+                retired_total += tree.epoch().collect() as u64;
+            }
+        }
+    }
+    let total = log.len();
+    boundaries.push((total, committed.clone()));
+    assert!(
+        tree.epoch().limbo_len() > 0 || retired_total > 0,
+        "sweep scenario never exercised the retire path"
+    );
+
+    let meta = tree.meta_offset();
+    let policies = [Eviction::None, Eviction::All, Eviction::random_with_env(7)];
+
+    let mut cut = 0usize;
+    loop {
+        let idx = boundaries.partition_point(|(b, _)| *b <= cut) - 1;
+        let at_boundary = boundaries[idx].0 == cut;
+        let state = &boundaries[idx].1;
+        // Keys possibly mid-flight at this cut (the op between this
+        // boundary and the next); both outcomes are legal for them.
+        let next_state = boundaries.get(idx + 1).map(|(_, s)| s);
+
+        for policy in &policies {
+            let img = pool.crash_image(cut, policy.clone());
+            let p2 = Arc::new(Pool::from_image(&img, PoolConfig::new().size(POOL_BYTES)).unwrap());
+            let t2 = FastFairTree::open(Arc::clone(&p2), meta, opts).unwrap();
+
+            // Tolerant consistency before any repair.
+            t2.check_consistency(false).unwrap_or_else(|e| {
+                panic!("cut {cut} policy {policy:?}: tolerant consistency: {e}")
+            });
+
+            // Recover: must flush nothing from limbo (it is volatile and
+            // fresh handles start empty) and restore strict consistency.
+            let report = t2.recover().unwrap();
+            t2.check_consistency(true).unwrap_or_else(|e| {
+                panic!("cut {cut} policy {policy:?}: strict consistency after recover: {e}")
+            });
+
+            // Zero lost keys: everything committed before the in-flight
+            // op reads back; the in-flight key may be old or new.
+            for (&k, &v) in state {
+                if !at_boundary {
+                    let inflight_changed = next_state.is_some_and(|ns| ns.get(&k) != Some(&v));
+                    if inflight_changed {
+                        continue;
+                    }
+                }
+                assert_eq!(
+                    t2.get(k),
+                    Some(v),
+                    "cut {cut} policy {policy:?}: committed key {k} lost \
+                     (recover report {report:?})"
+                );
+            }
+
+            // Zero double-frees: refill heavily through the recovered
+            // pool (whose free list now holds the swept blocks) and
+            // verify exactness — one block with two owners cannot pass.
+            let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+            let mut cur = t2.cursor();
+            while let Some((k, v)) = pmindex::Cursor::next(&mut cur) {
+                model.insert(k, v);
+            }
+            drop(cur);
+            for i in 0..600u64 {
+                let k = 5_000_000 + i;
+                t2.insert(k, value_for(k)).unwrap();
+                model.insert(k, value_for(k));
+            }
+            t2.check_consistency(false).unwrap_or_else(|e| {
+                panic!("cut {cut} policy {policy:?}: refill broke the tree: {e}")
+            });
+            let mut n = 0usize;
+            let mut cur = t2.cursor();
+            while let Some((k, v)) = pmindex::Cursor::next(&mut cur) {
+                assert_eq!(
+                    model.get(&k),
+                    Some(&v),
+                    "cut {cut} policy {policy:?}: refill corrupted key {k}"
+                );
+                n += 1;
+            }
+            assert_eq!(
+                n,
+                model.len(),
+                "cut {cut} policy {policy:?}: refill lost keys"
+            );
+        }
+        if cut == total {
+            break;
+        }
+        cut = (cut + cut_stride).min(total);
+    }
+}
+
+/// Deletes empty two leaves (two merges retire them); the crash window
+/// covers retire-but-never-collected limbo.
+#[test]
+fn crash_between_retire_and_collect() {
+    let preload: Vec<u64> = (1..=30).map(|k| k * 10).collect();
+    let steps: Vec<Step> = (11..=30).map(|k| Step::Delete(k * 10)).collect();
+    reclaim_crash_sweep(&preload, &steps, 3);
+}
+
+/// The full lifecycle: merge-retire, explicit advance/collect ticks, and
+/// an insert wave that reuses the recycled blocks — crash points land
+/// inside a node's second life.
+#[test]
+fn crash_across_collect_and_block_reuse() {
+    let preload: Vec<u64> = (1..=30).map(|k| k * 10).collect();
+    let mut steps: Vec<Step> = (11..=30).map(|k| Step::Delete(k * 10)).collect();
+    steps.extend([Step::Tick, Step::Tick, Step::Tick]);
+    // Reuse wave: fresh keys packed into the recycled leaves.
+    steps.extend((1..=40u64).map(|i| Step::Insert(1000 + i)));
+    steps.extend([Step::Tick]);
+    reclaim_crash_sweep(&preload, &steps, 5);
+}
+
+/// Alternating churn: every round retires, collects and reuses, so the
+/// event log interleaves all three phases tightly.
+#[test]
+fn crash_during_interleaved_churn() {
+    let preload: Vec<u64> = (1..=24).map(|k| k * 5).collect();
+    let mut steps = Vec::new();
+    for round in 0..3u64 {
+        for k in 9..=24 {
+            steps.push(Step::Delete(k * 5 + round));
+        }
+        steps.push(Step::Tick);
+        steps.push(Step::Tick);
+        for k in 9..=24u64 {
+            steps.push(Step::Insert(k * 5 + round + 1));
+        }
+    }
+    reclaim_crash_sweep(&preload, &steps, 11);
+}

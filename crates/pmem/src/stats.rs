@@ -58,6 +58,18 @@ pub struct Snapshot {
     /// ([`crate::Pool::set_manifest`]) — one per committed multi-structure
     /// update, e.g. a shard-map epoch change.
     pub manifest_commits: u64,
+    /// Number of successful global epoch advances performed by the
+    /// `epoch` crate's reclamation clock.
+    pub epoch_advances: u64,
+    /// Number of retired items pushed onto an epoch limbo list, awaiting
+    /// two epoch advances before they can be recycled.
+    pub nodes_limbo: u64,
+    /// Number of pool blocks returned to a free list *online* — by an
+    /// epoch `collect` under live traffic, as opposed to a quiescent
+    /// `recover`/drop sweep. Every such block is also counted in
+    /// [`nodes_recycled`](Snapshot::nodes_recycled) when `Pool::free`
+    /// runs.
+    pub nodes_recycled_online: u64,
     /// Nanoseconds spent in flush operations (including injected latency).
     pub flush_ns: u64,
     /// Nanoseconds attributed to the search phase.
@@ -84,6 +96,9 @@ impl Add for Snapshot {
             parallel_lines: self.parallel_lines + rhs.parallel_lines,
             nodes_recycled: self.nodes_recycled + rhs.nodes_recycled,
             manifest_commits: self.manifest_commits + rhs.manifest_commits,
+            epoch_advances: self.epoch_advances + rhs.epoch_advances,
+            nodes_limbo: self.nodes_limbo + rhs.nodes_limbo,
+            nodes_recycled_online: self.nodes_recycled_online + rhs.nodes_recycled_online,
             flush_ns: self.flush_ns + rhs.flush_ns,
             search_ns: self.search_ns + rhs.search_ns,
             update_ns: self.update_ns + rhs.update_ns,
@@ -105,6 +120,9 @@ thread_local! {
     static PARALLEL: Cell<u64> = const { Cell::new(0) };
     static RECYCLED: Cell<u64> = const { Cell::new(0) };
     static MANIFEST: Cell<u64> = const { Cell::new(0) };
+    static EPOCH_ADV: Cell<u64> = const { Cell::new(0) };
+    static LIMBO: Cell<u64> = const { Cell::new(0) };
+    static RECYCLED_ONLINE: Cell<u64> = const { Cell::new(0) };
     static FLUSH_NS: Cell<u64> = const { Cell::new(0) };
     static SEARCH_NS: Cell<u64> = const { Cell::new(0) };
     static UPDATE_NS: Cell<u64> = const { Cell::new(0) };
@@ -146,6 +164,28 @@ pub(crate) fn count_manifest_commit() {
     MANIFEST.with(|c| c.set(c.get() + 1));
 }
 
+/// Counts one successful global epoch advance. Public so the `epoch`
+/// crate's reclamation clock can report into the shared counters.
+#[inline]
+pub fn count_epoch_advance() {
+    EPOCH_ADV.with(|c| c.set(c.get() + 1));
+}
+
+/// Counts `n` retired items entering an epoch limbo list. Public for the
+/// `epoch` crate.
+#[inline]
+pub fn count_nodes_limbo(n: u64) {
+    LIMBO.with(|c| c.set(c.get() + n));
+}
+
+/// Counts `n` pool blocks recycled *online* by an epoch collection (as
+/// opposed to a quiescent recover/drop sweep). Public for the `epoch`
+/// crate.
+#[inline]
+pub fn count_recycled_online(n: u64) {
+    RECYCLED_ONLINE.with(|c| c.set(c.get() + n));
+}
+
 /// Resets this thread's counters to zero.
 pub fn reset() {
     FLUSHES.with(|c| c.set(0));
@@ -155,6 +195,9 @@ pub fn reset() {
     PARALLEL.with(|c| c.set(0));
     RECYCLED.with(|c| c.set(0));
     MANIFEST.with(|c| c.set(0));
+    EPOCH_ADV.with(|c| c.set(0));
+    LIMBO.with(|c| c.set(0));
+    RECYCLED_ONLINE.with(|c| c.set(0));
     FLUSH_NS.with(|c| c.set(0));
     SEARCH_NS.with(|c| c.set(0));
     UPDATE_NS.with(|c| c.set(0));
@@ -170,6 +213,9 @@ pub fn snapshot() -> Snapshot {
         parallel_lines: PARALLEL.with(Cell::get),
         nodes_recycled: RECYCLED.with(Cell::get),
         manifest_commits: MANIFEST.with(Cell::get),
+        epoch_advances: EPOCH_ADV.with(Cell::get),
+        nodes_limbo: LIMBO.with(Cell::get),
+        nodes_recycled_online: RECYCLED_ONLINE.with(Cell::get),
         flush_ns: FLUSH_NS.with(Cell::get),
         search_ns: SEARCH_NS.with(Cell::get),
         update_ns: UPDATE_NS.with(Cell::get),
@@ -219,6 +265,9 @@ mod tests {
         count_recycled(2);
         count_manifest_commit();
         count_dmb();
+        count_epoch_advance();
+        count_nodes_limbo(4);
+        count_recycled_online(3);
         let s = take();
         assert_eq!(s.flushes, 2);
         assert_eq!(s.flush_ns, 15);
@@ -228,6 +277,9 @@ mod tests {
         assert_eq!(s.nodes_recycled, 2);
         assert_eq!(s.manifest_commits, 1);
         assert_eq!(s.dmb_barriers, 1);
+        assert_eq!(s.epoch_advances, 1);
+        assert_eq!(s.nodes_limbo, 4);
+        assert_eq!(s.nodes_recycled_online, 3);
         assert_eq!(snapshot(), Snapshot::default());
     }
 
@@ -264,12 +316,17 @@ mod tests {
             parallel_lines: 5,
             nodes_recycled: 9,
             manifest_commits: 10,
+            epoch_advances: 11,
+            nodes_limbo: 12,
+            nodes_recycled_online: 13,
             flush_ns: 6,
             search_ns: 7,
             update_ns: 8,
         };
         let sum = a + a;
         assert_eq!(sum.flushes, 2);
+        assert_eq!(sum.epoch_advances, 22);
+        assert_eq!(sum.nodes_recycled_online, 26);
         assert_eq!(sum.total_ns(), 2 * (6 + 7 + 8));
         let mut acc = Snapshot::default();
         acc += a;

@@ -488,6 +488,35 @@ pub trait PersistentIndex: PmIndex + Sized {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     fn superblock(&self) -> PmOffset;
+
+    /// Returns every pool block this index owns — nodes, metadata, any
+    /// pending limbo — to its pool's free list, and reports how many
+    /// blocks were freed. Called on an index that has been *evacuated*
+    /// (e.g. by a shard rebalance): its contents live elsewhere now and
+    /// this structure is garbage. The caller must guarantee exclusive
+    /// access — `shard::ShardedStore` defers the call through its epoch
+    /// domain so it runs only after the last reader of the old index is
+    /// gone.
+    ///
+    /// The default is a no-op (`0`): an index without a storage walk
+    /// simply leaks its old structure into the pool, the documented
+    /// PM-allocator trade-off.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmindex::{PersistentIndex, PmIndex};
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+    /// let tree = fastfair::FastFairTree::create_in(Arc::clone(&pool))?;
+    /// tree.bulk_load(&mut (1..=500u64).map(|k| (k, k + 1)))?;
+    /// let freed = tree.reclaim_storage(); // tree is garbage from here on
+    /// assert!(freed > 0);
+    /// drop(tree);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    fn reclaim_storage(&self) -> usize {
+        0
+    }
 }
 
 /// Iterator adapter draining a [`Cursor`] — bridges the streaming-scan

@@ -210,6 +210,15 @@ pub struct ShardedStore<I> {
     shards: Vec<ShardSlot<I>>,
     partitioning: Partitioning,
     persist: Option<PersistState>,
+    /// Store-level *reclamation* epoch domain (`crates/epoch`) — not to
+    /// be confused with the manifest epoch of [`ShardedStore::epoch`].
+    /// Readers — gets, merged cursors, `len`/`shard_len` — pin it around
+    /// every access to a shard's current index;
+    /// [`ShardedStore::rebalance_into`] retires the *evacuated* index
+    /// into it, so the old structure's storage is walked and returned to
+    /// its pool online, two epochs after the last pre-flip reader let go
+    /// — instead of gating on `Drop`.
+    reclaim: Arc<epoch::EpochDomain>,
 }
 
 impl<I> std::fmt::Debug for ShardedStore<I> {
@@ -260,6 +269,7 @@ impl<I: PmIndex> ShardedStore<I> {
                 .collect(),
             partitioning,
             persist: None,
+            reclaim: epoch::EpochDomain::new(),
         }
     }
 
@@ -312,7 +322,38 @@ impl<I: PmIndex> ShardedStore<I> {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     pub fn shard_len(&self, shard: usize) -> usize {
+        let _pin = self.reclaim.pin();
         self.shards[shard].current().len()
+    }
+
+    /// The most loaded shard as `(shard id, live keys)` — the
+    /// rebalance-*policy* helper built on [`ShardedStore::shard_len`]: a
+    /// daemon (or an operator) watches this and feeds the winner to
+    /// [`ShardedStore::rebalance_into`] when the imbalance crosses its
+    /// threshold. Ties resolve to the lowest shard id. O(total keys) via
+    /// the per-shard cursors, like `shard_len` itself — poll it, don't
+    /// put it on a hot path.
+    ///
+    /// ```
+    /// use pmindex::PmIndex;
+    /// use shard::{Partitioning, ShardedStore};
+    ///
+    /// let store = ShardedStore::from_indexes(
+    ///     vec![blink::BlinkTree::new(), blink::BlinkTree::new()],
+    ///     Partitioning::Range { bounds: vec![100] },
+    /// );
+    /// store.insert(5, 50)?;
+    /// store.insert(150, 51)?;
+    /// store.insert(160, 52)?;
+    /// assert_eq!(store.hottest_shard(), (1, 2));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn hottest_shard(&self) -> (usize, usize) {
+        let _pin = self.reclaim.pin();
+        (0..self.shards.len())
+            .map(|i| (i, self.shards[i].current().len()))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .expect("a sharded store always has at least one shard")
     }
 
     fn route(&self, key: Key) -> &ShardSlot<I> {
@@ -382,6 +423,7 @@ impl<I: PersistentIndex> ShardedStore<I> {
                 epoch: AtomicU64::new(0),
                 rebalance: Mutex::new(()),
             }),
+            reclaim: epoch::EpochDomain::new(),
         };
         store.commit_manifest(0)?;
         Ok(store)
@@ -458,6 +500,7 @@ impl<I: PersistentIndex> ShardedStore<I> {
                 epoch: AtomicU64::new(rec.epoch),
                 rebalance: Mutex::new(()),
             }),
+            reclaim: epoch::EpochDomain::new(),
         })
     }
 
@@ -505,6 +548,7 @@ impl<I: PersistentIndex> ShardedStore<I> {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     pub fn shard_map(&self) -> Option<Vec<(u64, PmOffset)>> {
+        let _pin = self.reclaim.pin();
         let persist = self.persist.as_ref()?;
         let slots = persist.slots.lock();
         Some(
@@ -570,7 +614,10 @@ impl<I: PersistentIndex> ShardedStore<I> {
         shard: usize,
         slot: u64,
         pool: Arc<Pool>,
-    ) -> Result<usize, IndexError> {
+    ) -> Result<usize, IndexError>
+    where
+        I: 'static,
+    {
         let persist = self.persist.as_ref().ok_or_else(|| {
             IndexError::Unsupported("rebalance requires a manifest-backed store".into())
         })?;
@@ -645,6 +692,22 @@ impl<I: PersistentIndex> ShardedStore<I> {
             slots[shard] = slot;
             persist.epoch.store(epoch, Ordering::Release);
         }
+        // The evacuated index is garbage the moment the manifest names
+        // its replacement — but pre-flip readers (gets that grabbed the
+        // old `Arc`, cursors whose feeds stream the old snapshot) may
+        // still be on it. Retire it through the reclamation domain: two
+        // epochs after the last such reader unpins, the old structure's
+        // storage is walked back onto its pool's free list
+        // (`PersistentIndex::reclaim_storage`) — online, instead of
+        // gating on the last `Arc` drop. Post-flip readers only ever see
+        // the fresh index, so they cannot extend the old one's life.
+        self.reclaim.defer_units(move || old.reclaim_storage());
+        // Opportunistic prompt path: with no pinned reader this reclaims
+        // the old structure before we return; otherwise the next
+        // amortized maintenance step (any reader's unpin) finishes it.
+        self.reclaim.try_advance();
+        self.reclaim.try_advance();
+        self.reclaim.collect();
         Ok(moved)
     }
 
@@ -683,6 +746,9 @@ impl<I: PmIndex> PmIndex for ShardedStore<I> {
     }
 
     fn get(&self, key: Key) -> Option<Value> {
+        // The pin keeps an evacuated index alive between grabbing its
+        // `Arc` and finishing the read (see `reclaim`).
+        let _pin = self.reclaim.pin();
         self.route(key).current().get(key)
     }
 
@@ -693,25 +759,33 @@ impl<I: PmIndex> PmIndex for ShardedStore<I> {
     }
 
     fn cursor(&self) -> Box<dyn Cursor + '_> {
+        // Pin before cloning the per-shard Arcs: the guard travels inside
+        // the cursor, so a rebalance cannot reclaim a snapshot this scan
+        // is still streaming.
+        let pin = self.reclaim.pin();
         match &self.partitioning {
             Partitioning::Hash { .. } => Box::new(HashMergeCursor {
                 feeds: self.feeds(),
                 heap: BinaryHeap::new(),
                 primed: false,
+                _pin: pin,
             }),
             Partitioning::Range { .. } => Box::new(RangeChainCursor {
                 feeds: self.feeds(),
                 partitioning: self.partitioning.clone(),
                 active: 0,
+                _pin: pin,
             }),
         }
     }
 
     fn len(&self) -> usize {
+        let _pin = self.reclaim.pin();
         self.shards.iter().map(|s| s.current().len()).sum()
     }
 
     fn is_empty(&self) -> bool {
+        let _pin = self.reclaim.pin();
         self.shards.iter().all(|s| s.current().is_empty())
     }
 
@@ -817,6 +891,9 @@ struct HashMergeCursor<I> {
     /// Min-heap of the current head entry of each non-exhausted feed.
     heap: BinaryHeap<Reverse<(Key, Value, usize)>>,
     primed: bool,
+    /// Declared after `feeds` so the Arcs release before the unpin can
+    /// trigger reclamation of an evacuated snapshot.
+    _pin: epoch::Guard,
 }
 
 impl<I: PmIndex> Cursor for HashMergeCursor<I> {
@@ -852,6 +929,9 @@ struct RangeChainCursor<I> {
     feeds: Vec<Feed<I>>,
     partitioning: Partitioning,
     active: usize,
+    /// Declared after `feeds` so the Arcs release before the unpin can
+    /// trigger reclamation of an evacuated snapshot.
+    _pin: epoch::Guard,
 }
 
 impl<I: PmIndex> Cursor for RangeChainCursor<I> {
@@ -1018,6 +1098,114 @@ mod tests {
         ));
         assert_eq!(store.epoch(), None);
         assert!(store.shard_map().is_none());
+    }
+
+    #[test]
+    fn hottest_shard_tracks_load() {
+        let p = pool(32 << 20);
+        let store: ShardedStore<FastFairTree> = ShardedStore::create(
+            Arc::clone(&p),
+            vec![Arc::clone(&p), Arc::clone(&p), p],
+            Partitioning::Range {
+                bounds: vec![100, 200],
+            },
+        )
+        .unwrap();
+        // Empty store: every shard ties at 0, lowest id wins.
+        assert_eq!(store.hottest_shard(), (0, 0));
+        for k in 1..=10u64 {
+            store.insert(k, k + 1).unwrap(); // shard 0
+        }
+        for k in 100..=129u64 {
+            store.insert(k, k + 1).unwrap(); // shard 1
+        }
+        for k in 200..=204u64 {
+            store.insert(k, k + 1).unwrap(); // shard 2
+        }
+        assert_eq!(store.hottest_shard(), (1, 30));
+        // The policy drives the mechanism: rebalance the winner, load
+        // stays identical, the helper keeps answering.
+        let target = pool(32 << 20);
+        store.rebalance_into(1, 3, target).unwrap();
+        assert_eq!(store.hottest_shard(), (1, 30));
+        assert_eq!(store.len(), 45);
+    }
+
+    #[test]
+    fn evacuated_shard_storage_reclaims_online() {
+        // Same-pool compaction: the evacuated tree's nodes must return
+        // to the pool's free list under live traffic — no recover, no
+        // handle drop — so the next rebalance can reuse the space.
+        let p = pool(32 << 20);
+        let store: ShardedStore<FastFairTree> = ShardedStore::create(
+            Arc::clone(&p),
+            vec![Arc::clone(&p)],
+            Partitioning::Hash { shards: 1 },
+        )
+        .unwrap();
+        for k in 1..=5000u64 {
+            store.insert(k, k + 1).unwrap();
+        }
+        pmem::stats::reset();
+        store.rebalance_into(0, 0, Arc::clone(&p)).unwrap();
+        // No reader was pinned across the flip, so the prompt path in
+        // rebalance_into already walked the old structure back.
+        let s = pmem::stats::take();
+        assert!(
+            s.nodes_recycled_online > 0,
+            "evacuated tree was not reclaimed online"
+        );
+        assert_eq!(store.len(), 5000);
+        assert_eq!(store.get(2500), Some(2501));
+        // The reclaimed space is really reusable: a second same-pool
+        // compaction fits into the holes the first one freed.
+        let hw = p.high_water();
+        store.rebalance_into(0, 0, Arc::clone(&p)).unwrap();
+        assert_eq!(store.len(), 5000);
+        assert!(
+            p.high_water() == hw,
+            "second compaction should reuse freed nodes ({} -> {})",
+            hw,
+            p.high_water()
+        );
+    }
+
+    #[test]
+    fn pinned_cursor_defers_evacuated_reclaim() {
+        let p = pool(32 << 20);
+        let store: ShardedStore<FastFairTree> = ShardedStore::create(
+            Arc::clone(&p),
+            vec![Arc::clone(&p)],
+            Partitioning::Hash { shards: 1 },
+        )
+        .unwrap();
+        for k in 1..=2000u64 {
+            store.insert(k, k + 1).unwrap();
+        }
+        let mut cur = store.cursor();
+        for want in 1..=100u64 {
+            assert_eq!(cur.next(), Some((want, want + 1)));
+        }
+        pmem::stats::reset();
+        store.rebalance_into(0, 0, Arc::clone(&p)).unwrap();
+        // The cursor pins the reclamation domain: the old snapshot must
+        // survive the rebalance and keep streaming to the end.
+        assert_eq!(pmem::stats::take().nodes_recycled_online, 0);
+        for want in 101..=2000u64 {
+            assert_eq!(cur.next(), Some((want, want + 1)));
+        }
+        assert_eq!(cur.next(), None);
+        // The cursor's own drop may run the amortized maintenance
+        // (always under FF_EPOCH_STRESS=1): assert on the domain's
+        // cumulative counter.
+        let recycled_before = store.reclaim.recycled();
+        drop(cur);
+        // With the reader gone, driving the clock reclaims the snapshot.
+        store.reclaim.try_advance();
+        store.reclaim.try_advance();
+        store.reclaim.collect();
+        assert!(store.reclaim.recycled() > recycled_before);
+        assert_eq!(store.len(), 2000);
     }
 
     #[test]

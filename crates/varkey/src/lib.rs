@@ -58,14 +58,35 @@ use pmindex::{check_value, Cursor, IndexError, PmIndex, Value};
 
 /// Overflow record layout (8-byte aligned, sizes in bytes):
 /// `[0..8)` next-record offset (0 = end of chain), `[8..16)` value,
-/// `[16..24)` key length, `[24..)` key bytes zero-padded to 8.
+/// `[16..24)` key length in the low 56 bits with a 1-byte **suffix
+/// fingerprint** in the top byte, `[24..)` key bytes zero-padded to 8.
 const REC_NEXT: u64 = 0;
 const REC_VALUE: u64 = 8;
 const REC_LEN: u64 = 16;
 const REC_KEY: u64 = 24;
 
+/// Low 56 bits of the `REC_LEN` word hold the key length; the top byte
+/// holds the suffix fingerprint (chain members share their first chunk,
+/// so only the suffix can distinguish them).
+const LEN_MASK: u64 = (1 << 56) - 1;
+const FP_SHIFT: u32 = 56;
+
 fn record_size(key_len: usize) -> u64 {
     REC_KEY + (key_len as u64).div_ceil(8) * 8
+}
+
+/// 1-byte hash of the key bytes *after* the shared first chunk. All
+/// records in one chain agree on their first [`codec::MAX_INLINE`]
+/// bytes, so an exact-match chain walk can reject a record with one
+/// header byte — a mismatching fingerprint proves inequality without
+/// touching any key word.
+fn suffix_fp(key: &[u8]) -> u8 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+    for &b in &key[key.len().min(codec::MAX_INLINE)..] {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h >> 56) as u8 ^ (h >> 32) as u8
 }
 
 /// A streaming, resettable scan over a byte-keyed index — the
@@ -199,8 +220,11 @@ pub trait VarKeyIndex: Send + Sync {
     fn get(&self, key: &[u8]) -> Option<Value>;
 
     /// Removes a key; returns `true` if it was present. Overflow records
-    /// are returned to the pool's free list (counted in
-    /// `pmem::stats::Snapshot::nodes_recycled`).
+    /// are *retired* through the store's epoch domain and return to the
+    /// pool's free list online, once every in-flight latch-free lookup
+    /// has moved on (counted in `pmem::stats::Snapshot::nodes_limbo` /
+    /// `nodes_recycled_online`, and in `nodes_recycled` when the free
+    /// lands).
     ///
     /// ```
     /// use std::sync::Arc;
@@ -370,10 +394,17 @@ pub trait VarKeyIndex: Send + Sync {
 pub struct VarKeyStore<I> {
     index: I,
     pool: Arc<Pool>,
-    /// Guards overflow-chain reads (shared) against chain mutations
-    /// (exclusive). Coarse by design: one latch for all chains — long-key
-    /// writers are expected to be a small fraction of traffic.
+    /// Guards overflow-chain *cursor drains* (shared) against chain
+    /// mutations (exclusive). Coarse by design: one latch for all chains
+    /// — long-key writers are expected to be a small fraction of
+    /// traffic. Point lookups no longer take it: they pin the epoch
+    /// domain instead (every chain mutation is a single atomic link
+    /// flip, so a latch-free walk sees the old chain or the new one).
     chains: RwLock<()>,
+    /// Reclamation domain for removed overflow records: a record
+    /// unlinked by [`VarKeyIndex::remove`] is retired here and returns
+    /// to [`Pool::free`] online, once every pinned lookup has moved on.
+    epoch: Arc<epoch::EpochDomain>,
 }
 
 impl<I> std::fmt::Debug for VarKeyStore<I> {
@@ -402,6 +433,7 @@ impl<I: PmIndex> VarKeyStore<I> {
             index,
             pool,
             chains: RwLock::new(()),
+            epoch: epoch::EpochDomain::new(),
         }
     }
 
@@ -441,6 +473,29 @@ impl<I: PmIndex> VarKeyStore<I> {
         &self.pool
     }
 
+    /// The store's epoch-based reclamation domain — exposed so tests,
+    /// tooling and reclamation policies can observe or drive the clock
+    /// (e.g. force a deterministic advance/collect between phases).
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use varkey::{VarKeyIndex, VarKeyStore};
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+    /// let tree = fastfair::FastFairTree::create(Arc::clone(&pool), fastfair::TreeOptions::new())?;
+    /// let store = VarKeyStore::new(tree, pool);
+    /// store.insert(b"soon-to-be-removed-key", 1)?;
+    /// store.remove(b"soon-to-be-removed-key");
+    /// assert_eq!(store.epoch().limbo_len(), 1); // retired, not yet freed
+    /// store.epoch().try_advance();
+    /// store.epoch().try_advance();
+    /// assert_eq!(store.epoch().collect(), 1); // recycled online
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn epoch(&self) -> &Arc<epoch::EpochDomain> {
+        &self.epoch
+    }
+
     // ---- overflow records ------------------------------------------------
 
     fn rec_next(&self, rec: PmOffset) -> PmOffset {
@@ -451,8 +506,18 @@ impl<I: PmIndex> VarKeyStore<I> {
         self.pool.load_u64(rec + REC_VALUE)
     }
 
+    fn rec_len(&self, rec: PmOffset) -> usize {
+        (self.pool.load_u64(rec + REC_LEN) & LEN_MASK) as usize
+    }
+
+    /// The record's stored suffix fingerprint (top byte of the length
+    /// word) — read together with the length in one 8-byte load.
+    fn rec_fp(&self, rec: PmOffset) -> u8 {
+        (self.pool.load_u64(rec + REC_LEN) >> FP_SHIFT) as u8
+    }
+
     fn rec_key(&self, rec: PmOffset) -> Vec<u8> {
-        let len = self.pool.load_u64(rec + REC_LEN) as usize;
+        let len = self.rec_len(rec);
         let mut out = Vec::with_capacity(len);
         let mut off = rec + REC_KEY;
         while out.len() < len {
@@ -477,7 +542,10 @@ impl<I: PmIndex> VarKeyStore<I> {
         let rec = self.pool.alloc(size, 8).map_err(IndexError::from)?;
         self.pool.store_u64(rec + REC_NEXT, next);
         self.pool.store_u64(rec + REC_VALUE, value);
-        self.pool.store_u64(rec + REC_LEN, key.len() as u64);
+        self.pool.store_u64(
+            rec + REC_LEN,
+            key.len() as u64 | (u64::from(suffix_fp(key)) << FP_SHIFT),
+        );
         let mut off = rec + REC_KEY;
         for chunk in key.chunks(8) {
             let mut word = [0u8; 8];
@@ -489,16 +557,27 @@ impl<I: PmIndex> VarKeyStore<I> {
         Ok(rec)
     }
 
+    /// Immediate free — only for records that were never published (the
+    /// bulk-load error path). Published records go through
+    /// [`VarKeyStore::retire_record`].
     fn free_record(&self, rec: PmOffset) {
-        let len = self.pool.load_u64(rec + REC_LEN) as usize;
-        self.pool.free(rec, record_size(len));
+        self.pool.free(rec, record_size(self.rec_len(rec)));
+    }
+
+    /// Retires an unlinked record into the epoch domain: latch-free
+    /// lookups may still be walking it, so the block returns to the free
+    /// list only once two epochs have passed — online, while traffic is
+    /// live.
+    fn retire_record(&self, rec: PmOffset) {
+        self.epoch
+            .retire_pm(&self.pool, rec, record_size(self.rec_len(rec)));
     }
 
     /// Lexicographic comparison of a record's key against `key`, word at
     /// a time against the pooled bytes — no materialization, and usually
     /// decided by the first word.
     fn rec_key_cmp(&self, rec: PmOffset, key: &[u8]) -> std::cmp::Ordering {
-        let len = self.pool.load_u64(rec + REC_LEN) as usize;
+        let len = self.rec_len(rec);
         let shared = len.min(key.len());
         let mut i = 0;
         let mut off = rec + REC_KEY;
@@ -535,6 +614,45 @@ impl<I: PmIndex> VarKeyStore<I> {
             }
         }
         (prev, NULL_OFFSET, false)
+    }
+
+    /// One-word prefix probe for sorted-chain early termination: compares
+    /// only the record's first key word against `key`. `Greater` is
+    /// definitive (the sorted chain has passed the key's position);
+    /// `Less`/`Equal` mean "keep walking" — the first word holds the
+    /// chain's shared 7-byte chunk plus the first differing byte, so this
+    /// is decisive for every chain whose keys diverge within 8 bytes.
+    fn rec_prefix_cmp(&self, rec: PmOffset, key: &[u8]) -> std::cmp::Ordering {
+        let shared = self.rec_len(rec).min(key.len()).min(8);
+        let word = self.pool.load_u64(rec + REC_KEY).to_le_bytes();
+        word[..shared].cmp(&key[..shared])
+    }
+
+    /// Exact-match chain walk guided by the suffix fingerprint: a record
+    /// whose stored fingerprint differs from `fp` cannot hold `key`, so
+    /// the full word-by-word compare is skipped — the win the fingerprint
+    /// buys on chains of long shared-prefix keys (TPC-C customer names).
+    /// A fingerprint *match* still verifies the key and uses its ordering
+    /// to stop early; mismatching records get the cheap one-word
+    /// [`rec_prefix_cmp`](Self::rec_prefix_cmp) probe so an absent-key
+    /// lookup still terminates at its sort position instead of walking
+    /// the whole chain.
+    fn chain_find(&self, head: PmOffset, key: &[u8], fp: u8) -> Option<PmOffset> {
+        let mut cur = head;
+        while cur != NULL_OFFSET {
+            self.pool.charge_serial_reads(1);
+            if self.rec_fp(cur) == fp {
+                match self.rec_key_cmp(cur, key) {
+                    std::cmp::Ordering::Equal => return Some(cur),
+                    std::cmp::Ordering::Greater => return None,
+                    std::cmp::Ordering::Less => {}
+                }
+            } else if self.rec_prefix_cmp(cur, key) == std::cmp::Ordering::Greater {
+                return None; // sorted chain already past the key
+            }
+            cur = self.rec_next(cur);
+        }
+        None
     }
 
     fn insert_overflow(&self, key: &[u8], value: Value) -> Result<Option<Value>, IndexError> {
@@ -580,10 +698,9 @@ impl<I: PmIndex> VarKeyStore<I> {
         let Some(head) = self.index.get(chunk) else {
             return Ok(None);
         };
-        let (_, at, found) = self.chain_seek(head, key);
-        if !found {
+        let Some(at) = self.chain_find(head, key, suffix_fp(key)) else {
             return Ok(None);
-        }
+        };
         let old = self.rec_value(at);
         self.pool.store_u64(at + REC_VALUE, value);
         self.pool.persist(at + REC_VALUE, 8);
@@ -613,7 +730,9 @@ impl<I: PmIndex> VarKeyStore<I> {
             self.pool.store_u64(prev + REC_NEXT, next);
             self.pool.persist(prev + REC_NEXT, 8);
         }
-        self.free_record(at);
+        // The record is unlinked (one atomic flip); recycle it once every
+        // pinned latch-free lookup has moved on.
+        self.retire_record(at);
         true
     }
 
@@ -669,10 +788,14 @@ impl<I: PmIndex> VarKeyIndex for VarKeyStore<I> {
         if key.len() <= codec::MAX_INLINE {
             return self.index.get(chunk);
         }
-        let _g = self.chains.read();
+        // Latch-free: every chain mutation is a single atomic link flip,
+        // so the walk sees the old chain or the new one; the epoch pin
+        // keeps concurrently removed records from being recycled — and
+        // their memory reused — under the walk.
+        let _pin = self.epoch.pin();
         let head = self.index.get(chunk)?;
-        let (_, at, found) = self.chain_seek(head, key);
-        found.then(|| self.rec_value(at))
+        self.chain_find(head, key, suffix_fp(key))
+            .map(|at| self.rec_value(at))
     }
 
     fn remove(&self, key: &[u8]) -> bool {
@@ -1086,7 +1209,7 @@ mod tests {
     }
 
     #[test]
-    fn removed_records_are_recycled() {
+    fn removed_records_are_recycled_online() {
         let s = store();
         let keys: Vec<Vec<u8>> = (0..10)
             .map(|i| format!("recycle-me:{i:02}").into_bytes())
@@ -1098,7 +1221,15 @@ mod tests {
         for k in &keys {
             assert!(s.remove(k));
         }
-        assert_eq!(pmem::stats::take().nodes_recycled, keys.len() as u64);
+        // Removal retires into limbo; two epoch advances later the
+        // records are back on the free list — no recover, no drop.
+        s.epoch.try_advance();
+        s.epoch.try_advance();
+        s.epoch.collect();
+        let snap = pmem::stats::take();
+        assert_eq!(snap.nodes_limbo, keys.len() as u64);
+        assert_eq!(snap.nodes_recycled_online, keys.len() as u64);
+        assert_eq!(snap.nodes_recycled, keys.len() as u64);
         // Re-inserting identical keys reuses the freed records: the
         // allocator high-water mark must not move.
         let hw = s.pool().high_water();
@@ -1106,5 +1237,80 @@ mod tests {
             s.insert(k, 8).unwrap();
         }
         assert_eq!(s.pool().high_water(), hw);
+    }
+
+    #[test]
+    fn fingerprint_packs_beside_length() {
+        let s = store();
+        let key = b"fingerprint-bearing-key-of-31-b".to_vec();
+        assert_eq!(key.len(), 31);
+        s.insert(&key, 9).unwrap();
+        let head = s.inner().get(codec::first_chunk(&key)).unwrap();
+        assert_eq!(s.rec_len(head), 31);
+        assert_eq!(s.rec_fp(head), suffix_fp(&key));
+        assert_eq!(s.rec_key(head), key);
+        assert_eq!(s.get(&key), Some(9));
+    }
+
+    #[test]
+    fn fingerprint_collisions_still_resolve_exactly() {
+        let s = store();
+        // Same first chunk, many suffixes: some fingerprints will agree,
+        // and equality must still be decided by the full key compare.
+        let keys: Vec<Vec<u8>> = (0..64u32)
+            .map(|i| format!("collide:{i:03}").into_bytes())
+            .collect();
+        for (i, k) in keys.iter().enumerate() {
+            s.insert(k, (i + 1) as u64).unwrap();
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(s.get(k), Some((i + 1) as u64), "{k:?}");
+        }
+        // Probing absent keys that share the chunk never false-positives.
+        for i in 64..128u32 {
+            assert_eq!(s.get(format!("collide:{i:03}").as_bytes()), None);
+        }
+        // update goes through the fingerprint walk too.
+        assert_eq!(s.update(&keys[40], 999).unwrap(), Some(41));
+        assert_eq!(s.get(&keys[40]), Some(999));
+    }
+
+    #[test]
+    fn latch_free_get_survives_concurrent_removes() {
+        let s = Arc::new(store());
+        let keep: Vec<Vec<u8>> = (0..200u32)
+            .map(|i| format!("stable-key:{i:04}").into_bytes())
+            .collect();
+        let churn: Vec<Vec<u8>> = (0..200u32)
+            .map(|i| format!("churned-key:{i:04}").into_bytes())
+            .collect();
+        for k in keep.iter().chain(churn.iter()) {
+            s.insert(k, 5).unwrap();
+        }
+        std::thread::scope(|t| {
+            {
+                let s = Arc::clone(&s);
+                let churn = &churn;
+                t.spawn(move || {
+                    for k in churn {
+                        assert!(s.remove(k));
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let s = Arc::clone(&s);
+                let keep = &keep;
+                t.spawn(move || {
+                    for _ in 0..20 {
+                        for k in keep {
+                            assert_eq!(s.get(k), Some(5), "stable key vanished");
+                        }
+                    }
+                });
+            }
+        });
+        for k in &churn {
+            assert_eq!(s.get(k), None);
+        }
     }
 }

@@ -238,11 +238,22 @@ fn removed_overflow_records_recycle_with_zero_leaks() {
     for k in &keys[1..] {
         assert!(store.remove(k));
     }
-    // Every removed record went straight back to the free list...
+    // Every removed record was retired into limbo; two epoch advances
+    // later all of them are back on the free list — online, with no
+    // recover or drop involved.
+    store.epoch().try_advance();
+    store.epoch().try_advance();
+    store.epoch().collect();
+    let snap = pmem::stats::take();
     assert_eq!(
-        pmem::stats::take().nodes_recycled,
+        snap.nodes_recycled,
         keys.len() as u64 - 1,
         "overflow records leaked on remove"
+    );
+    assert_eq!(
+        snap.nodes_recycled_online,
+        keys.len() as u64 - 1,
+        "records must recycle online, not at a quiescent point"
     );
     // ... and re-inserting the same keys allocates nothing new: the
     // records are identically sized, so the free list satisfies them all.

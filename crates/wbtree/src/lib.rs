@@ -22,12 +22,17 @@
 //!
 //! Concurrency: like the original, this index is not designed for
 //! concurrent access (§5.7); a single tree-level mutex serializes all
-//! operations.
+//! operations. Streaming cursors, however, hold the lock only per leaf
+//! read and keep a raw next-leaf offset between calls — so when a delete
+//! empties a leaf, the unlinked block is *retired* through the tree's
+//! epoch domain (`crates/epoch`) and recycled online once every cursor
+//! pinned at retirement time has moved on, instead of waiting for drop.
 
 #![warn(missing_docs)]
 
 use std::sync::Arc;
 
+use epoch::EpochDomain;
 use parking_lot::Mutex;
 use pmem::{stats, PmOffset, Pool, NULL_OFFSET};
 use pmindex::{check_value, Cursor, IndexError, Key, PmIndex, Value};
@@ -60,6 +65,9 @@ pub struct WbTree {
     pool: Arc<Pool>,
     meta: PmOffset,
     op_lock: Mutex<()>,
+    /// Reclamation domain for leaves unlinked by the empty-leaf merge;
+    /// see the module docs.
+    epoch: Arc<EpochDomain>,
 }
 
 impl std::fmt::Debug for WbTree {
@@ -202,6 +210,7 @@ impl WbTree {
             pool,
             meta,
             op_lock: Mutex::new(()),
+            epoch: EpochDomain::new(),
         })
     }
 
@@ -220,6 +229,7 @@ impl WbTree {
             pool,
             meta,
             op_lock: Mutex::new(()),
+            epoch: EpochDomain::new(),
         };
         t.rollback_log();
         Ok(t)
@@ -479,12 +489,68 @@ impl WbTree {
         self.clear_log();
         Ok(replaced)
     }
+
+    /// Unlinks the empty leaf at `leaf` (§4.2-style merge, adapted to the
+    /// slot+bitmap commit discipline). Caller holds the operation lock.
+    /// Best effort — any bail-out leaves a harmless empty pass-through
+    /// leaf in the chain.
+    ///
+    /// Two independently tolerable commit points:
+    ///
+    /// 1. drop the parent's routing entry (one atomic slot+bitmap
+    ///    commit): keys that routed here now route to the left sibling;
+    /// 2. bypass the leaf in the chain (`left.sibling = leaf.sibling`,
+    ///    one persisted 8-byte store).
+    ///
+    /// A crash between the two leaves an empty, unrouted leaf that scans
+    /// pass through; it leaks, matching PM allocators without offline GC.
+    /// The unlinked block is retired through the epoch domain — a cursor
+    /// that buffered this leaf's offset before the unlink pins the domain
+    /// and keeps the block alive until it moves on.
+    fn try_unlink_empty_leaf(&self, leaf: PmOffset, path: &[PmOffset]) {
+        let Some(&parent_off) = path.last() else {
+            return; // the root leaf is never unlinked
+        };
+        let parent = self.node(parent_off);
+        let n = self.node(leaf);
+        if parent.level() != 1 || n.count() != 0 {
+            return;
+        }
+        let slots = parent.sorted_slots();
+        let Some(pos) = slots.iter().position(|&s| parent.val_at(s) == leaf) else {
+            return; // the parent's leftmost child: bail (no left sibling here)
+        };
+        let left_off = if pos == 0 {
+            parent.leftmost()
+        } else {
+            parent.val_at(slots[pos - 1])
+        };
+        if left_off == NULL_OFFSET || self.node(left_off).sibling() != leaf {
+            return;
+        }
+        // Step 1: atomic routing-entry removal.
+        let slot = slots[pos];
+        let mut new_slots: Vec<u8> = slots.iter().map(|&s| s as u8).collect();
+        new_slots.remove(pos);
+        parent.commit_slots(&new_slots, parent.bitmap() & !(1u64 << (slot + 1)));
+        // Step 2: chain bypass — the visibility commit.
+        let left = self.node(left_off);
+        left.set_sibling(n.sibling());
+        self.pool.persist(left_off + OFF_SIBLING, 8);
+        // Unreachable for new traversals; recycle once cursors moved on.
+        self.epoch.retire_pm(&self.pool, leaf, NODE_SIZE);
+    }
 }
 
 /// The per-leaf read hook behind [`WbCursor`]: each call takes the
 /// tree's operation lock for its own duration only.
+///
+/// The epoch guard pins the cursor's whole lifetime: the saved next-leaf
+/// offset stays valid even if a delete merges that leaf away mid-scan —
+/// the retired block cannot be recycled until this cursor drops.
 struct WbChain<'a> {
     tree: &'a WbTree,
+    _pin: epoch::Guard,
 }
 
 impl pmindex::chain::LeafChain for WbChain<'_> {
@@ -537,7 +603,10 @@ pub struct WbCursor<'a>(pmindex::chain::LeafChainCursor<WbChain<'a>>);
 
 impl<'a> WbCursor<'a> {
     fn new(tree: &'a WbTree) -> Self {
-        WbCursor(pmindex::chain::LeafChainCursor::new(WbChain { tree }))
+        WbCursor(pmindex::chain::LeafChainCursor::new(WbChain {
+            tree,
+            _pin: tree.epoch.pin(),
+        }))
     }
 }
 
@@ -567,6 +636,7 @@ impl PmIndex for WbTree {
     fn insert(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
         check_value(value)?;
         let _g = self.op_lock.lock();
+        let _pin = self.epoch.pin();
         let (leaf, path) = stats::timed(stats::Phase::Search, || self.find_leaf(key));
         stats::timed(stats::Phase::Update, || {
             self.insert_recursive(key, value, leaf, &path)
@@ -576,6 +646,7 @@ impl PmIndex for WbTree {
     fn update(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
         check_value(value)?;
         let _g = self.op_lock.lock();
+        let _pin = self.epoch.pin();
         let (leaf, _) = stats::timed(stats::Phase::Search, || self.find_leaf(key));
         let n = self.node(leaf);
         let sorted = n.sorted_slots();
@@ -596,6 +667,7 @@ impl PmIndex for WbTree {
 
     fn get(&self, key: Key) -> Option<Value> {
         let _g = self.op_lock.lock();
+        let _pin = self.epoch.pin();
         stats::timed(stats::Phase::Search, || {
             let (leaf, _) = self.find_leaf(key);
             let n = self.node(leaf);
@@ -609,7 +681,8 @@ impl PmIndex for WbTree {
 
     fn remove(&self, key: Key) -> bool {
         let _g = self.op_lock.lock();
-        let (leaf, _) = self.find_leaf(key);
+        let _pin = self.epoch.pin();
+        let (leaf, path) = self.find_leaf(key);
         let n = self.node(leaf);
         let slots = n.sorted_slots();
         match n.search_sorted(&slots, key) {
@@ -619,6 +692,10 @@ impl PmIndex for WbTree {
                 new_slots.remove(pos);
                 let new_bitmap = n.bitmap() & !(1u64 << (slot + 1));
                 n.commit_slots(&new_slots, new_bitmap);
+                if slots.len() == 1 {
+                    // The leaf is now empty: merge it away (best effort).
+                    self.try_unlink_empty_leaf(leaf, &path);
+                }
                 true
             }
             Err(_) => false,
@@ -807,6 +884,87 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn emptied_leaves_are_merged_and_recycled_online() {
+        let (p, t) = mk();
+        // Multi-leaf tree, then delete everything but the first leaf's
+        // worth: the emptied leaves must be unlinked and their blocks
+        // recycled while the tree keeps serving.
+        let n = (CAPACITY * 6) as u64;
+        for k in 1..=n {
+            t.insert(k, k + 1).unwrap();
+        }
+        pmem::stats::reset();
+        for k in (CAPACITY as u64 + 1)..=n {
+            assert!(t.remove(k));
+        }
+        // Drive the clock to a deterministic collection point.
+        t.epoch.try_advance();
+        t.epoch.try_advance();
+        t.epoch.collect();
+        let s = pmem::stats::take();
+        assert!(s.nodes_limbo > 0, "no leaf was retired by the merge path");
+        assert!(
+            s.nodes_recycled_online > 0,
+            "retired leaves were not recycled online"
+        );
+        // Tree still exact.
+        for k in 1..=CAPACITY as u64 {
+            assert_eq!(t.get(k), Some(k + 1));
+        }
+        assert_eq!(t.get(CAPACITY as u64 + 1), None);
+        assert_eq!(t.len(), CAPACITY);
+        // Recycled blocks are genuinely reusable: refilling does not move
+        // the allocator high-water mark by more than one fresh leaf.
+        let hw = p.high_water();
+        for k in (CAPACITY as u64 + 1)..=(CAPACITY as u64 * 3) {
+            t.insert(k, k + 1).unwrap();
+        }
+        assert!(
+            p.high_water() <= hw + NODE_SIZE,
+            "recycled leaves were not reused: high water grew {} -> {}",
+            hw,
+            p.high_water()
+        );
+        assert_eq!(t.len(), CAPACITY * 3);
+    }
+
+    #[test]
+    fn cursor_survives_merge_of_buffered_next_leaf() {
+        let (_p, t) = mk();
+        let n = (CAPACITY * 4) as u64;
+        for k in 1..=n {
+            t.insert(k, k + 1).unwrap();
+        }
+        // Position a cursor inside the first leaf; it has buffered the
+        // offset of the next leaf.
+        let mut c = t.cursor();
+        for want in 1..=3u64 {
+            assert_eq!(c.next(), Some((want, want + 1)));
+        }
+        // Empty the second leaf so the merge unlinks it, then force the
+        // clock forward: the cursor's pin must keep the block alive.
+        let second_leaf_start = CAPACITY as u64 / 2; // split point region
+        for k in second_leaf_start..=n {
+            t.remove(k);
+        }
+        for _ in 0..4 {
+            t.epoch.try_advance();
+        }
+        t.epoch.collect();
+        // The cursor keeps streaming, in order, no panic. It may emit its
+        // already-buffered snapshot of the first leaf (removed keys
+        // included — the documented mid-flight semantics) but nothing
+        // beyond it: every later leaf is empty.
+        let mut last = 3u64;
+        while let Some((k, v)) = c.next() {
+            assert!(k > last, "out-of-order key {k} after merge");
+            assert_eq!(v, k + 1);
+            last = k;
+        }
+        assert!(last <= second_leaf_start);
     }
 
     #[test]
