@@ -2,7 +2,7 @@
 //! writers.
 //!
 //! Deleting entry `d` is committed by a *single* 8-byte store: overwriting
-//! `ptr(d)` with the left neighbour's pointer makes the entry invalid to
+//! `ptr(d)` with the [`INVALID_PTR`] poison makes the entry invalid to
 //! every reader. The subsequent left-shift compaction only reclaims the
 //! slot; if it is lost in a crash, the node merely contains one garbage
 //! entry that the next writer removes (§4.2 "lazy recovery").
@@ -15,7 +15,7 @@
 use pmem::{stats, NULL_OFFSET};
 use pmindex::Key;
 
-use crate::layout::NodeRef;
+use crate::layout::{NodeRef, INVALID_PTR};
 use crate::lock::WriteGuard;
 use crate::tree::FastFairTree;
 
@@ -35,6 +35,11 @@ use crate::tree::FastFairTree;
 pub(crate) fn enter_delete_direction(tree: &FastFairTree, node: NodeRef<'_>, cnt: u16) {
     let sc = node.switch_counter();
     if sc % 2 == 1 {
+        // Already in delete direction: still bump the counter so readers
+        // that overlap this shift see a changed value at their re-check —
+        // consecutive same-direction shifts must not be invisible to the
+        // retry protocol.
+        node.set_switch_counter(sc + 2);
         return;
     }
     let pool = node.pool();
@@ -88,8 +93,8 @@ pub(crate) fn tree_remove(tree: &FastFairTree, key: Key) -> bool {
                     let cnt = node.count_records();
                     // Readers must scan right-to-left from now on.
                     enter_delete_direction(tree, node, cnt);
-                    // Commit: one atomic store invalidates the entry.
-                    node.set_ptr(d, node.left_ptr(d));
+                    // Commit: one atomic poison store invalidates the entry.
+                    node.set_ptr(d, INVALID_PTR);
                     tree.pool.fence_if_not_tso();
                     // Reclaim the slot; a crash here leaves one garbage
                     // entry for lazy recovery.
@@ -111,13 +116,18 @@ pub(crate) fn tree_remove(tree: &FastFairTree, key: Key) -> bool {
     }
 }
 
-/// Left-shift compaction: removes the (already invalidated) record at slot
-/// `d` by copying each higher record one slot down, key before pointer,
-/// flushing lines in shift order. `cnt` is the index of the terminator.
+/// Left-shift compaction: removes the record at slot `d` by copying each
+/// higher record one slot down — poisoning the destination, then key, then
+/// pointer — flushing lines in shift order. `cnt` is the index of the
+/// terminator. Works whether slot `d` was already poisoned (the delete
+/// commit) or still holds a complete record (repair compacting an exact
+/// shift-residue duplicate): the poison store invalidates it either way.
 pub(crate) fn shift_left_from(_tree: &FastFairTree, node: NodeRef<'_>, d: u16, cnt: u16) {
     debug_assert!(d < cnt);
     let pool = node.pool();
     for j in d..cnt {
+        node.set_ptr(j, INVALID_PTR);
+        pool.fence_if_not_tso();
         node.set_key(j, node.key(j + 1));
         pool.fence_if_not_tso();
         node.set_ptr(j, node.ptr(j + 1));
@@ -137,9 +147,9 @@ pub(crate) fn shift_left_from(_tree: &FastFairTree, node: NodeRef<'_>, d: u16, c
 /// 1. completes a half-finished FAIR split — if the right sibling's first
 ///    key falls inside this node's key range (Fig. 2 state (2)), the
 ///    truncation store is re-issued;
-/// 2. removes garbage entries whose pointer duplicates their left
-///    neighbour's (the residue of a crashed FAST shift or delete
-///    compaction).
+/// 2. removes garbage entries — poisoned slots ([`INVALID_PTR`]) and exact
+///    duplicates of their left neighbour (same key and pointer) — the
+///    residue of a crashed FAST shift or delete compaction.
 ///
 /// Idempotent and cheap on clean nodes (one linear scan).
 pub(crate) fn repair_node_locked(tree: &FastFairTree, node: NodeRef<'_>) {
@@ -168,13 +178,17 @@ pub(crate) fn repair_node_locked(tree: &FastFairTree, node: NodeRef<'_>) {
         }
     }
 
-    // Step 2: compact away duplicate-pointer garbage.
+    // Step 2: compact away shift garbage — poisoned slots and exact
+    // adjacent duplicates (keys are unique within a node, so an adjacent
+    // repeat is always the residue of an interrupted shift copy).
     loop {
         let cnt = node.count_records();
         let mut fixed = false;
         for i in 0..cnt {
             let p = node.ptr(i);
-            if p != NULL_OFFSET && p == node.left_ptr(i) {
+            let residue =
+                p == INVALID_PTR || (p != NULL_OFFSET && i > 0 && node.key(i) == node.key(i - 1));
+            if residue {
                 enter_delete_direction(tree, node, cnt);
                 shift_left_from(tree, node, i, cnt);
                 node.set_count_hint(cnt - 1);

@@ -1,16 +1,17 @@
 //! FAST insertion (Algorithm 1) and the shared write-path entry point.
 //!
 //! The FAST shift inserts a `(key, ptr)` record into the middle of a sorted
-//! node by moving records one slot to the right, **pointer before key**, in
-//! dependent 8-byte stores:
+//! node by moving records one slot to the right in dependent 8-byte stores,
+//! **poisoning each destination slot before rewriting it**:
 //!
-//! * copying a record's pointer into the next slot makes that slot a
-//!   *duplicate* of its left neighbour — invalid to readers — while the
-//!   original stays valid;
-//! * the final store of the new pointer is the commit: one atomic 8-byte
-//!   write that simultaneously validates the new entry (its pointer now
-//!   differs from the left neighbour's) without ever exposing a torn
-//!   record;
+//! * storing [`INVALID_PTR`] into the destination slot makes it invalid to
+//!   readers with one atomic write, while the original record stays valid
+//!   in its old slot;
+//! * the key is then written into the poisoned slot, and the final store
+//!   of the pointer is the commit: one atomic 8-byte write that validates
+//!   the complete record without ever exposing a torn one (the paper's
+//!   pointer-duplication variant of this protocol is exact only for unique
+//!   pointer values — see the deviation note in `layout`);
 //! * cache lines are flushed in shift order whenever the shift crosses a
 //!   line boundary, so the persist order matches the store order.
 //!
@@ -20,7 +21,7 @@
 use pmem::{stats, NULL_OFFSET};
 use pmindex::{IndexError, Key, Value};
 
-use crate::layout::NodeRef;
+use crate::layout::{NodeRef, INVALID_PTR};
 use crate::lock::WriteGuard;
 use crate::tree::{FastFairTree, SplitStrategy};
 
@@ -194,7 +195,7 @@ pub(crate) fn find_valid_slot(node: NodeRef<'_>, key: Key) -> Option<u16> {
         if p == NULL_OFFSET {
             return None;
         }
-        if node.key(i) == key && p != node.left_ptr(i) {
+        if p != INVALID_PTR && node.key(i) == key {
             return Some(i);
         }
         i += 1;
@@ -216,12 +217,13 @@ pub(crate) fn fast_insert_locked(
     debug_assert!(cnt < tree.cap);
     let pool = node.pool();
 
-    // If the last writer was deleting, flip the scan direction so lock-free
-    // readers scan left-to-right, the direction of this right shift.
+    // Make the switch counter even so lock-free readers scan left-to-right,
+    // the direction of this right shift — and bump it on *every* shift, not
+    // only on direction changes: readers re-check the counter after their
+    // scan, and a second same-direction shift would otherwise be invisible
+    // to that check, letting a scan chase the shift and miss records.
     let sc = node.switch_counter();
-    if sc % 2 == 1 {
-        node.set_switch_counter(sc + 1);
-    }
+    node.set_switch_counter(if sc % 2 == 1 { sc + 1 } else { sc + 2 });
 
     // Pre-extend the NULL terminator (Algorithm 1 writes records[cnt+1]
     // before the shift): slot cnt+1 may hold a stale record from an earlier
@@ -240,12 +242,15 @@ pub(crate) fn fast_insert_locked(
     while i >= 0 {
         let iu = i as u16;
         if node.key(iu) > key {
-            // Shift record i → i+1: pointer first, then key. The duplicate
-            // pointer keeps exactly one of the two copies valid at every
-            // instant (Fig. 1).
-            node.set_ptr(iu + 1, node.ptr(iu));
+            // Shift record i → i+1: poison the destination slot, then write
+            // the key, then commit the pointer. The poison keeps exactly
+            // one of the two copies valid at every instant (Fig. 1), and
+            // the original at slot i stays readable throughout.
+            node.set_ptr(iu + 1, INVALID_PTR);
             pool.fence_if_not_tso();
             node.set_key(iu + 1, node.key(iu));
+            pool.fence_if_not_tso();
+            node.set_ptr(iu + 1, node.ptr(iu));
             pool.fence_if_not_tso();
             if node.key_off(iu + 1).is_multiple_of(64) {
                 // The line above this record is complete: flush it before
@@ -253,10 +258,10 @@ pub(crate) fn fast_insert_locked(
                 pool.persist(node.key_off(iu + 1), 8);
             }
         } else {
-            // Insert at slot i+1. Copying ptr(i) into ptr(i+1) atomically
-            // moves the old occupant of slot i+1 to its shifted copy at
-            // i+2; the final store of `value` is the commit.
-            node.set_ptr(iu + 1, node.ptr(iu));
+            // Insert at slot i+1, whose old occupant now lives in its
+            // shifted copy at i+2: poison, write the new key, and commit
+            // with the final store of `value`.
+            node.set_ptr(iu + 1, INVALID_PTR);
             pool.fence_if_not_tso();
             node.set_key(iu + 1, key);
             pool.fence_if_not_tso();
@@ -269,11 +274,12 @@ pub(crate) fn fast_insert_locked(
     }
 
     if !inserted {
-        // Smallest key in the node: slot 0. Storing the left anchor
-        // (leftmost child for internal nodes, LEAF_ANCHOR for leaves)
-        // invalidates slot 0 while its shifted copy at slot 1 stays valid;
-        // the final pointer store commits.
-        node.set_ptr(0, node.leftmost());
+        // Smallest key in the node: slot 0. The poison store invalidates
+        // slot 0 while its shifted copy at slot 1 stays valid; the final
+        // pointer store commits. (For leaves this is the same store as the
+        // historical anchor trick — LEAF_ANCHOR shares the sentinel's bit
+        // pattern.)
+        node.set_ptr(0, INVALID_PTR);
         pool.fence_if_not_tso();
         node.set_key(0, key);
         pool.fence_if_not_tso();

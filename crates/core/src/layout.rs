@@ -21,25 +21,34 @@
 //!  80     records[1].key ...
 //! ```
 //!
-//! Entry `i` is **valid** iff `ptr(i) != NULL && ptr(i) != left_ptr(i)`,
-//! where `left_ptr(i)` is `ptr(i-1)` for `i > 0` and `leftmost_child` for
-//! `i == 0`. A NULL pointer terminates the array. These two rules are the
-//! entire crash-detection mechanism of FAST: a duplicated pointer marks the
-//! garbage entry a crashed (or in-flight) shift left behind, and a single
-//! 8-byte pointer store atomically invalidates one entry while validating
-//! its neighbour.
+//! Entry `i` is **valid** iff `ptr(i) != NULL && ptr(i) != INVALID_PTR`.
+//! A NULL pointer terminates the array; [`INVALID_PTR`] (`u64::MAX`, one of
+//! the two reserved values of the `pmindex` contract) marks the poisoned
+//! slot a shift is currently rewriting or a crashed shift left behind.
+//! A single 8-byte pointer store atomically invalidates (poison) or
+//! validates (final pointer store) an entry, so readers never observe a
+//! torn record.
 //!
 //! ## Deviation from the original C++ implementation (documented)
 //!
-//! The original gives leaves a NULL `leftmost_ptr`, so invalidating entry 0
-//! of a leaf writes a NULL pointer — which readers cannot distinguish from
-//! the array terminator, creating a transient (and, if the line is evicted
-//! before the crash, persistent) window in which *all* entries of the leaf
-//! are unreachable. We instead anchor leaves with the reserved non-NULL
-//! constant [`LEAF_ANCHOR`]: entry 0 of a leaf is invalidated by storing the
-//! anchor, which readers skip like any duplicate pointer and recovery
-//! removes like any garbage entry. The mechanism of the paper is unchanged;
-//! only the sentinel differs. This is why values may not be `u64::MAX`.
+//! The original detects in-flight and crashed shifts by *pointer
+//! duplication*: entry `i` is garbage iff `ptr(i) == ptr(i-1)` (or the
+//! leftmost child for `i == 0`). That rule is exact only because the
+//! original stores unique record *pointers* as values. This reproduction
+//! stores arbitrary `u64` values, where two adjacent keys may legitimately
+//! carry the same value — under the duplication rule such entries read as
+//! garbage and silently disappear (and a left-shift's transient states can
+//! expose torn `(key, ptr)` pairs to equal-value neighbours). We therefore
+//! poison a slot explicitly with the reserved [`INVALID_PTR`] sentinel
+//! before rewriting it, at the cost of one extra 8-byte store per shifted
+//! record. The crash story is unchanged: every intermediate state is a
+//! complete record, a poisoned slot, or an exact duplicate of its left
+//! neighbour (same key *and* value, left by a finished copy whose source
+//! was not yet poisoned) — readers skip the first two and dedup the third,
+//! and lazy recovery compacts all of them. The leaf anchor [`LEAF_ANCHOR`]
+//! shares the sentinel's bit pattern, so invalidating entry 0 of a leaf is
+//! the same store it always was. This is why values may not be 0 or
+//! `u64::MAX`.
 
 use pmem::{PmOffset, Pool, CACHE_LINE, NULL_OFFSET};
 
@@ -51,6 +60,12 @@ pub const RECORD_SIZE: u64 = 16;
 
 /// Reserved non-NULL pointer that anchors the left edge of a leaf node.
 pub const LEAF_ANCHOR: u64 = u64::MAX;
+
+/// Reserved pointer that poisons a slot for the duration of a FAST shift
+/// rewrite (and marks the garbage a crashed shift leaves behind). Shares
+/// the bit pattern of [`LEAF_ANCHOR`] — both are the reserved `u64::MAX`
+/// of the `pmindex` value contract, and both mean "skip this entry".
+pub const INVALID_PTR: u64 = u64::MAX;
 
 const LEFTMOST_OFF: u64 = 0;
 const SIBLING_OFF: u64 = 8;
@@ -244,8 +259,9 @@ impl<'a> NodeRef<'a> {
         self.pool.store_u64(self.ptr_off(i), p);
     }
 
-    /// The pointer to the *left* of entry `i` — the comparand of the FAST
-    /// validity rule.
+    /// The pointer to the *left* of entry `i`: `ptr(i-1)`, or the leftmost
+    /// child for `i == 0`. Used for routing (e.g. finding the left sibling
+    /// of a merged-away child), not for validity.
     #[inline]
     pub fn left_ptr(&self, i: u16) -> u64 {
         if i == 0 {
@@ -255,12 +271,12 @@ impl<'a> NodeRef<'a> {
         }
     }
 
-    /// FAST entry validity: non-NULL pointer that differs from the left
-    /// neighbour's pointer.
+    /// FAST entry validity: a pointer that is neither the NULL terminator
+    /// nor the [`INVALID_PTR`] poison sentinel.
     #[inline]
     pub fn entry_valid(&self, i: u16) -> bool {
         let p = self.ptr(i);
-        p != NULL_OFFSET && p != self.left_ptr(i)
+        p != NULL_OFFSET && p != INVALID_PTR
     }
 
     /// Exact number of records before the NULL terminator (counts invalid
@@ -284,17 +300,23 @@ impl<'a> NodeRef<'a> {
         c
     }
 
-    /// Collects the valid `(key, ptr)` entries in slot order.
+    /// Collects the valid `(key, ptr)` entries in slot order, dropping the
+    /// exact duplicate of its left neighbour that a finished copy step of
+    /// an interrupted shift leaves behind (same key, same value — keys are
+    /// unique within a node, so an adjacent repeat is always shift residue).
     pub fn valid_entries(&self) -> Vec<(u64, u64)> {
-        let mut out = Vec::new();
+        let mut out: Vec<(u64, u64)> = Vec::new();
         let mut i = 0u16;
         while i <= self.capacity() {
             let p = self.ptr(i);
             if p == NULL_OFFSET {
                 break;
             }
-            if p != self.left_ptr(i) {
-                out.push((self.key(i), p));
+            if p != INVALID_PTR {
+                let k = self.key(i);
+                if out.last().map(|&(lk, _)| lk) != Some(k) {
+                    out.push((k, p));
+                }
             }
             i += 1;
         }
@@ -309,7 +331,7 @@ impl<'a> NodeRef<'a> {
             if p == NULL_OFFSET {
                 return None;
             }
-            if p != self.left_ptr(i) {
+            if p != INVALID_PTR {
                 return Some(self.key(i));
             }
             i += 1;
@@ -410,16 +432,22 @@ mod tests {
         n.set_key(0, 10);
         n.set_ptr(0, 100);
         assert!(n.entry_valid(0));
-        // Duplicate pointer marks entry 1 invalid.
+        // A duplicate *value* on a different key is perfectly valid: values
+        // are arbitrary u64s, not unique pointers (see the module docs).
         n.set_key(1, 20);
         n.set_ptr(1, 100);
-        assert!(!n.entry_valid(1));
+        assert!(n.entry_valid(1));
         n.set_ptr(1, 200);
         assert!(n.entry_valid(1));
-        // Anchor in entry 0 marks it invalid (leaf pos-0 shift state).
+        // The poison sentinel marks an entry invalid at any slot.
+        n.set_ptr(1, INVALID_PTR);
+        assert!(!n.entry_valid(1));
+        n.set_ptr(1, 200);
+        // Anchor in entry 0 marks it invalid (leaf pos-0 shift state): the
+        // anchor shares the sentinel's bit pattern.
         n.set_ptr(0, LEAF_ANCHOR);
         assert!(!n.entry_valid(0));
-        assert!(n.entry_valid(1)); // left ptr is now ANCHOR != 200
+        assert!(n.entry_valid(1));
     }
 
     #[test]
@@ -437,16 +465,20 @@ mod tests {
     }
 
     #[test]
-    fn valid_entries_skips_duplicates() {
+    fn valid_entries_skips_poison_and_shift_residue() {
         let p = pool();
         let n = fresh_node(&p, 512, 0);
         n.set_key(0, 10);
         n.set_ptr(0, 100);
         n.set_key(1, 15);
-        n.set_ptr(1, 100); // dup of left -> garbage
+        n.set_ptr(1, INVALID_PTR); // poisoned mid-shift slot -> garbage
         n.set_key(2, 20);
         n.set_ptr(2, 200);
-        assert_eq!(n.valid_entries(), vec![(10, 100), (20, 200)]);
+        n.set_key(3, 20);
+        n.set_ptr(3, 200); // exact adjacent duplicate -> shift residue
+        n.set_key(4, 30);
+        n.set_ptr(4, 200); // same value, different key -> valid
+        assert_eq!(n.valid_entries(), vec![(10, 100), (20, 200), (30, 200)]);
         assert_eq!(n.first_key(), Some(10));
     }
 

@@ -66,7 +66,7 @@ mod search;
 mod split;
 mod tree;
 
-pub use layout::{capacity, NodeRef, LEAF_ANCHOR};
+pub use layout::{capacity, NodeRef, INVALID_PTR, LEAF_ANCHOR};
 pub use recovery::{ConsistencyError, ConsistencyReport, RecoveryReport};
 pub use scan::TreeCursor;
 pub use tree::{FastFairTree, InNodeSearch, SplitStrategy, TreeOptions};

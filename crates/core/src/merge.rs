@@ -89,7 +89,7 @@ impl FastFairTree {
         // we already hold the parent lock).
         let pcnt = parent.count_records();
         crate::delete::enter_delete_direction(self, parent, pcnt);
-        parent.set_ptr(s, parent.left_ptr(s));
+        parent.set_ptr(s, crate::layout::INVALID_PTR);
         self.pool.fence_if_not_tso();
         crate::delete::shift_left_from(self, parent, s, pcnt);
         parent.set_count_hint(pcnt - 1);

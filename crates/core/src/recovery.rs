@@ -347,7 +347,8 @@ impl FastFairTree {
     }
 }
 
-/// Counts invalid (duplicate-pointer) entries before the terminator.
+/// Counts garbage entries before the terminator: poisoned slots and exact
+/// adjacent duplicates (the two residues of an interrupted shift).
 fn count_garbage(node: NodeRef<'_>) -> usize {
     let mut n = 0;
     let mut i = 0u16;
@@ -356,7 +357,7 @@ fn count_garbage(node: NodeRef<'_>) -> usize {
         if p == NULL_OFFSET {
             break;
         }
-        if p == node.left_ptr(i) {
+        if p == crate::layout::INVALID_PTR || (i > 0 && node.key(i) == node.key(i - 1)) {
             n += 1;
         }
         i += 1;

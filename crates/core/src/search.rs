@@ -7,10 +7,12 @@
 //!    **right to left** if odd (the last writer was deleting, shifting
 //!    left) — scanning in the same direction as the writer guarantees no
 //!    entry is missed, though one may be seen twice;
-//! 2. skip *invalid* entries — those whose pointer equals their left
-//!    neighbour's pointer (the transient duplicate a shift creates, §3.1);
-//! 3. re-read the switch counter, retrying if a writer changed direction
-//!    during the scan.
+//! 2. skip *invalid* entries — those whose pointer is the
+//!    [`INVALID_PTR`] poison a shift stores before rewriting a slot
+//!    (§3.1; see the deviation note in `layout` for why poison replaces
+//!    the paper's pointer-duplication test);
+//! 3. re-read the switch counter, retrying if a writer shifted this node
+//!    during the scan (every shift bumps the counter).
 //!
 //! A reader that falls off the right edge of a node consults the sibling
 //! pointer (B-link), which also covers the "virtual single node" state of a
@@ -19,7 +21,7 @@
 use pmem::NULL_OFFSET;
 use pmindex::{Key, Value};
 
-use crate::layout::NodeRef;
+use crate::layout::{NodeRef, INVALID_PTR};
 use crate::tree::FastFairTree;
 
 /// Lock-free exact-match search within one leaf (Algorithm 3).
@@ -45,9 +47,12 @@ pub(crate) fn leaf_search_linear(
                     break;
                 }
                 scanned = i + 1;
-                if node.key(i) == key && p != node.left_ptr(i) {
-                    // Double-check the key: the entry may be mid-shift.
-                    if node.key(i) == key && node.ptr(i) == p {
+                if p != INVALID_PTR && node.key(i) == key {
+                    // Re-read the pointer: the slot may have been poisoned
+                    // and rewritten for a different key since `p` was read,
+                    // in which case the key match above was against the new
+                    // occupant and `p` is stale.
+                    if node.ptr(i) == p {
                         ret = Some(p);
                         break;
                     }
@@ -60,11 +65,10 @@ pub(crate) fn leaf_search_linear(
             scanned = i + 1;
             loop {
                 let p = node.ptr(i);
-                if p != NULL_OFFSET && node.key(i) == key && p != node.left_ptr(i) {
-                    // Double-check the key and pointer: the entry may be
-                    // mid-shift, so the re-reads are deliberate, not
-                    // redundant (same protocol as the forward scan above).
-                    if node.key(i) == key && node.ptr(i) == p {
+                if p != NULL_OFFSET && p != INVALID_PTR && node.key(i) == key {
+                    // Re-read the pointer (same staleness guard as the
+                    // forward scan above).
+                    if node.ptr(i) == p {
                         ret = Some(p);
                         break;
                     }
@@ -122,10 +126,10 @@ pub(crate) fn leaf_search_binary(
 /// Reads the valid `(key, value)` entries of a leaf with the lock-free
 /// retry protocol; used by range scans and the full-tree iterator.
 ///
-/// Entries are returned in slot order. During an insert shift the same key
-/// can transiently occupy two slots, but only one of them is valid at any
-/// instant, and the switch-counter re-check discards torn scans after a
-/// direction change.
+/// Entries are returned in slot order. During a shift the same key can
+/// transiently occupy two adjacent slots as an exact duplicate (same
+/// value); the key dedup below keeps one of them, and the switch-counter
+/// re-check discards any scan that overlapped a shift.
 pub(crate) fn read_leaf_entries(tree: &FastFairTree, node: NodeRef<'_>) -> Vec<(Key, Value)> {
     let cap = tree.cap;
     loop {
@@ -137,7 +141,7 @@ pub(crate) fn read_leaf_entries(tree: &FastFairTree, node: NodeRef<'_>) -> Vec<(
             if p == NULL_OFFSET {
                 break;
             }
-            if p != node.left_ptr(i) {
+            if p != INVALID_PTR {
                 let k = node.key(i);
                 if node.ptr(i) == p {
                     out.push((k, p));
@@ -147,9 +151,9 @@ pub(crate) fn read_leaf_entries(tree: &FastFairTree, node: NodeRef<'_>) -> Vec<(
         }
         node.charge_linear_scan(i);
         if node.switch_counter() == sc {
-            // A scan concurrent with a left-shift (delete) can observe an
-            // entry twice at adjacent slots; keep the last occurrence of
-            // each key and drop local order violations conservatively.
+            // A crashed shift can leave an entry twice at adjacent slots
+            // (an exact duplicate — same key, same value); keep one
+            // occurrence of each key.
             out.dedup_by(|b, a| a.0 == b.0);
             return out;
         }

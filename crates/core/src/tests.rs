@@ -323,6 +323,53 @@ fn cursor_during_concurrent_inserts_sees_committed_keys_once() {
     t.check_consistency(true).unwrap();
 }
 
+/// Regression: adjacent keys carrying the *same value* must all stay
+/// visible. The paper's pointer-duplication validity test silently dropped
+/// every entry whose value equalled its left neighbour's — the poison
+/// sentinel protocol (see `layout`) detects shifts exactly instead.
+#[test]
+fn duplicate_values_across_keys_are_preserved() {
+    let (_p, t) = small_tree();
+    // Enough keys to force splits, all with one shared value, interleaved
+    // so shifts land new entries between equal-valued neighbours.
+    for k in (1..=600u64).step_by(2) {
+        t.insert(k, 7).unwrap();
+    }
+    for k in (2..=600u64).step_by(2) {
+        t.insert(k, 7).unwrap();
+    }
+    for k in 1..=600 {
+        assert_eq!(t.get(k), Some(7), "key {k} lost its duplicated value");
+    }
+    assert_eq!(t.len(), 600);
+    let mut out = Vec::new();
+    t.range(0, u64::MAX, &mut out);
+    assert_eq!(out.len(), 600);
+    assert!(out.iter().all(|&(_, v)| v == 7));
+    // Deletes around equal-valued neighbours must not take bystanders.
+    for k in (3..=600u64).step_by(3) {
+        assert!(t.remove(k), "key {k} missing before remove");
+    }
+    for k in 1..=600 {
+        let expect = if k % 3 == 0 { None } else { Some(7) };
+        assert_eq!(t.get(k), expect, "key {k} wrong after dup-value deletes");
+    }
+    t.check_consistency(true).unwrap();
+}
+
+/// Same regression for the bulk-load path: packed leaves with repeated
+/// values must read back completely.
+#[test]
+fn bulk_load_preserves_duplicate_values() {
+    let (_p, t) = small_tree();
+    assert_eq!(t.bulk_load(&mut (1..=500).map(|k| (k, 9))).unwrap(), 500);
+    for k in 1..=500 {
+        assert_eq!(t.get(k), Some(9), "bulk-loaded key {k} lost its value");
+    }
+    assert_eq!(t.len(), 500);
+    t.check_consistency(true).unwrap();
+}
+
 #[test]
 fn ascending_inserts_split_correctly() {
     let (_p, t) = small_tree();

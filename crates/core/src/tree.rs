@@ -382,9 +382,9 @@ impl FastFairTree {
                         break;
                     }
                     scanned = i + 1;
-                    if p != node.left_ptr(i) {
-                        // Re-read the key after validating (TOCTOU guard, as
-                        // in the original implementation).
+                    if p != crate::layout::INVALID_PTR {
+                        // Re-read the pointer after reading the key (TOCTOU
+                        // guard, as in the original implementation).
                         let k = node.key(i);
                         if p == node.ptr(i) {
                             if key < k {
@@ -402,7 +402,7 @@ impl FastFairTree {
                 let mut i = cap.min(hint.saturating_add(2));
                 loop {
                     let p = node.ptr(i);
-                    if p != NULL_OFFSET && p != node.left_ptr(i) {
+                    if p != NULL_OFFSET && p != crate::layout::INVALID_PTR {
                         let k = node.key(i);
                         if p == node.ptr(i) && k <= key {
                             child = p;

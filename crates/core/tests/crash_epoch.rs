@@ -116,6 +116,22 @@ fn reclaim_crash_sweep(preload: &[u64], steps: &[Step], cut_stride: usize) {
                 panic!("cut {cut} policy {policy:?}: strict consistency after recover: {e}")
             });
 
+            // Stat drift: recover() runs the quiescent flush path, so the
+            // recovered handle's limbo must be fully drained and the
+            // thread-local `nodes_limbo` gauge must agree with the limbo
+            // still live on this thread (the pre-crash `tree`'s; `t2`
+            // contributes zero after recover).
+            assert_eq!(
+                t2.epoch().limbo_len(),
+                0,
+                "cut {cut} policy {policy:?}: recover() left limbo undrained"
+            );
+            assert_eq!(
+                pmem::stats::snapshot().nodes_limbo,
+                tree.epoch().limbo_len(),
+                "cut {cut} policy {policy:?}: nodes_limbo gauge drifted from live limbo"
+            );
+
             // Zero lost keys: everything committed before the in-flight
             // op reads back; the in-flight key may be old or new.
             for (&k, &v) in state {

@@ -526,6 +526,7 @@ impl EpochDomain {
         }
         if items > 0 {
             self.limbo_len.fetch_sub(items, Ordering::SeqCst);
+            pmem::stats::count_limbo_drained(items);
         }
         if units > 0 {
             self.recycled.fetch_add(units as u64, Ordering::SeqCst);
@@ -543,7 +544,9 @@ impl EpochDomain {
     /// nodes through its own sweep.
     ///
     /// These frees are **not** counted as `nodes_recycled_online` (they
-    /// happen at a quiescent point, not under live traffic).
+    /// happen at a quiescent point, not under live traffic), but they
+    /// *do* drain the `nodes_limbo` stats gauge — after a recover or a
+    /// drop nothing is awaiting reclamation, and the gauge says so.
     ///
     /// ```
     /// let d = epoch::EpochDomain::new();
@@ -564,6 +567,7 @@ impl EpochDomain {
         }
         if items > 0 {
             self.limbo_len.fetch_sub(items, Ordering::SeqCst);
+            pmem::stats::count_limbo_drained(items);
         }
         units
     }
@@ -733,14 +737,32 @@ mod tests {
         let p = pool();
         let block = p.alloc(64, 64).unwrap();
         d.retire_pm(&p, block, 64);
+        assert_eq!(pmem::stats::snapshot().nodes_limbo, 1); // in limbo
         d.try_advance();
         d.try_advance();
         d.collect();
         let s = pmem::stats::take();
-        assert_eq!(s.nodes_limbo, 1);
+        assert_eq!(s.nodes_limbo, 0); // gauge: drained by the collect
         assert_eq!(s.epoch_advances, 2);
         assert_eq!(s.nodes_recycled_online, 1);
         assert_eq!(s.nodes_recycled, 1); // Pool::free counted too
+    }
+
+    #[test]
+    fn flush_drains_the_limbo_gauge() {
+        pmem::stats::reset();
+        let d = EpochDomain::new();
+        let p = pool();
+        let block = p.alloc(64, 64).unwrap();
+        d.retire_pm(&p, block, 64);
+        assert_eq!(pmem::stats::snapshot().nodes_limbo, 1);
+        // The quiescent path (recover/Drop) must drain the gauge too —
+        // a crash-recover cycle cannot leave nodes_limbo pinned nonzero.
+        assert_eq!(d.flush(), 1);
+        let s = pmem::stats::take();
+        assert_eq!(s.nodes_limbo, 0);
+        assert_eq!(s.nodes_recycled_online, 0); // not an online free
+        assert_eq!(s.nodes_recycled, 1);
     }
 
     #[test]

@@ -832,11 +832,11 @@ mod tests {
         t.epoch.try_advance();
         t.epoch.collect();
         let s = pmem::stats::take();
-        assert!(s.nodes_limbo as usize >= leaves_before - 1);
-        assert!(
-            s.nodes_recycled_online > 0,
-            "retired leaves were not recycled online"
-        );
+        // Every non-head leaf was retired and — since all retirements
+        // preceded the advances — drained back to the free list online,
+        // leaving the limbo gauge empty.
+        assert!(s.nodes_recycled_online as usize >= leaves_before - 1);
+        assert_eq!(s.nodes_limbo, 0, "limbo gauge did not drain");
         assert!(t.is_empty());
         // Refill: recycled leaves are reused, correctness preserved.
         let hw = p.high_water();

@@ -27,17 +27,20 @@ pub const NULL_OFFSET: PmOffset = 0;
 /// Bytes reserved at the start of the pool for pool metadata.
 ///
 /// Layout: `[0..8)` magic, `[8..16)` root object offset, `[16..24)`
-/// allocation cursor (high-water mark), `[24..32)` manifest offset, rest
-/// reserved. The allocation cursor is treated as failure-atomic allocator
-/// metadata (PM allocator recovery is outside the paper's scope); the *root
-/// offset* and the *manifest offset* participate in normal crash semantics
-/// because index structures update them with an explicit store + persist.
+/// allocation cursor (high-water mark), `[24..32)` manifest offset,
+/// `[32..40)` transaction-journal offset, rest reserved. The allocation
+/// cursor is treated as failure-atomic allocator metadata (PM allocator
+/// recovery is outside the paper's scope); the *root offset*, the
+/// *manifest offset* and the *journal offset* participate in normal crash
+/// semantics because index structures update them with an explicit store +
+/// persist.
 pub const POOL_HEADER_SIZE: u64 = CACHE_LINE as u64;
 
 const MAGIC: u64 = 0x46_41_53_54_46_41_49_52; // "FASTFAIR"
 const ROOT_SLOT: u64 = 8;
 const CURSOR_SLOT: u64 = 16;
 const MANIFEST_SLOT: u64 = 24;
+const JOURNAL_SLOT: u64 = 32;
 
 /// A byte offset into a [`Pool`]; the persistent analogue of a pointer.
 pub type PmOffset = u64;
@@ -586,6 +589,27 @@ impl Pool {
         stats::count_manifest_commit();
     }
 
+    /// The pool's transaction-journal offset (0 when unset).
+    ///
+    /// A third well-known header slot, naming the `txn` crate's redo
+    /// journal region in this pool so a reopened pool can find — and
+    /// replay — committed-but-unapplied write batches. Distinct from
+    /// [`root`](Pool::root) and [`manifest`](Pool::manifest) so one pool
+    /// can host an index, a shard manifest and a journal simultaneously.
+    pub fn txn_journal(&self) -> PmOffset {
+        self.load_u64(JOURNAL_SLOT)
+    }
+
+    /// Sets and persists the transaction-journal offset — one
+    /// failure-atomic 8-byte store followed by a flush + fence, the same
+    /// publish discipline as [`set_manifest`](Pool::set_manifest):
+    /// prepare and persist the journal region first, then name it here
+    /// with a single atomic pointer flip.
+    pub fn set_txn_journal(&self, off: PmOffset) {
+        self.store_u64(JOURNAL_SLOT, off);
+        self.persist(JOURNAL_SLOT, 8);
+    }
+
     /// Copies the current *volatile* contents of the pool.
     ///
     /// This is what the memory would look like if every cache line were
@@ -718,6 +742,20 @@ mod tests {
         p.set_root(4096);
         assert_eq!(p.manifest(), 8192);
         assert_eq!(p.root(), 4096);
+    }
+
+    #[test]
+    fn txn_journal_roundtrip_and_independence() {
+        let p = small_pool();
+        assert_eq!(p.txn_journal(), NULL_OFFSET);
+        p.set_txn_journal(16384);
+        assert_eq!(p.txn_journal(), 16384);
+        // The journal slot is independent of root and manifest.
+        p.set_root(4096);
+        p.set_manifest(8192);
+        assert_eq!(p.txn_journal(), 16384);
+        assert_eq!(p.root(), 4096);
+        assert_eq!(p.manifest(), 8192);
     }
 
     #[test]

@@ -61,8 +61,11 @@ pub struct Snapshot {
     /// Number of successful global epoch advances performed by the
     /// `epoch` crate's reclamation clock.
     pub epoch_advances: u64,
-    /// Number of retired items pushed onto an epoch limbo list, awaiting
-    /// two epoch advances before they can be recycled.
+    /// Number of retired items *currently* sitting on an epoch limbo
+    /// list — a gauge, not a monotone counter: retiring increments it and
+    /// every drain (an online `collect`, a quiescent `flush` on
+    /// recover/drop) decrements it, so a crash-recover cycle ends with
+    /// the gauge back at zero.
     pub nodes_limbo: u64,
     /// Number of pool blocks returned to a free list *online* — by an
     /// epoch `collect` under live traffic, as opposed to a quiescent
@@ -70,6 +73,12 @@ pub struct Snapshot {
     /// [`nodes_recycled`](Snapshot::nodes_recycled) when `Pool::free`
     /// runs.
     pub nodes_recycled_online: u64,
+    /// Number of write batches committed by the `txn` crate's journal —
+    /// one per failure-atomic sequence-number store.
+    pub txn_commits: u64,
+    /// Number of journal entries replayed by `txn` recovery (committed
+    /// batches re-applied after a crash cut the apply phase short).
+    pub txn_replays: u64,
     /// Nanoseconds spent in flush operations (including injected latency).
     pub flush_ns: u64,
     /// Nanoseconds attributed to the search phase.
@@ -99,6 +108,8 @@ impl Add for Snapshot {
             epoch_advances: self.epoch_advances + rhs.epoch_advances,
             nodes_limbo: self.nodes_limbo + rhs.nodes_limbo,
             nodes_recycled_online: self.nodes_recycled_online + rhs.nodes_recycled_online,
+            txn_commits: self.txn_commits + rhs.txn_commits,
+            txn_replays: self.txn_replays + rhs.txn_replays,
             flush_ns: self.flush_ns + rhs.flush_ns,
             search_ns: self.search_ns + rhs.search_ns,
             update_ns: self.update_ns + rhs.update_ns,
@@ -123,6 +134,8 @@ thread_local! {
     static EPOCH_ADV: Cell<u64> = const { Cell::new(0) };
     static LIMBO: Cell<u64> = const { Cell::new(0) };
     static RECYCLED_ONLINE: Cell<u64> = const { Cell::new(0) };
+    static TXN_COMMITS: Cell<u64> = const { Cell::new(0) };
+    static TXN_REPLAYS: Cell<u64> = const { Cell::new(0) };
     static FLUSH_NS: Cell<u64> = const { Cell::new(0) };
     static SEARCH_NS: Cell<u64> = const { Cell::new(0) };
     static UPDATE_NS: Cell<u64> = const { Cell::new(0) };
@@ -178,6 +191,29 @@ pub fn count_nodes_limbo(n: u64) {
     LIMBO.with(|c| c.set(c.get() + n));
 }
 
+/// Counts `n` items *leaving* a limbo list — by an online `collect` or a
+/// quiescent `flush` — keeping [`Snapshot::nodes_limbo`] a gauge of what
+/// is still awaiting reclamation. Saturating: a thread may drain items
+/// another thread retired (its own cell never goes negative). Public for
+/// the `epoch` crate.
+#[inline]
+pub fn count_limbo_drained(n: u64) {
+    LIMBO.with(|c| c.set(c.get().saturating_sub(n)));
+}
+
+/// Counts one committed write batch. Public for the `txn` crate.
+#[inline]
+pub fn count_txn_commit() {
+    TXN_COMMITS.with(|c| c.set(c.get() + 1));
+}
+
+/// Counts `n` journal entries replayed during recovery. Public for the
+/// `txn` crate.
+#[inline]
+pub fn count_txn_replays(n: u64) {
+    TXN_REPLAYS.with(|c| c.set(c.get() + n));
+}
+
 /// Counts `n` pool blocks recycled *online* by an epoch collection (as
 /// opposed to a quiescent recover/drop sweep). Public for the `epoch`
 /// crate.
@@ -198,6 +234,8 @@ pub fn reset() {
     EPOCH_ADV.with(|c| c.set(0));
     LIMBO.with(|c| c.set(0));
     RECYCLED_ONLINE.with(|c| c.set(0));
+    TXN_COMMITS.with(|c| c.set(0));
+    TXN_REPLAYS.with(|c| c.set(0));
     FLUSH_NS.with(|c| c.set(0));
     SEARCH_NS.with(|c| c.set(0));
     UPDATE_NS.with(|c| c.set(0));
@@ -216,6 +254,8 @@ pub fn snapshot() -> Snapshot {
         epoch_advances: EPOCH_ADV.with(Cell::get),
         nodes_limbo: LIMBO.with(Cell::get),
         nodes_recycled_online: RECYCLED_ONLINE.with(Cell::get),
+        txn_commits: TXN_COMMITS.with(Cell::get),
+        txn_replays: TXN_REPLAYS.with(Cell::get),
         flush_ns: FLUSH_NS.with(Cell::get),
         search_ns: SEARCH_NS.with(Cell::get),
         update_ns: UPDATE_NS.with(Cell::get),
@@ -268,6 +308,8 @@ mod tests {
         count_epoch_advance();
         count_nodes_limbo(4);
         count_recycled_online(3);
+        count_txn_commit();
+        count_txn_replays(5);
         let s = take();
         assert_eq!(s.flushes, 2);
         assert_eq!(s.flush_ns, 15);
@@ -280,7 +322,20 @@ mod tests {
         assert_eq!(s.epoch_advances, 1);
         assert_eq!(s.nodes_limbo, 4);
         assert_eq!(s.nodes_recycled_online, 3);
+        assert_eq!(s.txn_commits, 1);
+        assert_eq!(s.txn_replays, 5);
         assert_eq!(snapshot(), Snapshot::default());
+    }
+
+    #[test]
+    fn limbo_is_a_gauge() {
+        reset();
+        count_nodes_limbo(4);
+        count_limbo_drained(3);
+        assert_eq!(snapshot().nodes_limbo, 1);
+        // Draining items another thread retired saturates at zero.
+        count_limbo_drained(10);
+        assert_eq!(take().nodes_limbo, 0);
     }
 
     #[test]
@@ -319,6 +374,8 @@ mod tests {
             epoch_advances: 11,
             nodes_limbo: 12,
             nodes_recycled_online: 13,
+            txn_commits: 14,
+            txn_replays: 15,
             flush_ns: 6,
             search_ns: 7,
             update_ns: 8,
@@ -327,6 +384,8 @@ mod tests {
         assert_eq!(sum.flushes, 2);
         assert_eq!(sum.epoch_advances, 22);
         assert_eq!(sum.nodes_recycled_online, 26);
+        assert_eq!(sum.txn_commits, 28);
+        assert_eq!(sum.txn_replays, 30);
         assert_eq!(sum.total_ns(), 2 * (6 + 7 + 8));
         let mut acc = Snapshot::default();
         acc += a;

@@ -142,6 +142,23 @@ impl Cursor for Box<dyn Cursor + '_> {
     }
 }
 
+/// One staged operation of a multi-key write batch — the unit the `txn`
+/// crate's redo journal records and [`PmIndex::apply_batch`] applies.
+///
+/// Both variants are **idempotent redo** operations: applying one twice
+/// leaves the index exactly as applying it once, which is what lets a
+/// committed journal be replayed from the top after a crash cut the
+/// first apply short.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Upsert `key → value` (replaying over an already-applied put
+    /// rewrites the same value).
+    Put(Key, Value),
+    /// Remove `key` (replaying over an already-applied delete is a
+    /// no-op on the absent key).
+    Delete(Key),
+}
+
 /// A persistent (or, for the B-link baseline, volatile) ordered key-value
 /// index.
 ///
@@ -358,6 +375,55 @@ pub trait PmIndex: Send + Sync {
         Ok(fresh)
     }
 
+    /// Applies a batch of staged operations in order.
+    ///
+    /// This is the *redo-apply* seam the `txn` crate's `WriteBatch`
+    /// drives: each op is individually failure-atomic (the same
+    /// old-or-new guarantee as [`insert`](PmIndex::insert) /
+    /// [`remove`](PmIndex::remove)), and each op is **idempotent** —
+    /// re-upserting an already-applied value or re-removing an absent
+    /// key changes nothing — so a committed journal can be replayed from
+    /// the top after a crash at any point. Atomicity *across* the ops is
+    /// the journal's job, not this method's.
+    ///
+    /// The default loop-applies. Routers override it to group ops per
+    /// backing store (e.g. `shard::ShardedStore` applies each shard's
+    /// group under a single write-gate acquisition).
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmindex::{BatchOp, PmIndex};
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+    /// let tree = fastfair::FastFairTree::create(pool, fastfair::TreeOptions::new())?;
+    /// tree.insert(2, 20)?;
+    /// tree.apply_batch(&[
+    ///     BatchOp::Put(1, 10),
+    ///     BatchOp::Put(2, 21), // upsert
+    ///     BatchOp::Delete(3), // absent: no-op
+    /// ])?;
+    /// assert_eq!(tree.get(1), Some(10));
+    /// assert_eq!(tree.get(2), Some(21));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first op failure; ops before it are applied.
+    fn apply_batch(&self, ops: &[BatchOp]) -> Result<(), IndexError> {
+        for op in ops {
+            match *op {
+                BatchOp::Put(k, v) => {
+                    self.insert(k, v)?;
+                }
+                BatchOp::Delete(k) => {
+                    self.remove(k);
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Short human-readable name used in benchmark tables
     /// (e.g. `"FAST+FAIR"`, `"wB+-tree"`).
     ///
@@ -404,6 +470,9 @@ macro_rules! forward_pmindex {
             items: &mut dyn Iterator<Item = (Key, Value)>,
         ) -> Result<usize, IndexError> {
             (**self).bulk_load(items)
+        }
+        fn apply_batch(&self, ops: &[BatchOp]) -> Result<(), IndexError> {
+            (**self).apply_batch(ops)
         }
         fn name(&self) -> &'static str {
             (**self).name()

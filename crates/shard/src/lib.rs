@@ -63,7 +63,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use pmem::{PmOffset, Pool};
-use pmindex::{Cursor, CursorIter, IndexError, Key, PersistentIndex, PmIndex, Value};
+use pmindex::{BatchOp, Cursor, CursorIter, IndexError, Key, PersistentIndex, PmIndex, Value};
 
 /// How keys are distributed across shards.
 ///
@@ -322,8 +322,32 @@ impl<I: PmIndex> ShardedStore<I> {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     pub fn shard_len(&self, shard: usize) -> usize {
-        let _pin = self.reclaim.pin();
-        self.shards[shard].current().len()
+        self.epoch_stable(|| {
+            let _pin = self.reclaim.pin();
+            self.shards[shard].current().len()
+        })
+    }
+
+    /// Runs `f` and retries it until no rebalance committed while it ran.
+    ///
+    /// During a rebalance there is a window — evacuation done, manifest
+    /// flipped, old `Arc` not yet swapped out — where a counting walk
+    /// that grabbed the *old* shard index sees every evacuated key
+    /// there, while a later grab inside the same walk already sees them
+    /// in the *destination* shard: the sum double-counts. The epoch
+    /// counter is bumped inside the slots lock right after the swap, so
+    /// `f` observing the same epoch before and after means no flip
+    /// overlapped it and the aggregate is consistent. Volatile stores
+    /// (no manifest, no rebalancing) never retry.
+    fn epoch_stable<T>(&self, f: impl Fn() -> T) -> T {
+        let epoch_of = |p: &PersistState| p.epoch.load(Ordering::SeqCst);
+        loop {
+            let before = self.persist.as_ref().map(epoch_of);
+            let out = f();
+            if self.persist.as_ref().map(epoch_of) == before {
+                return out;
+            }
+        }
     }
 
     /// The most loaded shard as `(shard id, live keys)` — the
@@ -349,11 +373,13 @@ impl<I: PmIndex> ShardedStore<I> {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     pub fn hottest_shard(&self) -> (usize, usize) {
-        let _pin = self.reclaim.pin();
-        (0..self.shards.len())
-            .map(|i| (i, self.shards[i].current().len()))
-            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
-            .expect("a sharded store always has at least one shard")
+        self.epoch_stable(|| {
+            let _pin = self.reclaim.pin();
+            (0..self.shards.len())
+                .map(|i| (i, self.shards[i].current().len()))
+                .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+                .expect("a sharded store always has at least one shard")
+        })
     }
 
     fn route(&self, key: Key) -> &ShardSlot<I> {
@@ -780,13 +806,19 @@ impl<I: PmIndex> PmIndex for ShardedStore<I> {
     }
 
     fn len(&self) -> usize {
-        let _pin = self.reclaim.pin();
-        self.shards.iter().map(|s| s.current().len()).sum()
+        // `epoch_stable` keeps a concurrent rebalance from double-counting
+        // keys visible in both the evacuated and the destination shard.
+        self.epoch_stable(|| {
+            let _pin = self.reclaim.pin();
+            self.shards.iter().map(|s| s.current().len()).sum()
+        })
     }
 
     fn is_empty(&self) -> bool {
-        let _pin = self.reclaim.pin();
-        self.shards.iter().all(|s| s.current().is_empty())
+        self.epoch_stable(|| {
+            let _pin = self.reclaim.pin();
+            self.shards.iter().all(|s| s.current().is_empty())
+        })
     }
 
     fn bulk_load(
@@ -814,6 +846,32 @@ impl<I: PmIndex> PmIndex for ShardedStore<I> {
             fresh += slot.current().bulk_load(&mut chunk.into_iter())?;
         }
         Ok(fresh)
+    }
+
+    fn apply_batch(&self, ops: &[BatchOp]) -> Result<(), IndexError> {
+        // Route once, then apply per shard under a single write-gate
+        // acquisition per shard — instead of the default's gate-per-op.
+        // Within a shard the ops keep batch order, so a Put/Delete pair
+        // on the same key lands in the right final state; across shards
+        // the keyspaces are disjoint, so regrouping cannot reorder
+        // conflicting ops.
+        let mut per_shard: Vec<Vec<BatchOp>> = vec![Vec::new(); self.shards.len()];
+        for &op in ops {
+            let key = match op {
+                BatchOp::Put(k, _) => k,
+                BatchOp::Delete(k) => k,
+            };
+            per_shard[self.partitioning.shard_of(key)].push(op);
+        }
+        for (i, group) in per_shard.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let slot = &self.shards[i];
+            let _gate = slot.write_gate.read();
+            slot.current().apply_batch(&group)?;
+        }
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -1335,5 +1393,99 @@ mod tests {
             assert_eq!(cur.next(), Some((want, want + 1)));
         }
         assert_eq!(cur.next(), None);
+    }
+
+    #[test]
+    fn len_never_overcounts_across_live_rebalances() {
+        // Regression: during the evacuate -> swap window a counting walk
+        // could observe an evacuated key in BOTH the old shard snapshot
+        // and the rebalance destination, reporting len() > true count.
+        // `epoch_stable` retries the sum whenever a flip overlapped it.
+        use std::sync::atomic::AtomicBool;
+        const KEYS: u64 = 3000;
+        let p = pool(64 << 20);
+        let store: Arc<ShardedStore<FastFairTree>> = Arc::new(
+            ShardedStore::create(
+                Arc::clone(&p),
+                vec![Arc::clone(&p), Arc::clone(&p)],
+                Partitioning::Hash { shards: 2 },
+            )
+            .unwrap(),
+        );
+        for k in 1..=KEYS {
+            store.insert(k, k + 1).unwrap();
+        }
+        // `removed` counts deletions that have fully completed; len() can
+        // lag behind it (a delete may land mid-count) but with the fix it
+        // can never exceed the keys that existed when the count started.
+        let removed = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let st = Arc::clone(&store);
+            let stop2 = Arc::clone(&stop);
+            let rebalancer = s.spawn(move || {
+                // Same-pool compactions keep flipping the manifest while
+                // the observers count.
+                for round in 0..6u64 {
+                    st.rebalance_into(round as usize % 2, round % 2, Arc::clone(&p))
+                        .unwrap();
+                }
+                stop2.store(true, Ordering::SeqCst);
+            });
+            let st = Arc::clone(&store);
+            let removed2 = Arc::clone(&removed);
+            let stop3 = Arc::clone(&stop);
+            let deleter = s.spawn(move || {
+                for k in 1..=KEYS / 2 {
+                    if stop3.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if st.remove(k * 2) {
+                        removed2.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            });
+            while !stop.load(Ordering::SeqCst) {
+                let n = store.len() as u64;
+                assert!(
+                    n <= KEYS,
+                    "len() overcounted: {n} > {KEYS} live keys ever inserted"
+                );
+                // Deletes that completed before len() returned are an upper
+                // bound on what the count may have missed.
+                let removed_after = removed.load(Ordering::SeqCst);
+                assert!(
+                    n >= KEYS - removed_after,
+                    "len() undercounted: {n} with at most {removed_after} removed"
+                );
+            }
+            rebalancer.join().unwrap();
+            deleter.join().unwrap();
+        });
+        let final_removed = removed.load(Ordering::SeqCst);
+        assert_eq!(store.len() as u64, KEYS - final_removed);
+    }
+
+    #[test]
+    fn apply_batch_routes_and_groups_per_shard() {
+        let store = hash_store(4);
+        store.insert(10, 1).unwrap();
+        store.insert(20, 2).unwrap();
+        let ops = vec![
+            BatchOp::Put(10, 100), // upsert
+            BatchOp::Delete(20),   // remove
+            BatchOp::Put(30, 300), // fresh insert
+            BatchOp::Put(40, 400), // fresh insert, likely another shard
+            BatchOp::Delete(99),   // absent: no-op
+            BatchOp::Put(50, 500),
+            BatchOp::Delete(50), // same-key pair must keep batch order
+        ];
+        store.apply_batch(&ops).unwrap();
+        assert_eq!(store.get(10), Some(100));
+        assert_eq!(store.get(20), None);
+        assert_eq!(store.get(30), Some(300));
+        assert_eq!(store.get(40), Some(400));
+        assert_eq!(store.get(50), None, "Put then Delete must end deleted");
+        assert_eq!(store.len(), 3);
     }
 }

@@ -23,6 +23,18 @@
 //! index type as every other table ([`Table::CustomerName`]), keyed by
 //! [`k_customer_name`] and scanned with a streaming [`varkey::ByteCursor`]
 //! prefix walk instead of any synthetic integer packing.
+//!
+//! With a [`txn::TxnEngine`] attached ([`TpccDb::with_txn_engine`]),
+//! Payment and New-Order become real multi-key transactions: every index
+//! write of one transaction is staged in the engine's pmem redo journal
+//! and committed with a single failure-atomic 8-byte store, so a crash
+//! anywhere leaves zero or all of the transaction's writes (Payment's
+//! three History rows — [`payment_history_writes`] — are the canonical
+//! 3-key all-or-nothing unit, landing on different shards of a
+//! hash-partitioned History table). Without an engine the same writes go
+//! to the indexes directly, in the same order, consuming the same
+//! randomness — the two modes are deterministically identical when no
+//! crash intervenes.
 
 #![warn(missing_docs)]
 
@@ -30,7 +42,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use pmindex::{Cursor, IndexError, Key, PmIndex};
+use pmindex::{Cursor, IndexError, Key, PmIndex, Value};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use varkey::{ByteCursor, VarKeyIndex, VarKeyStore};
@@ -217,6 +229,51 @@ impl Table {
         Table::Item,
         Table::History,
     ];
+
+    /// This table's id in the transaction journal — its position in
+    /// [`TpccDb::txn_tables`] — or `None` for the byte-keyed
+    /// CustomerName index, which is not journaled (its writes happen
+    /// only at populate time).
+    ///
+    /// The mapping is part of the journal format: recovery must pass
+    /// `TxnEngine::recover` the same tables in the same order the
+    /// commits used.
+    pub fn txn_id(self) -> Option<usize> {
+        match self {
+            Table::Warehouse => Some(0),
+            Table::District => Some(1),
+            Table::Customer => Some(2),
+            Table::CustomerName => None,
+            Table::Order => Some(3),
+            Table::NewOrder => Some(4),
+            Table::OrderLine => Some(5),
+            Table::Stock => Some(6),
+            Table::Item => Some(7),
+            Table::History => Some(8),
+        }
+    }
+}
+
+/// The three History-table writes of one Payment transaction — TPC-C
+/// §2.5's history record split across three adjacent keys (`h*4+1` →
+/// customer row id, `h*4+2` → district YTD after the payment, `h*4+3` →
+/// customer balance after, biased positive), so a torn Payment is
+/// *observable* as a partial key set. This is the canonical 3-key
+/// all-or-nothing batch of the crash sweep; History is hash-partitioned
+/// in sharded builds, so the trio routinely spans shards.
+pub fn payment_history_writes(
+    h: u64,
+    cid: u64,
+    ytd_after: u64,
+    balance_after: i64,
+) -> [(Key, u64); 3] {
+    [
+        (h * 4 + 1, cid),
+        (h * 4 + 2, ytd_after + 1),
+        // Balance can go negative; bias keeps the value off the reserved
+        // 0 / u64::MAX endpoints.
+        (h * 4 + 3, (balance_after + (1 << 40)) as u64),
+    ]
 }
 
 /// Range-partition split points that place each contiguous group of
@@ -451,6 +508,9 @@ pub struct TpccDb<I: PmIndex> {
     order_lines: Rows<OrderLineRow>,
     stocks: Rows<StockRow>,
     history_seq: AtomicU64,
+    /// When attached, Payment and New-Order route their index writes
+    /// through this journal as atomic multi-key batches.
+    txn: Option<txn::TxnEngine>,
 }
 
 impl<I: PmIndex> TpccDb<I> {
@@ -507,9 +567,69 @@ impl<I: PmIndex> TpccDb<I> {
             order_lines: Rows::new(),
             stocks: Rows::new(),
             history_seq: AtomicU64::new(1),
+            txn: None,
         };
         db.populate()?;
         Ok(db)
+    }
+
+    /// Attaches a transaction journal: from here on, Payment and
+    /// New-Order commit their index writes as atomic multi-key
+    /// [`txn::WriteBatch`]es instead of one direct insert at a time. The
+    /// engine's journal may live in any pool; the caller keeps enough
+    /// handles to re-open it and [`txn::TxnEngine::recover`] against
+    /// [`TpccDb::txn_tables`] after a crash.
+    pub fn with_txn_engine(mut self, engine: txn::TxnEngine) -> Self {
+        self.txn = Some(engine);
+        self
+    }
+
+    /// The attached transaction engine, if any — e.g. to take a
+    /// [`txn::Snapshot`] for consistent reads across a live run.
+    pub fn txn_engine(&self) -> Option<&txn::TxnEngine> {
+        self.txn.as_ref()
+    }
+
+    /// The nine `u64`-keyed table indexes in journal table-id order
+    /// ([`Table::txn_id`]). Pass exactly this slice to
+    /// [`txn::TxnEngine::commit`] and [`txn::TxnEngine::recover`]; the
+    /// order is part of the journal format.
+    pub fn txn_tables(&self) -> [&I; 9] {
+        [
+            &self.warehouse,
+            &self.district,
+            &self.customer,
+            &self.order,
+            &self.new_order_idx,
+            &self.order_line,
+            &self.stock,
+            &self.item,
+            &self.history,
+        ]
+    }
+
+    /// Applies one transaction's index writes: as a single atomic batch
+    /// through the attached journal, or directly (in the same order)
+    /// when no engine is attached. Both paths are deterministic and
+    /// crash-equivalent in the success case; only the crash behavior
+    /// differs (all-or-nothing vs. prefix).
+    fn commit_writes(&self, writes: &[(usize, Key, Value)]) -> Result<(), IndexError> {
+        match &self.txn {
+            Some(engine) => {
+                let mut batch = txn::WriteBatch::new();
+                for &(t, k, v) in writes {
+                    batch.put(t, k, v);
+                }
+                engine.commit(batch, &self.txn_tables())?;
+            }
+            None => {
+                let tables = self.txn_tables();
+                for &(t, k, v) in writes {
+                    tables[t].insert(k, v)?;
+                }
+            }
+        }
+        Ok(())
     }
 
     fn populate(&self) -> Result<(), IndexError> {
@@ -636,8 +756,13 @@ impl<I: PmIndex> TpccDb<I> {
         });
         let ol_cnt = rng.gen_range(5..=15u64);
         let oid = self.orders.push(OrderRow { ol_cnt, carrier: 0 });
-        self.order.insert(k_order(w, d, o), oid)?;
-        self.new_order_idx.insert(k_order(w, d, o), oid)?;
+        // Collect the order row, its undelivered-queue entry and every
+        // order line into ONE write set: with a journal attached the
+        // whole order becomes durable atomically — no crash can leave an
+        // order without its lines.
+        let mut writes: Vec<(usize, Key, Value)> = Vec::with_capacity(2 + ol_cnt as usize);
+        writes.push((Table::Order.txn_id().unwrap(), k_order(w, d, o), oid));
+        writes.push((Table::NewOrder.txn_id().unwrap(), k_order(w, d, o), oid));
         for ol in 0..ol_cnt {
             let item = rng.gen_range(0..cfg.items);
             self.item.get(k_item(item));
@@ -653,9 +778,13 @@ impl<I: PmIndex> TpccDb<I> {
                 item,
                 qty: rng.gen_range(1..=10),
             });
-            self.order_line.insert(k_orderline(w, d, o, ol), lid)?;
+            writes.push((
+                Table::OrderLine.txn_id().unwrap(),
+                k_orderline(w, d, o, ol),
+                lid,
+            ));
         }
-        Ok(())
+        self.commit_writes(&writes)
     }
 
     fn tx_payment(&self, rng: &mut StdRng) -> Result<(), IndexError> {
@@ -665,15 +794,29 @@ impl<I: PmIndex> TpccDb<I> {
         let amount = rng.gen_range(1..5000) as i64;
         self.warehouse.get(k_warehouse(w));
         let did = self.district.get(k_district(w, d)).expect("district");
-        self.districts.update(did, |row| row.ytd += amount as u64);
+        let mut ytd_after = 0;
+        self.districts.update(did, |row| {
+            row.ytd += amount as u64;
+            ytd_after = row.ytd;
+        });
         let cid = self.select_customer(rng, w, d);
+        let mut balance_after = 0;
         self.customers.update(cid, |row| {
             row.balance -= amount;
             row.payments += 1;
+            balance_after = row.balance;
         });
         let h = self.history_seq.fetch_add(1, Ordering::Relaxed);
-        self.history.insert(h, cid)?;
-        Ok(())
+        // Three History rows, one all-or-nothing unit (see
+        // `payment_history_writes`): with a journal attached a crash can
+        // never record a payment's customer without its YTD and balance.
+        let history = Table::History.txn_id().unwrap();
+        let writes: Vec<(usize, Key, Value)> =
+            payment_history_writes(h, cid, ytd_after, balance_after)
+                .into_iter()
+                .map(|(k, v)| (history, k, v))
+                .collect();
+        self.commit_writes(&writes)
     }
 
     fn tx_order_status(&self, rng: &mut StdRng) {
@@ -1125,5 +1268,82 @@ mod tests {
         let s2 = db2.run(Mix::W1, 300, 99).unwrap();
         assert_eq!(s1.new_order, s2.new_order);
         assert_eq!(s1.stock_level, s2.stock_level);
+    }
+
+    fn table_contents(idx: &dyn PmIndex) -> Vec<(u64, u64)> {
+        let mut v = Vec::new();
+        idx.range(0, u64::MAX, &mut v);
+        v
+    }
+
+    #[test]
+    fn transactional_and_plain_runs_are_identical() {
+        // The journal must be semantically invisible in the no-crash
+        // case: same seed -> byte-identical index contents, whether each
+        // write went in directly or through an atomic batch.
+        let plain = fastfair_db();
+        let txn_db = {
+            let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::new().size(256 << 20)).unwrap());
+            let journal_pool =
+                Arc::new(pmem::Pool::new(pmem::PoolConfig::new().size(4 << 20)).unwrap());
+            TpccDb::build(TpccConfig::small(), || {
+                fastfair::FastFairTree::create(Arc::clone(&pool), fastfair::TreeOptions::new())
+            })
+            .unwrap()
+            .with_txn_engine(txn::TxnEngine::create(journal_pool).unwrap())
+        };
+        let a = plain.run(Mix::W1, 400, 123).unwrap();
+        let b = txn_db.run(Mix::W1, 400, 123).unwrap();
+        assert_eq!(
+            (a.new_order, a.payment, a.order_status, a.delivery),
+            (b.new_order, b.payment, b.order_status, b.delivery)
+        );
+        // Every journaled table agrees entry for entry.
+        for (p, t) in plain.txn_tables().iter().zip(txn_db.txn_tables()) {
+            assert_eq!(table_contents(*p), table_contents(t));
+        }
+        // Every Payment and New-Order went through the journal.
+        let engine = txn_db.txn_engine().unwrap();
+        assert_eq!(engine.last_committed(), a.payment + a.new_order);
+        assert!(!engine.pending());
+    }
+
+    #[test]
+    fn transactional_sharded_db_commits_cross_shard_batches() {
+        // History is hash-partitioned, so a Payment's three rows span
+        // shards — the batch commits across them and the journal stays
+        // clean afterward.
+        let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::new().size(256 << 20)).unwrap());
+        let journal_pool =
+            Arc::new(pmem::Pool::new(pmem::PoolConfig::new().size(4 << 20)).unwrap());
+        let db = build_warehouse_sharded(TpccConfig::small(), 2, |_t, _s| {
+            fastfair::FastFairTree::create(Arc::clone(&pool), fastfair::TreeOptions::new())
+        })
+        .unwrap()
+        .with_txn_engine(txn::TxnEngine::create(journal_pool).unwrap());
+        let stats = db.run(Mix::W2, 300, 17).unwrap();
+        assert_eq!(stats.total(), 300);
+        let plain = fastfair_db();
+        plain.run(Mix::W2, 300, 17).unwrap();
+        for (p, t) in plain.txn_tables().iter().zip(db.txn_tables()) {
+            assert_eq!(table_contents(*p), table_contents(t));
+        }
+        assert!(!db.txn_engine().unwrap().pending());
+    }
+
+    #[test]
+    fn payment_history_writes_are_distinct_and_valid() {
+        let writes = payment_history_writes(7, 42, 1000, -2500);
+        let keys: std::collections::HashSet<u64> = writes.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys.len(), 3);
+        for &(k, v) in &writes {
+            assert_ne!(k, 0);
+            assert!(pmindex::check_value(v).is_ok(), "value {v} is reserved");
+        }
+        // Adjacent payments never collide.
+        let next = payment_history_writes(8, 1, 0, 0);
+        assert!(writes
+            .iter()
+            .all(|&(k, _)| next.iter().all(|&(n, _)| n != k)));
     }
 }

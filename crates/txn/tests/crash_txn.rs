@@ -1,0 +1,320 @@
+//! Crash-atomicity sweep for atomic multi-key write batches.
+//!
+//! Tree, journal (and for the cross-shard case the whole sharded
+//! deployment) live in ONE crash-logged pool, so the event log totally
+//! orders every store of a batch commit: the staged entries, the single
+//! 8-byte commit-word flush, each apply step and the retire store. We
+//! materialize the post-crash image at **every** cut under the minimal
+//! (nothing evicted), maximal (everything evicted) and env-seeded
+//! pseudo-random eviction policies, re-open everything, run
+//! `TxnEngine::recover`, and require the all-or-nothing contract on a
+//! 3-key TPC-C Payment batch ([`tpcc::payment_history_writes`]):
+//!
+//! * crash before the commit word is durable → **zero** of the three
+//!   writes survive recovery;
+//! * crash after → **all three** survive, with exact values — even when
+//!   the crash interrupted the apply or the retire;
+//! * recovery itself is crash-safe: a second sweep cuts the *replay* at
+//!   every step, crashes again, recovers again, and still lands on all
+//!   three writes (idempotent redo);
+//! * the journal is clean after recovery (`pending()` false, a second
+//!   `recover` replays nothing).
+//!
+//! A separate live (crash-free) test drives committers against
+//! snapshot readers and asserts a `Snapshot` never observes a
+//! half-applied batch.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use fastfair::{FastFairTree, TreeOptions};
+use pmem::crash::Eviction;
+use pmem::{Pool, PoolConfig};
+use pmindex::{PersistentIndex, PmIndex};
+use shard::{Partitioning, ShardedStore};
+use txn::{TxnEngine, WriteBatch};
+
+const POOL: usize = 4 << 20;
+
+fn crash_pool() -> Arc<Pool> {
+    Arc::new(Pool::new(PoolConfig::new().size(POOL).crash_log(true)).unwrap())
+}
+
+/// The swept batch: the three History rows of TPC-C Payment #9
+/// (customer 42, district YTD 1000 after, balance -2500 after).
+fn payment_writes() -> [(u64, u64); 3] {
+    tpcc::payment_history_writes(9, 42, 1000, -2500)
+}
+
+/// Classifies the post-recovery image: how many of the batch's three
+/// keys are present, insisting every present one has its exact value.
+fn survivors(get: impl Fn(u64) -> Option<u64>, ctx: &str) -> usize {
+    let mut n = 0;
+    for (k, v) in payment_writes() {
+        if let Some(got) = get(k) {
+            assert_eq!(got, v, "{ctx}: key {k} has torn value");
+            n += 1;
+        }
+    }
+    n
+}
+
+#[test]
+fn payment_batch_crash_sweep_on_a_tree() {
+    let pool = crash_pool();
+    let tree = FastFairTree::create(Arc::clone(&pool), TreeOptions::new()).unwrap();
+    let meta = tree.superblock();
+    let engine = TxnEngine::create(Arc::clone(&pool)).unwrap();
+
+    // Durable context: unrelated committed keys that must survive every
+    // crash untouched, plus one already-committed batch so the swept
+    // commit is not the journal's first.
+    for k in [100_000u64, 200_000, 300_000] {
+        tree.insert(k, k + 1).unwrap();
+    }
+    let mut warmup = WriteBatch::new();
+    warmup.put(0, 400_000, 400_001);
+    engine.commit(warmup, &[&tree]).unwrap();
+
+    let log = pool.crash_log().unwrap();
+    log.set_baseline(pool.volatile_image());
+
+    // The swept operation: one 3-key Payment batch.
+    let mut batch = WriteBatch::new();
+    for (k, v) in payment_writes() {
+        batch.put(0, k, v);
+    }
+    assert_eq!(engine.commit(batch, &[&tree]).unwrap(), 2);
+
+    let total = log.len();
+    assert!(total > 10, "batch commit should emit a rich event stream");
+    let mut outcomes = BTreeSet::new();
+    for cut in 0..=total {
+        for policy in [
+            Eviction::None,
+            Eviction::All,
+            Eviction::random_with_env(cut as u64),
+        ] {
+            let ctx = format!("cut {cut}/{total} {policy:?}");
+            let img = pool.crash_image(cut, policy.clone());
+            let p2 = Arc::new(Pool::from_image(&img, PoolConfig::new().size(POOL)).unwrap());
+            let t2 = FastFairTree::open(Arc::clone(&p2), meta, TreeOptions::new())
+                .unwrap_or_else(|e| panic!("{ctx}: tree open failed: {e}"));
+            let e2 = TxnEngine::open(Arc::clone(&p2))
+                .unwrap_or_else(|e| panic!("{ctx}: journal open failed: {e}"));
+            let replayed = e2.recover(&[&t2]).unwrap();
+            // All-or-nothing: zero or all three, never a partial set.
+            let n = survivors(|k| t2.get(k), &ctx);
+            assert!(n == 0 || n == 3, "{ctx}: torn batch — {n}/3 keys");
+            // The commit word decides which side we are on.
+            match e2.last_committed() {
+                1 => assert_eq!(n, 0, "{ctx}: uncommitted batch leaked writes"),
+                2 => assert_eq!(n, 3, "{ctx}: committed batch lost writes"),
+                s => panic!("{ctx}: impossible sequence {s}"),
+            }
+            outcomes.insert(n);
+            // Context committed before the baseline is never disturbed.
+            for k in [100_000u64, 200_000, 300_000, 400_000] {
+                assert_eq!(t2.get(k), Some(k + 1), "{ctx}: context key {k}");
+            }
+            // Recovery retired whatever it found: the journal is clean.
+            assert!(!e2.pending(), "{ctx}: journal still pending");
+            assert_eq!(
+                e2.recover(&[&t2]).unwrap(),
+                0,
+                "{ctx}: recover not idempotent"
+            );
+            let _ = replayed;
+        }
+    }
+    // The sweep must actually exercise both sides of the commit point.
+    assert_eq!(
+        outcomes,
+        BTreeSet::from([0, 3]),
+        "sweep should observe both the zero-write and the all-writes outcome"
+    );
+}
+
+/// Crash DURING recovery: take the committed-but-unapplied image, replay
+/// under a fresh crash log, cut the replay at every step, crash again,
+/// recover again — the batch must still land in full (idempotent redo).
+#[test]
+fn recovery_replay_is_itself_crash_safe() {
+    let pool = crash_pool();
+    let tree = FastFairTree::create(Arc::clone(&pool), TreeOptions::new()).unwrap();
+    let meta = tree.superblock();
+    let engine = TxnEngine::create(Arc::clone(&pool)).unwrap();
+    let log = pool.crash_log().unwrap();
+    log.set_baseline(pool.volatile_image());
+    let mut batch = WriteBatch::new();
+    for (k, v) in payment_writes() {
+        batch.put(0, k, v);
+    }
+    engine.commit(batch, &[&tree]).unwrap();
+
+    // Find a committed-but-unapplied image: earliest cut (under maximal
+    // eviction) where the commit word is durable.
+    let total = log.len();
+    let mut committed_img = None;
+    for cut in 0..=total {
+        let img = pool.crash_image(cut, Eviction::All);
+        let p2 = Arc::new(Pool::from_image(&img, PoolConfig::new().size(POOL)).unwrap());
+        let e2 = TxnEngine::open(Arc::clone(&p2)).unwrap();
+        if e2.pending() {
+            committed_img = Some(img);
+            break;
+        }
+    }
+    let img = committed_img.expect("some cut must land between commit and retire");
+
+    // Re-run recovery under its own crash log and sweep every cut of it.
+    let p2 =
+        Arc::new(Pool::from_image(&img, PoolConfig::new().size(POOL).crash_log(true)).unwrap());
+    let t2 = FastFairTree::open(Arc::clone(&p2), meta, TreeOptions::new()).unwrap();
+    let e2 = TxnEngine::open(Arc::clone(&p2)).unwrap();
+    let log2 = p2.crash_log().unwrap();
+    log2.set_baseline(p2.volatile_image());
+    assert_eq!(e2.recover(&[&t2]).unwrap(), 3);
+    let replay_total = log2.len();
+    assert!(replay_total > 0, "replay should emit stores");
+    for cut in 0..=replay_total {
+        for policy in [
+            Eviction::None,
+            Eviction::All,
+            Eviction::random_with_env(1000 + cut as u64),
+        ] {
+            let ctx = format!("replay cut {cut}/{replay_total} {policy:?}");
+            let img2 = p2.crash_image(cut, policy);
+            let p3 = Arc::new(Pool::from_image(&img2, PoolConfig::new().size(POOL)).unwrap());
+            let t3 = FastFairTree::open(Arc::clone(&p3), meta, TreeOptions::new()).unwrap();
+            let e3 = TxnEngine::open(Arc::clone(&p3)).unwrap();
+            e3.recover(&[&t3]).unwrap();
+            // The batch was committed, so every double-crash recovery
+            // must finish it — all three writes, exact values.
+            assert_eq!(survivors(|k| t3.get(k), &ctx), 3, "{ctx}: lost writes");
+            assert!(!e3.pending(), "{ctx}");
+        }
+    }
+}
+
+#[test]
+fn cross_shard_payment_batch_crash_sweep() {
+    const SHARDS: usize = 2;
+    let pool = crash_pool();
+    let store: ShardedStore<FastFairTree> = ShardedStore::create(
+        Arc::clone(&pool),
+        vec![Arc::clone(&pool); SHARDS],
+        Partitioning::Hash { shards: SHARDS },
+    )
+    .unwrap();
+    let engine = TxnEngine::create(Arc::clone(&pool)).unwrap();
+
+    // The Payment trio must genuinely span shards for this sweep to
+    // prove anything — assert it rather than hope.
+    let part = Partitioning::Hash { shards: SHARDS };
+    let hit: BTreeSet<usize> = payment_writes()
+        .iter()
+        .map(|&(k, _)| part.shard_of(k))
+        .collect();
+    assert!(hit.len() > 1, "payment keys all hashed to one shard");
+
+    for k in [500_000u64, 600_000] {
+        store.insert(k, k + 1).unwrap();
+    }
+    let log = pool.crash_log().unwrap();
+    log.set_baseline(pool.volatile_image());
+
+    let mut batch = WriteBatch::new();
+    for (k, v) in payment_writes() {
+        batch.put(0, k, v);
+    }
+    assert_eq!(engine.commit(batch, &[&store]).unwrap(), 1);
+
+    let total = log.len();
+    let mut outcomes = BTreeSet::new();
+    for cut in 0..=total {
+        for policy in [
+            Eviction::None,
+            Eviction::All,
+            Eviction::random_with_env(2000 + cut as u64),
+        ] {
+            let ctx = format!("cut {cut}/{total} {policy:?}");
+            let img = pool.crash_image(cut, policy);
+            let p2 = Arc::new(Pool::from_image(&img, PoolConfig::new().size(POOL)).unwrap());
+            let s2: ShardedStore<FastFairTree> =
+                ShardedStore::open(Arc::clone(&p2), vec![Arc::clone(&p2); SHARDS])
+                    .unwrap_or_else(|e| panic!("{ctx}: store open failed: {e}"));
+            let e2 = TxnEngine::open(Arc::clone(&p2)).unwrap();
+            e2.recover(&[&s2]).unwrap();
+            let n = survivors(|k| s2.get(k), &ctx);
+            assert!(
+                n == 0 || n == 3,
+                "{ctx}: torn CROSS-SHARD batch — {n}/3 keys"
+            );
+            outcomes.insert(n);
+            for k in [500_000u64, 600_000] {
+                assert_eq!(s2.get(k), Some(k + 1), "{ctx}: context key {k}");
+            }
+            assert!(!e2.pending(), "{ctx}");
+        }
+    }
+    assert_eq!(outcomes, BTreeSet::from([0, 3]));
+}
+
+/// Live (crash-free) consistency: while a committer applies batches
+/// whose three keys always share one value, snapshot readers must never
+/// observe two keys disagreeing — a half-applied batch.
+#[test]
+fn snapshots_never_observe_a_half_applied_batch() {
+    const BATCHES: u64 = 150;
+    let pool = Arc::new(Pool::new(PoolConfig::new().size(8 << 20)).unwrap());
+    let tree = Arc::new(FastFairTree::create(Arc::clone(&pool), TreeOptions::new()).unwrap());
+    let engine = Arc::new(TxnEngine::create(Arc::clone(&pool)).unwrap());
+    let keys = [10u64, 20, 30];
+    let done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|s| {
+        {
+            let engine = Arc::clone(&engine);
+            let tree = Arc::clone(&tree);
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                for i in 1..=BATCHES {
+                    let mut b = WriteBatch::new();
+                    for k in keys {
+                        b.put(0, k, 1000 + i);
+                    }
+                    engine.commit(b, &[tree.as_ref()]).unwrap();
+                }
+                done.store(true, Ordering::SeqCst);
+            });
+        }
+        for _ in 0..2 {
+            let engine = Arc::clone(&engine);
+            let tree = Arc::clone(&tree);
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                let mut observed = 0u64;
+                while !done.load(Ordering::SeqCst) || observed == 0 {
+                    let snap = engine.snapshot();
+                    let vals: Vec<Option<u64>> = keys.iter().map(|&k| tree.get(k)).collect();
+                    drop(snap);
+                    // Before the first batch all three are absent; after,
+                    // all three must carry the same batch's value.
+                    assert!(
+                        vals.iter().all(|v| v.is_none()) || vals.windows(2).all(|w| w[0] == w[1]),
+                        "snapshot observed a half-applied batch: {vals:?}"
+                    );
+                    if vals[0].is_some() {
+                        observed += 1;
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(engine.last_committed(), BATCHES);
+    for k in keys {
+        assert_eq!(tree.get(k), Some(1000 + BATCHES));
+    }
+}

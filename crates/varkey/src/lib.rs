@@ -148,6 +148,19 @@ impl ByteCursor for Box<dyn ByteCursor + '_> {
     }
 }
 
+/// One operation of a byte-keyed write batch — the var-key analogue of
+/// `pmindex::BatchOp`, consumed by [`VarKeyIndex::apply_batch`]. Both
+/// variants are *idempotent redo*: a `Put` upserts, a `Delete` of an
+/// absent key is a no-op, so replaying an already-applied batch lands in
+/// the same state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ByteBatchOp {
+    /// Upsert `key → value`.
+    Put(Vec<u8>, Value),
+    /// Remove `key` if present.
+    Delete(Vec<u8>),
+}
+
 /// A byte-keyed ordered index — [`PmIndex`] with `&[u8]` keys.
 ///
 /// The method-by-method contract mirrors `PmIndex` exactly: upserting
@@ -239,6 +252,46 @@ pub trait VarKeyIndex: Send + Sync {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     fn remove(&self, key: &[u8]) -> bool;
+
+    /// Applies a batch of ops in order, as idempotent redo — the
+    /// byte-keyed apply seam a transaction journal replays through (the
+    /// `u64` side is `pmindex::PmIndex::apply_batch`). The default
+    /// simply loops; an implementation may regroup non-conflicting ops
+    /// (disjoint keys commute) to amortize its internal latching.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use varkey::{ByteBatchOp, VarKeyIndex, VarKeyStore};
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+    /// let tree = fastfair::FastFairTree::create(Arc::clone(&pool), fastfair::TreeOptions::new())?;
+    /// let store = VarKeyStore::new(tree, pool);
+    /// store.apply_batch(&[
+    ///     ByteBatchOp::Put(b"customer:0042:name".to_vec(), 7),
+    ///     ByteBatchOp::Delete(b"stale-entry".to_vec()), // absent: no-op
+    /// ])?;
+    /// assert_eq!(store.get(b"customer:0042:name"), Some(7));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing op's error; earlier ops stay
+    /// applied (each is individually failure-atomic, and redo replay
+    /// re-applies them harmlessly).
+    fn apply_batch(&self, ops: &[ByteBatchOp]) -> Result<(), IndexError> {
+        for op in ops {
+            match op {
+                ByteBatchOp::Put(k, v) => {
+                    self.insert(k, *v)?;
+                }
+                ByteBatchOp::Delete(k) => {
+                    self.remove(k);
+                }
+            }
+        }
+        Ok(())
+    }
 
     /// Opens a streaming cursor positioned before the smallest key.
     ///
@@ -380,6 +433,44 @@ pub trait VarKeyIndex: Send + Sync {
     fn name(&self) -> String;
 }
 
+/// Number of chain-latch stripes. Chains are keyed by their first chunk,
+/// so with 128 stripes four concurrent writers on distinct chains
+/// collide with probability under 5% — and a collision only costs
+/// serialization, never correctness.
+const CHAIN_STRIPES: usize = 128;
+
+/// Striped per-chain readers-writer latches, keyed by a chain's first
+/// chunk. Replaces the original store-wide `RwLock<()>` that serialized
+/// ALL long-key mutations: writers on different chains now proceed in
+/// parallel, and a cursor drain only shares the stripe of the chain it
+/// is walking.
+struct ChainLatches {
+    stripes: Vec<RwLock<()>>,
+}
+
+impl ChainLatches {
+    fn new() -> Self {
+        ChainLatches {
+            stripes: (0..CHAIN_STRIPES).map(|_| RwLock::new(())).collect(),
+        }
+    }
+
+    /// The latch guarding `chunk`'s chain. First chunks of nearby keys
+    /// differ only in low bytes (the codec is order-preserving), so a
+    /// Fibonacci multiplicative hash spreads them across stripes.
+    fn stripe(&self, chunk: u64) -> &RwLock<()> {
+        let h = chunk.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.stripes[(h >> 32) as usize % CHAIN_STRIPES]
+    }
+
+    /// Write-locks every stripe (in index order, so two all-stripe
+    /// lockers cannot deadlock) — for `bulk_load`, which builds chains
+    /// across the whole chunk space at once.
+    fn lock_all(&self) -> Vec<parking_lot::RwLockWriteGuard<'_, ()>> {
+        self.stripes.iter().map(|s| s.write()).collect()
+    }
+}
+
 /// Adapts arbitrary byte-slice keys onto a `u64`-keyed [`PmIndex`].
 ///
 /// Short keys (≤ [`codec::MAX_INLINE`] bytes) are stored inline; longer
@@ -388,19 +479,21 @@ pub trait VarKeyIndex: Send + Sync {
 /// single tree, a `shard::ShardedStore`, or anything else implementing
 /// `PmIndex` — the adapter never looks inside it.
 ///
-/// Chain walks are internally synchronized with a readers-writer latch
-/// (readers share, chain mutations exclude each other); inline
-/// operations go straight to the inner index's own synchronization.
+/// Chain walks are internally synchronized with striped readers-writer
+/// latches keyed by the chain's first chunk (readers share a stripe,
+/// chain mutations exclude each other per stripe); inline operations go
+/// straight to the inner index's own synchronization.
 pub struct VarKeyStore<I> {
     index: I,
     pool: Arc<Pool>,
     /// Guards overflow-chain *cursor drains* (shared) against chain
-    /// mutations (exclusive). Coarse by design: one latch for all chains
-    /// — long-key writers are expected to be a small fraction of
-    /// traffic. Point lookups no longer take it: they pin the epoch
-    /// domain instead (every chain mutation is a single atomic link
-    /// flip, so a latch-free walk sees the old chain or the new one).
-    chains: RwLock<()>,
+    /// mutations (exclusive), one latch per stripe of first-chunk values
+    /// — writers on different chains proceed in parallel instead of
+    /// serializing on one store-wide latch. Point lookups don't take any
+    /// stripe: they pin the epoch domain instead (every chain mutation
+    /// is a single atomic link flip, so a latch-free walk sees the old
+    /// chain or the new one).
+    chains: ChainLatches,
     /// Reclamation domain for removed overflow records: a record
     /// unlinked by [`VarKeyIndex::remove`] is retired here and returns
     /// to [`Pool::free`] online, once every pinned lookup has moved on.
@@ -432,7 +525,7 @@ impl<I: PmIndex> VarKeyStore<I> {
         VarKeyStore {
             index,
             pool,
-            chains: RwLock::new(()),
+            chains: ChainLatches::new(),
             epoch: epoch::EpochDomain::new(),
         }
     }
@@ -657,7 +750,7 @@ impl<I: PmIndex> VarKeyStore<I> {
 
     fn insert_overflow(&self, key: &[u8], value: Value) -> Result<Option<Value>, IndexError> {
         let chunk = codec::first_chunk(key);
-        let _g = self.chains.write();
+        let _g = self.chains.stripe(chunk).write();
         let Some(head) = self.index.get(chunk) else {
             // First key of this chunk: record first, then the inner
             // insert (itself failure-atomic) publishes the chain.
@@ -694,7 +787,7 @@ impl<I: PmIndex> VarKeyStore<I> {
 
     fn update_overflow(&self, key: &[u8], value: Value) -> Result<Option<Value>, IndexError> {
         let chunk = codec::first_chunk(key);
-        let _g = self.chains.write();
+        let _g = self.chains.stripe(chunk).write();
         let Some(head) = self.index.get(chunk) else {
             return Ok(None);
         };
@@ -709,7 +802,7 @@ impl<I: PmIndex> VarKeyStore<I> {
 
     fn remove_overflow(&self, key: &[u8]) -> bool {
         let chunk = codec::first_chunk(key);
-        let _g = self.chains.write();
+        let _g = self.chains.stripe(chunk).write();
         let Some(head) = self.index.get(chunk) else {
             return false;
         };
@@ -739,14 +832,15 @@ impl<I: PmIndex> VarKeyStore<I> {
     /// Reads `chunk`'s live chain (ascending by key) into `out`, skipping
     /// keys below `bound`.
     ///
-    /// The head is re-read from the inner index *under the chain latch*,
-    /// never taken from the caller: a cursor hands in a chunk it buffered
-    /// earlier, and by now a concurrent remove may have unlinked — and
-    /// the free list recycled — the records the buffered head pointed at.
-    /// The latch excludes chain writers for the duration of the walk, so
-    /// the re-read head and everything reachable from it stay valid.
+    /// The head is re-read from the inner index *under the chain's
+    /// stripe latch*, never taken from the caller: a cursor hands in a
+    /// chunk it buffered earlier, and by now a concurrent remove may
+    /// have unlinked — and the free list recycled — the records the
+    /// buffered head pointed at. The stripe excludes this chain's
+    /// writers for the duration of the walk, so the re-read head and
+    /// everything reachable from it stay valid.
     fn drain_chain(&self, chunk: u64, bound: &[u8], out: &mut Vec<(Vec<u8>, Value)>) {
-        let _g = self.chains.read();
+        let _g = self.chains.stripe(chunk).read();
         let Some(head) = self.index.get(chunk) else {
             return; // chain removed since the cursor buffered the chunk
         };
@@ -850,7 +944,9 @@ impl<I: PmIndex> VarKeyIndex for VarKeyStore<I> {
             }
         }
         let fresh = deduped.len();
-        let _g = self.chains.write();
+        // A bulk load touches chains across the whole chunk space: take
+        // every stripe rather than guessing which chunks it will build.
+        let _g = self.chains.lock_all();
         let mut pairs: Vec<(u64, Value)> = Vec::with_capacity(fresh);
         let mut i = 0;
         while i < deduped.len() {
@@ -1223,11 +1319,12 @@ mod tests {
         }
         // Removal retires into limbo; two epoch advances later the
         // records are back on the free list — no recover, no drop.
+        assert_eq!(pmem::stats::snapshot().nodes_limbo, keys.len() as u64);
         s.epoch.try_advance();
         s.epoch.try_advance();
         s.epoch.collect();
         let snap = pmem::stats::take();
-        assert_eq!(snap.nodes_limbo, keys.len() as u64);
+        assert_eq!(snap.nodes_limbo, 0); // gauge drained by the collect
         assert_eq!(snap.nodes_recycled_online, keys.len() as u64);
         assert_eq!(snap.nodes_recycled, keys.len() as u64);
         // Re-inserting identical keys reuses the freed records: the
@@ -1312,5 +1409,128 @@ mod tests {
         for k in &churn {
             assert_eq!(s.get(k), None);
         }
+    }
+
+    /// Picks `n` 7-byte chain prefixes whose first chunks land on
+    /// pairwise-distinct latch stripes, so each writer in the tests below
+    /// owns a private chain AND a private latch.
+    fn distinct_stripe_prefixes<I>(s: &VarKeyStore<I>, n: usize) -> Vec<String> {
+        let mut prefixes: Vec<String> = Vec::new();
+        let mut stripes: Vec<*const RwLock<()>> = Vec::new();
+        for i in 0..10_000u32 {
+            let p = format!("wch{i:04}");
+            let stripe: *const _ = s.chains.stripe(codec::first_chunk(p.as_bytes()));
+            if !stripes.contains(&stripe) {
+                stripes.push(stripe);
+                prefixes.push(p);
+                if prefixes.len() == n {
+                    return prefixes;
+                }
+            }
+        }
+        panic!("could not find {n} distinct stripes");
+    }
+
+    fn chain_key(prefix: &str, i: u32) -> Vec<u8> {
+        // Longer than MAX_INLINE and sharing the 7-byte prefix: every
+        // writer's keys go to one overflow chain.
+        format!("{prefix}:{i:04}:padding-far-past-inline").into_bytes()
+    }
+
+    #[test]
+    fn writers_on_distinct_chains_do_not_serialize() {
+        // Regression for the coarse store-wide chain latch: holding ONE
+        // chain's latch used to block every long-key writer. Now it may
+        // only block the chain (stripe) it guards.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        const PER_WRITER: u32 = 100;
+        let s = Arc::new(store());
+        let prefixes = distinct_stripe_prefixes(&s, 4);
+        let blocked_chunk = codec::first_chunk(chain_key(&prefixes[3], 0).as_slice());
+        let held = s.chains.stripe(blocked_chunk).write();
+        let victim_started = Arc::new(AtomicBool::new(false));
+        let victim_done = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|t| {
+            let mut free = Vec::new();
+            for p in &prefixes[..3] {
+                let s = Arc::clone(&s);
+                free.push(t.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        s.insert(&chain_key(p, i), u64::from(i) + 1).unwrap();
+                    }
+                }));
+            }
+            {
+                let s = Arc::clone(&s);
+                let p = &prefixes[3];
+                let started = Arc::clone(&victim_started);
+                let done = Arc::clone(&victim_done);
+                t.spawn(move || {
+                    started.store(true, Ordering::SeqCst);
+                    for i in 0..PER_WRITER {
+                        s.insert(&chain_key(p, i), u64::from(i) + 1).unwrap();
+                    }
+                    done.store(true, Ordering::SeqCst);
+                });
+            }
+            // The three writers on unheld stripes must run to completion
+            // while stripe 3 stays write-locked — under the old coarse
+            // latch these joins would deadlock against `held`.
+            for h in free {
+                h.join().unwrap();
+            }
+            while !victim_started.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert!(
+                !victim_done.load(Ordering::SeqCst),
+                "writer on the held stripe slipped past its latch"
+            );
+            drop(held);
+        });
+        assert!(victim_done.load(Ordering::SeqCst));
+        for p in &prefixes {
+            for i in 0..PER_WRITER {
+                assert_eq!(s.get(&chain_key(p, i)), Some(u64::from(i) + 1));
+            }
+        }
+        assert_eq!(s.len(), 4 * PER_WRITER as usize);
+    }
+
+    #[test]
+    fn four_writer_disjoint_chain_storm_is_exact() {
+        const PER_WRITER: u32 = 250;
+        let s = Arc::new(store());
+        let prefixes = distinct_stripe_prefixes(&s, 4);
+        std::thread::scope(|t| {
+            for (w, p) in prefixes.iter().enumerate() {
+                let s = Arc::clone(&s);
+                t.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        let v = (w as u64) * 10_000 + u64::from(i) + 1;
+                        s.insert(&chain_key(p, i), v).unwrap();
+                    }
+                    // Mixed mutations on the same private chain: updates
+                    // and removes also ride the per-stripe latch.
+                    for i in (0..PER_WRITER).step_by(5) {
+                        assert!(s.remove(&chain_key(p, i)));
+                    }
+                });
+            }
+        });
+        let mut live = 0;
+        for (w, p) in prefixes.iter().enumerate() {
+            for i in 0..PER_WRITER {
+                let want = if i % 5 == 0 {
+                    None
+                } else {
+                    Some((w as u64) * 10_000 + u64::from(i) + 1)
+                };
+                assert_eq!(s.get(&chain_key(p, i)), want);
+                live += usize::from(want.is_some());
+            }
+        }
+        assert_eq!(s.len(), live);
     }
 }

@@ -13,6 +13,7 @@ pub use pmindex;
 pub use pskiplist;
 pub use shard;
 pub use tpcc;
+pub use txn;
 pub use varkey;
 pub use wbtree;
 pub use wort;
