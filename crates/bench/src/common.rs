@@ -30,6 +30,12 @@ pub enum IndexKind {
     FastLogging,
     /// FAST+FAIR with leaf read locks (serializable reads, Fig. 7).
     FastFairLeafLock,
+    /// FAST+FAIR with fingerprinted leaf probes (Fig. 8 ablation).
+    FastFairFp,
+    /// FAST+FAIR with the circular record frame (Fig. 8 ablation).
+    FastFairCirc,
+    /// FAST+FAIR with both microarchitecture levers (Fig. 8 ablation).
+    FastFairFpCirc,
     /// FP-tree (selective persistence + fingerprints).
     FpTree,
     /// wB+-tree (slot + bitmap).
@@ -50,6 +56,14 @@ impl IndexKind {
         IndexKind::WbTree,
         IndexKind::Wort,
         IndexKind::SkipList,
+    ];
+
+    /// The layout-variant ablation field of the Fig. 8 YCSB sweep.
+    pub const FASTFAIR_VARIANTS: [IndexKind; 4] = [
+        IndexKind::FastFair,
+        IndexKind::FastFairFp,
+        IndexKind::FastFairCirc,
+        IndexKind::FastFairFpCirc,
     ];
 
     /// The concurrent field of Figure 7.
@@ -92,6 +106,34 @@ pub fn build_index(kind: IndexKind, pool: &Arc<Pool>, node_size: u32) -> Box<dyn
                     .leaf_locks(true),
             )
             .expect("leaflock"),
+        ),
+        IndexKind::FastFairFp => Box::new(
+            fastfair::FastFairTree::create(
+                Arc::clone(pool),
+                fastfair::TreeOptions::new()
+                    .node_size(node_size)
+                    .fingerprints(true),
+            )
+            .expect("fastfair+fp"),
+        ),
+        IndexKind::FastFairCirc => Box::new(
+            fastfair::FastFairTree::create(
+                Arc::clone(pool),
+                fastfair::TreeOptions::new()
+                    .node_size(node_size)
+                    .circular(true),
+            )
+            .expect("fastfair+circ"),
+        ),
+        IndexKind::FastFairFpCirc => Box::new(
+            fastfair::FastFairTree::create(
+                Arc::clone(pool),
+                fastfair::TreeOptions::new()
+                    .node_size(node_size)
+                    .fingerprints(true)
+                    .circular(true),
+            )
+            .expect("fastfair+fp+circ"),
         ),
         IndexKind::FpTree => Box::new(fptree::FpTree::create(Arc::clone(pool)).expect("fptree")),
         IndexKind::WbTree => Box::new(wbtree::WbTree::create(Arc::clone(pool)).expect("wbtree")),

@@ -68,7 +68,7 @@ impl<'a> LevelBuilder<'a> {
                     .tree
                     .pool()
                     .alloc(u64::from(self.tree.node_size()), 64)?;
-                let node = self.tree.node(off);
+                let mut node = self.tree.node(off);
                 node.init(self.level);
                 if self.level > 0 {
                     // The batch's first child routes everything below the
@@ -85,6 +85,12 @@ impl<'a> LevelBuilder<'a> {
         let node = self.tree.node(off);
         node.set_key(slot, key);
         node.set_ptr(slot, ptr);
+        if self.level == 0 {
+            // Fresh leaves are born sealed (init) and stay invisible until
+            // the root swap, so fingerprints are packed right along with
+            // the records and persisted by the node's single flush.
+            node.set_fp(slot, crate::layout::fp_hash(key));
+        }
         node.set_count_hint(slot + 1);
         Ok(())
     }

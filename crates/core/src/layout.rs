@@ -15,11 +15,21 @@
 //!                          correctness always re-derives from the
 //!                          NULL-pointer terminator)
 //!  40     lock_word       (volatile embedded RW spin lock; reset on open)
-//!  48..64 reserved
-//!  64     records[0].key
-//!  72     records[0].ptr
-//!  80     records[1].key ...
+//!  48     fp_seal         (fingerprint trees only: 1 = the fingerprint
+//!                          array is consistent with the records and
+//!                          durable; 0 = under repair, probe linearly)
+//!  56     head            (circular trees only: physical slot of logical
+//!                          record 0)
+//!  64     fingerprints[]  (fingerprint trees only: one byte per record
+//!                          slot, rounded up to whole cache lines)
+//!  64+fp  records[0].key
+//!  72+fp  records[0].ptr
+//!  80+fp  records[1].key ...
 //! ```
+//!
+//! The geometry knobs live in [`NodeGeom`]; the default layout (no
+//! fingerprints, no circular frame) is byte-identical to earlier versions
+//! of this crate.
 //!
 //! Entry `i` is **valid** iff `ptr(i) != NULL && ptr(i) != INVALID_PTR`.
 //! A NULL pointer terminates the array; [`INVALID_PTR`] (`u64::MAX`, one of
@@ -74,18 +84,90 @@ const LEVEL_OFF: u64 = 24;
 const COUNT_OFF: u64 = 32;
 /// Offset of the volatile lock word within a node header.
 pub const LOCK_OFF: u64 = 40;
+const SEAL_OFF: u64 = 48;
+const HEAD_OFF: u64 = 56;
 
 const DELETED_BIT: u64 = 1 << 32;
 
-/// Number of record slots in a node of `node_size` bytes.
+/// Per-tree node-layout knobs. The default (`NodeGeom::default()`) is the
+/// classic FAST+FAIR layout; the two flags are the microarchitecture
+/// ablation levers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeGeom {
+    /// Reserve a 1-byte-per-slot fingerprint array between the header and
+    /// the records, and probe it on leaf point lookups so key cache lines
+    /// are touched only on fingerprint hits (FP-tree §3 technique grafted
+    /// onto the FAST node). Costs a little capacity: the array is rounded
+    /// up to whole cache lines.
+    pub fingerprints: bool,
+    /// Keep the records in a circular buffer framed by a persistent `head`
+    /// offset, so a low-position insert/delete shifts the *short* side
+    /// (Circ-Tree's N/2 → N/4 mean-shift-distance claim).
+    pub circular: bool,
+}
+
+impl NodeGeom {
+    /// Geometry with fingerprint probes enabled.
+    pub fn fingerprinted() -> Self {
+        NodeGeom {
+            fingerprints: true,
+            circular: false,
+        }
+    }
+
+    /// Geometry with the circular record frame enabled.
+    pub fn circular() -> Self {
+        NodeGeom {
+            fingerprints: false,
+            circular: true,
+        }
+    }
+}
+
+/// Cache lines reserved for the fingerprint array of a `node_size` node.
+///
+/// Chosen as the smallest number of whole lines that can hold one byte per
+/// record slot: `lines * 64 >= (node_size - 64 - lines * 64) / 16`, i.e.
+/// `lines = ceil((node_size - 64) / 1088)`.
+pub fn fp_lines(node_size: u32) -> u64 {
+    (u64::from(node_size) - HEADER_SIZE).div_ceil(17 * CACHE_LINE as u64)
+}
+
+/// Byte offset of record slot 0 within a node, for the given geometry.
+pub fn records_base(node_size: u32, geom: NodeGeom) -> u64 {
+    HEADER_SIZE
+        + if geom.fingerprints {
+            fp_lines(node_size) * CACHE_LINE as u64
+        } else {
+            0
+        }
+}
+
+/// Number of record slots in a node of `node_size` bytes (default layout).
 ///
 /// The last two slots are never counted as capacity: one is the permanent
 /// NULL terminator and one is slack for the terminator pre-extension done by
 /// the FAST shift (Algorithm 1 writes `records[cnt+1]` before shifting).
 pub fn capacity(node_size: u32) -> u16 {
-    let slots = (u64::from(node_size) - HEADER_SIZE) / RECORD_SIZE;
+    capacity_with(node_size, NodeGeom::default())
+}
+
+/// Number of record slots for the given geometry (see [`capacity`]).
+pub fn capacity_with(node_size: u32, geom: NodeGeom) -> u16 {
+    let slots = (u64::from(node_size) - records_base(node_size, geom)) / RECORD_SIZE;
     assert!(slots >= 4, "node size {node_size} too small");
     (slots - 2) as u16
+}
+
+/// One-byte fingerprint of a key. Never 0 — 0 marks an empty slot.
+#[inline]
+pub fn fp_hash(key: u64) -> u8 {
+    let h = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) as u8;
+    if h == 0 {
+        1
+    } else {
+        h
+    }
 }
 
 /// A borrowed view of one persistent node.
@@ -98,6 +180,13 @@ pub struct NodeRef<'a> {
     pool: &'a Pool,
     off: PmOffset,
     node_size: u32,
+    geom: NodeGeom,
+    /// Snapshot of the circular head taken when the view was created (or
+    /// last [`reframe`](NodeRef::reframe)d). All logical→physical slot
+    /// mapping goes through this snapshot so one scan sees one consistent
+    /// frame; readers must verify [`head_unchanged`](NodeRef::head_unchanged)
+    /// alongside the switch-counter recheck and retry on a frame flip.
+    head: u16,
 }
 
 impl std::fmt::Debug for NodeRef<'_> {
@@ -112,14 +201,31 @@ impl std::fmt::Debug for NodeRef<'_> {
 }
 
 impl<'a> NodeRef<'a> {
-    /// Creates a view of the node at `off`.
+    /// Creates a view of the node at `off` with the default geometry.
     pub fn new(pool: &'a Pool, off: PmOffset, node_size: u32) -> Self {
+        Self::with_geom(pool, off, node_size, NodeGeom::default())
+    }
+
+    /// Creates a view of the node at `off` with an explicit geometry,
+    /// snapshotting the circular head.
+    pub fn with_geom(pool: &'a Pool, off: PmOffset, node_size: u32, geom: NodeGeom) -> Self {
         debug_assert!(off != NULL_OFFSET && off.is_multiple_of(CACHE_LINE as u64));
-        NodeRef {
+        let mut n = NodeRef {
             pool,
             off,
             node_size,
+            geom,
+            head: 0,
+        };
+        if geom.circular {
+            n.reframe();
         }
+        n
+    }
+
+    /// The geometry this view maps records with.
+    pub fn geom(&self) -> NodeGeom {
+        self.geom
     }
 
     /// The pool this node lives in.
@@ -139,7 +245,13 @@ impl<'a> NodeRef<'a> {
 
     /// Usable record capacity.
     pub fn capacity(&self) -> u16 {
-        capacity(self.node_size)
+        capacity_with(self.node_size, self.geom)
+    }
+
+    /// Total physical record slots (capacity + terminator + shift slack).
+    #[inline]
+    pub fn slots(&self) -> u16 {
+        self.capacity() + 2
     }
 
     // ---- header ----------------------------------------------------------
@@ -221,12 +333,181 @@ impl<'a> NodeRef<'a> {
         self.off + LOCK_OFF
     }
 
+    // ---- circular frame --------------------------------------------------
+
+    /// The head snapshot this view maps logical slots with.
+    #[inline]
+    pub fn head_snapshot(&self) -> u16 {
+        self.head
+    }
+
+    /// Loads the current persistent head (not the snapshot).
+    #[inline]
+    pub fn head_raw(&self) -> u16 {
+        (self.pool.load_u64(self.off + HEAD_OFF) % u64::from(self.slots())) as u16
+    }
+
+    /// Re-snapshots the head so subsequent accesses use the current frame
+    /// (no-op for non-circular geometry).
+    #[inline]
+    pub fn reframe(&mut self) {
+        if self.geom.circular {
+            self.head = self.head_raw();
+        }
+    }
+
+    /// True when the persistent head still matches this view's snapshot
+    /// (always true for non-circular geometry). Readers pair this with the
+    /// switch-counter recheck: a scan is only trusted if *both* held.
+    #[inline]
+    pub fn head_unchanged(&self) -> bool {
+        !self.geom.circular || self.head_raw() == self.head
+    }
+
+    /// Stores a new head (not flushed) and updates this view's snapshot.
+    /// Writers must bump the switch counter *before* this store so readers
+    /// on the old frame fail their head recheck (see the circular shift
+    /// protocol in `insert.rs`/`delete.rs`).
+    pub fn set_head(&mut self, h: u16) {
+        let h = h % self.slots();
+        self.pool.store_u64(self.off + HEAD_OFF, u64::from(h));
+        self.head = h;
+    }
+
+    /// Pool offset of the head field (for targeted persists).
+    pub fn head_field_off(&self) -> PmOffset {
+        self.off + HEAD_OFF
+    }
+
+    /// Maps a logical slot index to its physical slot in the record area.
+    #[inline]
+    pub fn phys(&self, i: u16) -> u16 {
+        if self.geom.circular {
+            (self.head + i) % self.slots()
+        } else {
+            i
+        }
+    }
+
+    // ---- fingerprints ----------------------------------------------------
+
+    /// Loads the fingerprint seal word (1 = array consistent and durable).
+    #[inline]
+    pub fn fp_seal(&self) -> u64 {
+        self.pool.load_u64(self.off + SEAL_OFF)
+    }
+
+    /// True when leaf fingerprint probes may be trusted right now.
+    #[inline]
+    pub fn fp_sealed(&self) -> bool {
+        self.geom.fingerprints && self.fp_seal() == 1
+    }
+
+    /// Breaks the fingerprint seal durably before mutating records, so no
+    /// crash image can pair a durable seal with a half-updated array.
+    /// No-op on non-fingerprint geometry, internal nodes, and already
+    /// unsealed nodes (volatile 0 implies durable 0: the only writer of 0
+    /// persists it, and recovery starts from the durable image).
+    ///
+    /// Returns whether the array *was* sealed — i.e. consistent with the
+    /// records — which tells the writer whether incremental lockstep
+    /// maintenance suffices or the array must be rebuilt before resealing
+    /// (see [`fp_reseal_after`](NodeRef::fp_reseal_after)).
+    pub fn fp_unseal(&self) -> bool {
+        if self.geom.fingerprints && self.is_leaf() && self.fp_seal() == 1 {
+            self.pool.store_u64(self.off + SEAL_OFF, 0);
+            self.pool.persist(self.off + SEAL_OFF, 8);
+            return true;
+        }
+        false
+    }
+
+    /// Re-arms the seal after a mutation. With `was_sealed` (the array was
+    /// consistent when [`fp_unseal`](NodeRef::fp_unseal) broke it) the
+    /// writer's lockstep fingerprint stores kept it consistent and a plain
+    /// reseal suffices; otherwise — a node inherited unsealed from a crash
+    /// — the array is rebuilt from the records first.
+    pub fn fp_reseal_after(&self, was_sealed: bool) {
+        if !self.geom.fingerprints || !self.is_leaf() {
+            return;
+        }
+        if !was_sealed {
+            self.rebuild_fps();
+        }
+        self.fp_reseal();
+    }
+
+    /// Flushes the fingerprint lines, fences, then re-arms the seal with a
+    /// plain store. A crash image that includes the (unflushed) seal store
+    /// necessarily includes the earlier-flushed fingerprint lines, so a
+    /// durable seal always certifies a durable, consistent array.
+    pub fn fp_reseal(&self) {
+        if !self.geom.fingerprints || !self.is_leaf() {
+            return;
+        }
+        for l in 0..fp_lines(self.node_size) {
+            self.pool
+                .flush_line(self.off + HEADER_SIZE + l * CACHE_LINE as u64);
+        }
+        self.pool.sfence();
+        self.pool.store_u64(self.off + SEAL_OFF, 1);
+    }
+
+    /// Pool offset of logical slot `i`'s fingerprint byte.
+    #[inline]
+    pub fn fp_off(&self, i: u16) -> PmOffset {
+        self.off + HEADER_SIZE + u64::from(self.phys(i))
+    }
+
+    /// Loads logical slot `i`'s fingerprint byte (0 when the geometry has
+    /// no fingerprint area).
+    #[inline]
+    pub fn fp(&self, i: u16) -> u8 {
+        if !self.geom.fingerprints {
+            return 0;
+        }
+        self.pool.load_u8(self.fp_off(i))
+    }
+
+    /// Stores logical slot `i`'s fingerprint byte (not flushed; callers
+    /// flush the whole array in [`fp_reseal`](NodeRef::fp_reseal)). No-op
+    /// when the geometry has no fingerprint area, so shift loops can keep
+    /// fingerprints in lockstep unconditionally.
+    #[inline]
+    pub fn set_fp(&self, i: u16, v: u8) {
+        if self.geom.fingerprints {
+            self.pool.store_u8(self.fp_off(i), v);
+        }
+    }
+
+    /// Rewrites the whole fingerprint array from the records: `fp_hash` of
+    /// the key for every slot below the terminator, 0 above it (the
+    /// invariant that lets probes skip terminator checks). Caller reseals.
+    pub fn rebuild_fps(&self) {
+        if !self.geom.fingerprints {
+            return;
+        }
+        let cnt = self.count_records();
+        for i in 0..self.slots() {
+            let v = if i < cnt { fp_hash(self.key(i)) } else { 0 };
+            self.set_fp(i, v);
+        }
+    }
+
     // ---- records ---------------------------------------------------------
 
     /// Pool offset of record `i`'s key field.
     #[inline]
     pub fn key_off(&self, i: u16) -> PmOffset {
-        self.off + HEADER_SIZE + u64::from(i) * RECORD_SIZE
+        self.off + records_base(self.node_size, self.geom) + u64::from(self.phys(i)) * RECORD_SIZE
+    }
+
+    /// Cache-line index of record `i` — shift loops flush when consecutive
+    /// logical slots land on different lines, which in circular geometry
+    /// also covers the physical wrap.
+    #[inline]
+    pub fn rec_line(&self, i: u16) -> u64 {
+        self.key_off(i) / CACHE_LINE as u64
     }
 
     /// Pool offset of record `i`'s pointer field.
@@ -324,7 +605,28 @@ impl<'a> NodeRef<'a> {
     }
 
     /// Key of the first *valid* entry, if any.
+    ///
+    /// Lock-free callers (sibling routing) race with concurrent shifts, so
+    /// the scan is retried while the switch counter or circular head moves
+    /// under it; retries are bounded to stay wait-free for writers that
+    /// already hold the lock.
     pub fn first_key(&self) -> Option<u64> {
+        let mut n = *self;
+        let mut last = None;
+        for attempt in 0..8 {
+            let sc = n.switch_counter();
+            last = n.first_key_unvalidated();
+            if n.switch_counter() == sc && n.head_unchanged() {
+                return last;
+            }
+            if attempt < 7 {
+                n.reframe();
+            }
+        }
+        last
+    }
+
+    fn first_key_unvalidated(&self) -> Option<u64> {
         let mut i = 0u16;
         while i <= self.capacity() {
             let p = self.ptr(i);
@@ -332,7 +634,12 @@ impl<'a> NodeRef<'a> {
                 return None;
             }
             if p != INVALID_PTR {
-                return Some(self.key(i));
+                // TOCTOU: the slot may be rewritten between the pointer
+                // check and the key load; re-validate the pointer.
+                let k = self.key(i);
+                if self.ptr(i) == p {
+                    return Some(k);
+                }
             }
             i += 1;
         }
@@ -344,11 +651,19 @@ impl<'a> NodeRef<'a> {
     /// Writes are plain stores; the caller persists the node when the
     /// algorithm requires it (e.g. FAIR flushes the whole sibling before
     /// linking it).
-    pub fn init(&self, level: u32) {
+    pub fn init(&mut self, level: u32) {
         self.pool.zero_region(self.off, u64::from(self.node_size));
+        // A recycled node may have carried a non-zero circular head; the
+        // zeroing above reset the field, so reset the view's snapshot too.
+        self.head = 0;
         self.set_level(level);
         if level == 0 {
             self.set_leftmost(LEAF_ANCHOR);
+            if self.geom.fingerprints {
+                // An all-zero fingerprint array is consistent with an
+                // empty node, so a fresh leaf starts sealed.
+                self.pool.store_u64(self.off + SEAL_OFF, 1);
+            }
         }
     }
 
@@ -381,8 +696,12 @@ mod tests {
     }
 
     fn fresh_node(pool: &Pool, size: u32, level: u32) -> NodeRef<'_> {
+        fresh_geom_node(pool, size, level, NodeGeom::default())
+    }
+
+    fn fresh_geom_node(pool: &Pool, size: u32, level: u32, geom: NodeGeom) -> NodeRef<'_> {
         let off = pool.alloc(u64::from(size), 64).unwrap();
-        let n = NodeRef::new(pool, off, size);
+        let mut n = NodeRef::with_geom(pool, off, size, geom);
         n.init(level);
         n
     }
@@ -394,6 +713,99 @@ mod tests {
         assert_eq!(capacity(256), 10);
         assert_eq!(capacity(1024), 58);
         assert_eq!(capacity(4096), 250);
+    }
+
+    #[test]
+    fn fingerprint_geometry_reserves_whole_lines() {
+        // One fp line covers up to 64 slots; (512-64-64)/16 = 24 slots.
+        assert_eq!(fp_lines(512), 1);
+        assert_eq!(capacity_with(512, NodeGeom::fingerprinted()), 22);
+        assert_eq!(capacity_with(1024, NodeGeom::fingerprinted()), 54);
+        // 4096 needs 4 lines: 236 slots > 3*64 bytes, <= 4*64.
+        assert_eq!(fp_lines(4096), 4);
+        assert_eq!(capacity_with(4096, NodeGeom::fingerprinted()), 234);
+        // Every geometry still holds one fp byte per physical slot.
+        for ns in [256u32, 512, 1024, 2048, 4096] {
+            let g = NodeGeom::fingerprinted();
+            assert!(u64::from(capacity_with(ns, g)) + 2 <= fp_lines(ns) * 64);
+        }
+        // The circular flag alone does not change capacity.
+        assert_eq!(capacity_with(512, NodeGeom::circular()), 26);
+    }
+
+    #[test]
+    fn circular_frame_maps_and_wraps() {
+        let p = pool();
+        let g = NodeGeom::circular();
+        let mut n = fresh_geom_node(&p, 256, 0, g);
+        let slots = n.slots();
+        assert_eq!(n.head_snapshot(), 0);
+        // With head 0 the mapping is the identity.
+        assert_eq!(n.key_off(3), n.offset() + HEADER_SIZE + 3 * RECORD_SIZE);
+        // Move the head back one: logical 0 lands on the last physical slot.
+        n.set_head(slots - 1);
+        assert_eq!(n.phys(0), slots - 1);
+        assert_eq!(n.phys(1), 0);
+        assert!(n.rec_line(0) != n.rec_line(1));
+        // A stale view of the same node fails the head recheck.
+        let stale = NodeRef::with_geom(&p, n.offset(), 256, g);
+        assert!(stale.head_unchanged());
+        n.set_head(2);
+        assert!(!stale.head_unchanged());
+        let mut fresh = stale;
+        fresh.reframe();
+        assert!(fresh.head_unchanged());
+    }
+
+    #[test]
+    fn circular_records_roundtrip_across_wrap() {
+        let p = pool();
+        let mut n = fresh_geom_node(&p, 256, 0, NodeGeom::circular());
+        n.set_head(n.slots() - 2);
+        for i in 0..5u16 {
+            n.set_key(i, u64::from(i) * 10 + 10);
+            n.set_ptr(i, u64::from(i) + 100);
+        }
+        assert_eq!(
+            n.valid_entries(),
+            vec![(10, 100), (20, 101), (30, 102), (40, 103), (50, 104)]
+        );
+        assert_eq!(n.count_records(), 5);
+        assert_eq!(n.first_key(), Some(10));
+    }
+
+    #[test]
+    fn fingerprint_seal_dance() {
+        let p = pool();
+        let n = fresh_geom_node(&p, 512, 0, NodeGeom::fingerprinted());
+        // Fresh leaf starts sealed (all-zero array matches empty node).
+        assert!(n.fp_sealed());
+        n.fp_unseal();
+        assert!(!n.fp_sealed());
+        n.set_key(0, 42);
+        n.set_ptr(0, 7);
+        n.set_fp(0, fp_hash(42));
+        n.fp_reseal();
+        assert!(n.fp_sealed());
+        assert_eq!(n.fp(0), fp_hash(42));
+        assert_eq!(n.fp(1), 0);
+        // Rebuild derives the same array from the records.
+        n.set_fp(0, 99);
+        n.rebuild_fps();
+        assert_eq!(n.fp(0), fp_hash(42));
+        assert_eq!(n.fp(3), 0);
+        // Internal nodes never participate in the dance.
+        let m = fresh_geom_node(&p, 512, 1, NodeGeom::fingerprinted());
+        assert!(!m.fp_sealed());
+        m.fp_reseal();
+        assert!(!m.fp_sealed());
+    }
+
+    #[test]
+    fn fp_hash_never_zero() {
+        for k in [0u64, 1, 42, u64::MAX, 0x123456789abcdef0] {
+            assert_ne!(fp_hash(k), 0);
+        }
     }
 
     #[test]
@@ -493,7 +905,7 @@ mod tests {
     fn init_clears_stale_records() {
         let p = pool();
         let off = p.alloc(512, 64).unwrap();
-        let n = NodeRef::new(&p, off, 512);
+        let mut n = NodeRef::new(&p, off, 512);
         n.set_key(3, 333);
         n.set_ptr(3, 334);
         n.init(0);

@@ -70,6 +70,14 @@ impl FastFairTree {
         if left_off == NULL_OFFSET || left_off == crate::layout::LEAF_ANCHOR {
             return;
         }
+        if left_off == node_off {
+            // The routing slot left of `s` is an exact duplicate entry for
+            // the same child — tolerated FAST shift residue. Locking
+            // `left_off` would take the victim's own latch and the second
+            // acquisition below would self-deadlock; there is no distinct
+            // left neighbour to splice through, so bail.
+            return;
+        }
 
         // Lock left-to-right, as all writers do.
         let left_guard = WriteGuard::lock(&self.pool, self.node(left_off).lock_word_off());

@@ -21,21 +21,37 @@
 use pmem::NULL_OFFSET;
 use pmindex::{Key, Value};
 
-use crate::layout::{NodeRef, INVALID_PTR};
+use crate::layout::{fp_hash, fp_lines, NodeRef, INVALID_PTR};
 use crate::tree::FastFairTree;
 
 /// Lock-free exact-match search within one leaf (Algorithm 3).
 ///
 /// Returns the value for `key` or `None` if it is not in this node (the
 /// caller then consults the sibling pointer).
+///
+/// When the leaf's fingerprint array is sealed, the scan probes the packed
+/// fingerprint lines first and touches a record's cache line only on a
+/// fingerprint hit; a mutating writer breaks the seal *and* bumps the
+/// switch counter, so the ordinary recheck-and-retry protocol also covers
+/// probes against a concurrently unsealed array.
 pub(crate) fn leaf_search_linear(
     tree: &FastFairTree,
     node: NodeRef<'_>,
     key: Key,
 ) -> Option<Value> {
     let cap = tree.cap;
+    let mut node = node;
     loop {
         let sc = node.switch_counter();
+        if node.fp_sealed() {
+            let ret = fp_probe(tree, &node, key);
+            if node.switch_counter() == sc && node.head_unchanged() && node.fp_sealed() {
+                return ret;
+            }
+            node.reframe();
+            std::hint::spin_loop();
+            continue;
+        }
         let mut ret: Option<Value> = None;
         let mut scanned: u16 = 0;
         if sc.is_multiple_of(2) {
@@ -80,13 +96,46 @@ pub(crate) fn leaf_search_linear(
             }
         }
         node.charge_linear_scan(scanned);
-        if node.switch_counter() == sc {
+        if node.switch_counter() == sc && node.head_unchanged() {
             return ret;
         }
-        // A writer changed shift direction mid-scan: retry (Algorithm 3,
-        // the `until prev_switch = node.switch` loop).
+        // A writer changed shift direction (or flipped the circular frame)
+        // mid-scan: retry (Algorithm 3, the `until prev_switch =
+        // node.switch` loop).
+        node.reframe();
         std::hint::spin_loop();
     }
+}
+
+/// One fingerprint-guided probe pass over a sealed leaf. Only called while
+/// the seal is (volatively) intact; the caller revalidates the switch
+/// counter, head and seal afterwards and falls back to the linear scan on
+/// any movement.
+///
+/// A sealed array is exact: every valid record's slot carries `fp_hash` of
+/// its key and every slot above the terminator carries 0, so a miss proves
+/// absence and a hit only needs one record line to verify. Stale poison
+/// slots below the terminator may carry a nonzero fingerprint; the pointer
+/// validity check rejects them.
+fn fp_probe(tree: &FastFairTree, node: &NodeRef<'_>, key: Key) -> Option<Value> {
+    let h = fp_hash(key);
+    let mut ret = None;
+    for i in 0..node.slots() {
+        if node.fp(i) != h {
+            continue;
+        }
+        // Candidate: touch the record line and verify.
+        tree.pool.charge_serial_reads(1);
+        let p = node.ptr(i);
+        if p != NULL_OFFSET && p != INVALID_PTR && node.key(i) == key && node.ptr(i) == p {
+            ret = Some(p);
+            break;
+        }
+    }
+    // The fingerprint lines themselves stream as adjacent parallel reads.
+    tree.pool
+        .charge_parallel_lines(fp_lines(node.node_size()) as u32);
+    ret
 }
 
 /// Binary exact-match search within one leaf.
@@ -132,6 +181,7 @@ pub(crate) fn leaf_search_binary(
 /// re-check discards any scan that overlapped a shift.
 pub(crate) fn read_leaf_entries(tree: &FastFairTree, node: NodeRef<'_>) -> Vec<(Key, Value)> {
     let cap = tree.cap;
+    let mut node = node;
     loop {
         let sc = node.switch_counter();
         let mut out = Vec::new();
@@ -150,13 +200,14 @@ pub(crate) fn read_leaf_entries(tree: &FastFairTree, node: NodeRef<'_>) -> Vec<(
             i += 1;
         }
         node.charge_linear_scan(i);
-        if node.switch_counter() == sc {
+        if node.switch_counter() == sc && node.head_unchanged() {
             // A crashed shift can leave an entry twice at adjacent slots
             // (an exact duplicate — same key, same value); keep one
             // occurrence of each key.
             out.dedup_by(|b, a| a.0 == b.0);
             return out;
         }
+        node.reframe();
         std::hint::spin_loop();
     }
 }

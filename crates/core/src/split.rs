@@ -42,13 +42,16 @@ fn build_and_link_sibling(
     let split_key = node.key(median);
 
     let sib_off = pool.alloc(u64::from(tree.node_size), 64)?;
-    let sib = tree.node(sib_off);
+    let mut sib = tree.node(sib_off);
     sib.init(level);
     if level == 0 {
         let mut j = 0u16;
         for i in median..cnt {
             sib.set_key(j, node.key(i));
             sib.set_ptr(j, node.ptr(i));
+            // The sibling is born sealed (init) and invisible until linked,
+            // so its fingerprints are just written in place.
+            sib.set_fp(j, crate::layout::fp_hash(node.key(i)));
             j += 1;
         }
         sib.set_count_hint(j);
@@ -76,12 +79,26 @@ fn build_and_link_sibling(
         pool.persist(node.sibling_field_off(), 8);
     }
 
+    // The truncation is about to strand the moved-out upper half above the
+    // left node's new terminator; break its fingerprint seal first so no
+    // reader (or crash image) trusts fingerprints that still cover them.
+    // Probes that race the window below fail their seal recheck and fall
+    // back to the linear scan, whose move-right handling covers the
+    // "virtual single node" state either way.
+    let was_sealed = node.fp_unseal();
+
     // Step 3: truncation — one atomic store moves the upper half out.
     node.set_ptr(median, NULL_OFFSET);
     if ordered_persists {
         pool.persist(node.ptr_off(median), 8);
     }
     node.set_count_hint(median);
+    // Restore the above-terminator-zero fingerprint invariant, then
+    // reseal (misses for moved-out keys now route through the sibling).
+    for i in median..cnt {
+        node.set_fp(i, 0);
+    }
+    node.fp_reseal_after(was_sealed);
     Ok((sib_off, split_key))
 }
 
@@ -154,7 +171,17 @@ pub(crate) fn logging_split_insert(
     pool.persist(tree.meta + META_LOG_HEAD, 8);
 
     // Guarded by the undo log, the split needs no ordered persists.
-    let (sib_off, split_key) = build_and_link_sibling(tree, node, false)?;
+    // (On allocation failure the log head must be rolled back and the
+    // superblock lock released before the error propagates.)
+    let (sib_off, split_key) = match build_and_link_sibling(tree, node, false) {
+        Ok(pair) => pair,
+        Err(e) => {
+            pool.store_u64(tree.meta + META_LOG_HEAD, 0);
+            pool.persist(tree.meta + META_LOG_HEAD, 8);
+            unlock_write(pool, tree.meta + META_LOCK);
+            return Err(e);
+        }
+    };
     pool.persist(sib_off, u64::from(tree.node_size));
     pool.persist(node_off, u64::from(tree.node_size));
 
@@ -198,8 +225,15 @@ pub(crate) fn grow_root(
         return insert_entry(tree, new_level, key, right);
     }
     debug_assert_eq!(root.level() + 1, new_level);
-    let nr_off = pool.alloc(u64::from(tree.node_size), 64)?;
-    let nr = tree.node(nr_off);
+    let nr_off = match pool.alloc(u64::from(tree.node_size), 64) {
+        Ok(off) => off,
+        Err(e) => {
+            // Don't leak the superblock lock on pool exhaustion.
+            unlock_write(pool, tree.meta + META_LOCK);
+            return Err(e.into());
+        }
+    };
+    let mut nr = tree.node(nr_off);
     nr.init(new_level);
     nr.set_leftmost(root_off);
     nr.set_key(0, key);

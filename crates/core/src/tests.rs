@@ -738,6 +738,301 @@ fn concurrent_mixed_workload() {
     t.check_consistency(true).unwrap();
 }
 
+/// The four layout variants of the microarchitecture sweep: baseline,
+/// fingerprinted probes, circular record frame, and both combined.
+fn geometry_variants() -> [(&'static str, TreeOptions); 4] {
+    [
+        ("base", TreeOptions::new()),
+        ("fp", TreeOptions::new().fingerprints(true)),
+        ("circ", TreeOptions::new().circular(true)),
+        (
+            "fp+circ",
+            TreeOptions::new().fingerprints(true).circular(true),
+        ),
+    ]
+}
+
+#[test]
+fn layout_variant_names_and_capacity() {
+    let p = pool(64);
+    let base = tree_with(&p, TreeOptions::new());
+    let fp = tree_with(&p, TreeOptions::new().fingerprints(true));
+    let circ = tree_with(&p, TreeOptions::new().circular(true));
+    let both = tree_with(&p, TreeOptions::new().fingerprints(true).circular(true));
+    assert_eq!(base.name(), "FAST+FAIR");
+    assert_eq!(fp.name(), "FAST+FAIR+FP");
+    assert_eq!(circ.name(), "FAST+FAIR+Circ");
+    assert_eq!(both.name(), "FAST+FAIR+FP+Circ");
+    // Fingerprints cost whole reserved cache lines of record capacity.
+    assert!(fp.node_capacity() < base.node_capacity());
+    assert_eq!(circ.node_capacity(), base.node_capacity());
+    assert_eq!(both.node_capacity(), fp.node_capacity());
+}
+
+/// Every layout variant matches a model under the shapes that stress its
+/// mechanics: random churn, descending inserts (slot-0 / head-retreat
+/// path), low-slot deletes (head-advance path), and equal adjacent values.
+#[test]
+fn layout_variants_match_model() {
+    for (name, opts) in geometry_variants() {
+        for node_size in [256u32, 512, 1024] {
+            let p = pool(128);
+            let t = tree_with(&p, opts.node_size(node_size));
+            let mut model = BTreeMap::new();
+            // Descending inserts drive every insert through the lowest
+            // slot — the circular head-retreat fast path.
+            for k in (1..=2000u64).rev() {
+                t.insert(k, value_for(k)).unwrap();
+                model.insert(k, value_for(k));
+            }
+            // Random churn with equal adjacent values (fingerprint
+            // collisions on value are irrelevant; equal *values* stress the
+            // validity test).
+            let keys = generate_keys(4000, KeyDist::Uniform, u64::from(node_size) + 7);
+            for (i, &k) in keys.iter().enumerate() {
+                t.insert(k, 7).unwrap();
+                model.insert(k, 7);
+                if i % 3 == 0 {
+                    let victim = keys[i / 2];
+                    assert_eq!(
+                        t.remove(victim),
+                        model.remove(&victim).is_some(),
+                        "{name}/{node_size}: remove {victim}"
+                    );
+                }
+            }
+            // Low-slot deletes: removing ascending prefixes hits d < cnt/2.
+            let low: Vec<u64> = model.keys().copied().take(500).collect();
+            for k in low {
+                assert!(t.remove(k), "{name}/{node_size}: low delete {k}");
+                model.remove(&k);
+            }
+            for (&k, &v) in &model {
+                assert_eq!(t.get(k), Some(v), "{name}/{node_size}: key {k}");
+            }
+            assert_eq!(t.len(), model.len(), "{name}/{node_size}");
+            let mut got = Vec::new();
+            t.range(0, u64::MAX, &mut got);
+            let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+            assert_eq!(got, want, "{name}/{node_size}: range mismatch");
+            t.check_consistency(true)
+                .unwrap_or_else(|e| panic!("{name}/{node_size}: {e}"));
+        }
+    }
+}
+
+/// The strategy bits in the superblock reconstruct the geometry on open —
+/// a tree created with fingerprints/circular reopens correctly even when
+/// the caller passes default options.
+#[test]
+fn layout_variants_survive_reopen() {
+    for (name, opts) in geometry_variants() {
+        let p = pool(64);
+        let t = tree_with(&p, opts);
+        let keys = generate_keys(3000, KeyDist::Uniform, 89);
+        for &k in &keys {
+            t.insert(k, value_for(k)).unwrap();
+        }
+        let expect_name = t.name().to_string();
+        let meta = t.meta_offset();
+        drop(t);
+        let img = p.volatile_image();
+        let p2 = Arc::new(Pool::from_image(&img, PoolConfig::new().size(64 << 20)).unwrap());
+        let t2 = FastFairTree::open(Arc::clone(&p2), meta, TreeOptions::new()).unwrap();
+        assert_eq!(t2.name(), expect_name, "{name}: geometry lost on reopen");
+        for &k in &keys {
+            assert_eq!(t2.get(k), Some(value_for(k)), "{name}: key {k}");
+        }
+        t2.recover().unwrap();
+        for &k in &keys {
+            assert_eq!(t2.get(k), Some(value_for(k)), "{name}: post-recover {k}");
+        }
+        t2.check_consistency(true).unwrap();
+    }
+}
+
+/// Bulk load packs fingerprints and the variants accept the full write
+/// path afterwards.
+#[test]
+fn layout_variants_bulk_load() {
+    for (name, opts) in geometry_variants() {
+        let p = pool(64);
+        let t = tree_with(&p, opts);
+        let n = 8000u64;
+        t.bulk_load(&mut (1..=n).map(|k| (k, value_for(k))))
+            .unwrap();
+        for k in (1..=n).step_by(13) {
+            assert_eq!(t.get(k), Some(value_for(k)), "{name}: bulk key {k}");
+        }
+        // The packed tree accepts the full write path afterwards.
+        assert_eq!(t.insert(n + 1, 42).unwrap(), None);
+        assert!(t.remove(7));
+        t.check_consistency(true).unwrap();
+    }
+}
+
+/// Lock-free readers stay correct under concurrent writers on every
+/// variant — probes revalidate seal/head/switch-counter, scans retry.
+#[test]
+fn layout_variants_concurrent_readers() {
+    for (name, opts) in geometry_variants() {
+        let p = pool(256);
+        let t = Arc::new(tree_with(&p, opts));
+        let preload = generate_keys(8_000, KeyDist::Uniform, 101);
+        for &k in &preload {
+            t.insert(k, value_for(k)).unwrap();
+        }
+        let fresh = generate_keys(8_000, KeyDist::Uniform, 103);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            {
+                let t = Arc::clone(&t);
+                let stop = Arc::clone(&stop);
+                let fresh = &fresh;
+                s.spawn(move || {
+                    for (i, &k) in fresh.iter().enumerate() {
+                        t.insert(k, value_for(k)).unwrap();
+                        if i % 4 == 0 {
+                            t.remove(fresh[i / 2]);
+                        }
+                    }
+                    stop.store(true, std::sync::atomic::Ordering::Release);
+                });
+            }
+            for _ in 0..2 {
+                let t = Arc::clone(&t);
+                let stop = Arc::clone(&stop);
+                let preload = &preload;
+                s.spawn(move || {
+                    let mut i = 0usize;
+                    while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                        let k = preload[i % preload.len()];
+                        assert_eq!(t.get(k), Some(value_for(k)), "{name}: lost key {k}");
+                        i += 1;
+                    }
+                });
+            }
+        });
+        t.check_consistency(true).unwrap();
+    }
+}
+
+/// Delete-while-scanning: cursors running concurrently with deletes never
+/// report a key twice or out of order, on every variant (the shape that
+/// stresses the circular head flip against right-to-left readers).
+#[test]
+fn layout_variants_delete_while_scanning() {
+    for (name, opts) in geometry_variants() {
+        let p = pool(128);
+        let t = Arc::new(tree_with(&p, opts.node_size(256)));
+        let keep: Vec<u64> = (1..=4000u64).filter(|k| k % 2 == 1).collect();
+        for k in 1..=4000u64 {
+            t.insert(k, value_for(k)).unwrap();
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            {
+                let t = Arc::clone(&t);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    for k in (2..=4000u64).step_by(2) {
+                        assert!(t.remove(k), "{name}: delete {k}");
+                    }
+                    stop.store(true, std::sync::atomic::Ordering::Release);
+                });
+            }
+            for _ in 0..2 {
+                let t = Arc::clone(&t);
+                let stop = Arc::clone(&stop);
+                let keep = &keep;
+                s.spawn(move || {
+                    let mut rounds = 0usize;
+                    while !stop.load(std::sync::atomic::Ordering::Acquire) || rounds == 0 {
+                        let mut c = t.cursor();
+                        c.seek(0);
+                        let mut expected = keep.iter().copied();
+                        let mut prev: Option<u64> = None;
+                        while let Some((k, v)) = c.next() {
+                            assert!(
+                                prev.is_none_or(|p| k > p),
+                                "{name}: cursor regressed at {k}"
+                            );
+                            prev = Some(k);
+                            if k % 2 == 1 {
+                                // Odd keys are never deleted: all present,
+                                // in order.
+                                assert_eq!(
+                                    expected.next(),
+                                    Some(k),
+                                    "{name}: scan skipped surviving key before {k}"
+                                );
+                                assert_eq!(v, value_for(k));
+                            }
+                        }
+                        assert_eq!(expected.next(), None, "{name}: scan missed tail keys");
+                        rounds += 1;
+                    }
+                });
+            }
+        });
+        t.check_consistency(true).unwrap();
+    }
+}
+
+/// The fingerprint lever, measured: sealed probes touch far fewer cache
+/// lines per lookup than the linear scan (the win grows with node size —
+/// one fingerprint line covers 64 records).
+#[test]
+fn fingerprints_cut_probe_line_touches() {
+    let n = 4000u64;
+    let mut per_variant = Vec::new();
+    for fp in [false, true] {
+        let p = pool(64);
+        let t = tree_with(&p, TreeOptions::new().node_size(4096).fingerprints(fp));
+        for k in 1..=n {
+            t.insert(k, value_for(k)).unwrap();
+        }
+        stats::reset();
+        for k in 1..=n {
+            assert_eq!(t.get(k), Some(value_for(k)));
+        }
+        let s = stats::take();
+        per_variant.push((s.serial_misses + s.parallel_lines) as f64 / n as f64);
+    }
+    let (base, fp) = (per_variant[0], per_variant[1]);
+    assert!(
+        fp < base / 2.0,
+        "fingerprints should cut lines touched per lookup: base {base:.2}/op vs fp {fp:.2}/op"
+    );
+}
+
+/// The circular lever, measured: taking the short side cuts the mean
+/// shift distance roughly in half on uniform-random churn.
+#[test]
+fn circular_frame_cuts_shift_distance() {
+    let mut per_variant = Vec::new();
+    for circ in [false, true] {
+        let p = pool(128);
+        let t = tree_with(&p, TreeOptions::new().circular(circ));
+        let keys = generate_keys(12_000, KeyDist::Uniform, 107);
+        stats::reset();
+        for &k in &keys {
+            t.insert(k, value_for(k)).unwrap();
+        }
+        for &k in keys.iter().step_by(2) {
+            assert!(t.remove(k));
+        }
+        let s = stats::take();
+        assert!(s.shift_ops > 0);
+        per_variant.push(s.shift_steps as f64 / s.shift_ops as f64);
+    }
+    let (base, circ) = (per_variant[0], per_variant[1]);
+    assert!(
+        circ < base * 0.75,
+        "circular frame should cut mean shift distance: base {base:.2} vs circ {circ:.2}"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

@@ -12,7 +12,10 @@
 //!  8  root node offset           (updated by a single persisted store —
 //!                                 the commit point of a root split)
 //! 16  node size in bytes
-//! 24  split strategy tag         (0 = FAIR, 1 = logging)
+//! 24  strategy tag               (bit 0: logging split; bit 1: leaf
+//!                                 fingerprints; bit 2: circular frame —
+//!                                 0 = plain FAIR, kept compatible with
+//!                                 the old 0/1 encoding)
 //! 32  log head                   (logging variant: node being split, 0 = idle)
 //! 40  lock word                  (volatile; serializes root growth)
 //! 48  log area offset            (logging variant's preallocated undo buffer)
@@ -25,7 +28,7 @@ use epoch::EpochDomain;
 use pmem::{stats, PmOffset, Pool, NULL_OFFSET};
 use pmindex::{Cursor, IndexError, Key, PmIndex, Value};
 
-use crate::layout::{capacity, NodeRef};
+use crate::layout::{capacity, capacity_with, NodeGeom, NodeRef};
 use crate::lock::ReadGuard;
 use crate::scan::TreeCursor;
 
@@ -72,6 +75,10 @@ pub struct TreeOptions {
     /// `FAST+FAIR+LeafLock` (§4.1): readers take leaf read locks, trading a
     /// little concurrency for serializable reads.
     pub leaf_locks: bool,
+    /// Leaf fingerprint probes (see [`NodeGeom::fingerprints`]).
+    pub fingerprints: bool,
+    /// Circular record frame (see [`NodeGeom::circular`]).
+    pub circular: bool,
 }
 
 impl TreeOptions {
@@ -83,6 +90,8 @@ impl TreeOptions {
             split: SplitStrategy::Fair,
             search: InNodeSearch::Linear,
             leaf_locks: false,
+            fingerprints: false,
+            circular: false,
         }
     }
 
@@ -118,6 +127,26 @@ impl TreeOptions {
     pub fn leaf_locks(mut self, on: bool) -> Self {
         self.leaf_locks = on;
         self
+    }
+
+    /// Enables leaf fingerprint probes.
+    pub fn fingerprints(mut self, on: bool) -> Self {
+        self.fingerprints = on;
+        self
+    }
+
+    /// Enables the circular record frame.
+    pub fn circular(mut self, on: bool) -> Self {
+        self.circular = on;
+        self
+    }
+
+    /// The node geometry these options describe.
+    pub fn geom(&self) -> NodeGeom {
+        NodeGeom {
+            fingerprints: self.fingerprints,
+            circular: self.circular,
+        }
     }
 }
 
@@ -197,17 +226,21 @@ impl FastFairTree {
         let meta = pool.alloc(64, 64)?;
         pool.zero_region(meta, 64);
         let root = pool.alloc(u64::from(node_size), 64)?;
-        NodeRef::new(&pool, root, node_size).init(0);
+        NodeRef::with_geom(&pool, root, node_size, opts.geom()).init(0);
         pool.persist(root, u64::from(node_size));
         pool.store_u64(meta, META_MAGIC);
         pool.store_u64(meta + META_NODE_SIZE, u64::from(node_size));
-        pool.store_u64(
-            meta + META_STRATEGY,
-            match opts.split {
-                SplitStrategy::Fair => 0,
-                SplitStrategy::Logging => 1,
-            },
-        );
+        let mut strategy = match opts.split {
+            SplitStrategy::Fair => 0,
+            SplitStrategy::Logging => 1,
+        };
+        if opts.fingerprints {
+            strategy |= 2;
+        }
+        if opts.circular {
+            strategy |= 4;
+        }
+        pool.store_u64(meta + META_STRATEGY, strategy);
         if opts.split == SplitStrategy::Logging {
             // Undo buffer: 8-byte target tag + a full node image.
             let area = pool.alloc(8 + u64::from(node_size), 64)?;
@@ -238,11 +271,14 @@ impl FastFairTree {
         let node_size = pool.load_u64(meta + META_NODE_SIZE) as u32;
         let mut opts = opts;
         opts.node_size = node_size;
-        opts.split = if pool.load_u64(meta + META_STRATEGY) == 1 {
+        let strategy = pool.load_u64(meta + META_STRATEGY);
+        opts.split = if strategy & 1 == 1 {
             SplitStrategy::Logging
         } else {
             SplitStrategy::Fair
         };
+        opts.fingerprints = strategy & 2 != 0;
+        opts.circular = strategy & 4 != 0;
         let tree = Self::with_meta(pool, meta, node_size, opts);
         tree.undo_log_rollback();
         Ok(tree)
@@ -253,13 +289,20 @@ impl FastFairTree {
             (SplitStrategy::Logging, _, _) => "FAST+Logging",
             (SplitStrategy::Fair, true, _) => "FAST+FAIR+LeafLock",
             (SplitStrategy::Fair, false, InNodeSearch::Binary) => "FAST+FAIR(binary)",
-            (SplitStrategy::Fair, false, InNodeSearch::Linear) => "FAST+FAIR",
+            (SplitStrategy::Fair, false, InNodeSearch::Linear) => {
+                match (opts.fingerprints, opts.circular) {
+                    (true, true) => "FAST+FAIR+FP+Circ",
+                    (true, false) => "FAST+FAIR+FP",
+                    (false, true) => "FAST+FAIR+Circ",
+                    (false, false) => "FAST+FAIR",
+                }
+            }
         };
         FastFairTree {
             pool,
             meta,
             node_size,
-            cap: capacity(node_size),
+            cap: capacity_with(node_size, opts.geom()),
             opts,
             epoch: EpochDomain::new(),
             name,
@@ -308,10 +351,10 @@ impl FastFairTree {
         self.node(self.root()).level()
     }
 
-    /// Borrowed view of the node at `off`.
+    /// Borrowed view of the node at `off`, framed by the tree's geometry.
     #[inline]
     pub(crate) fn node(&self, off: PmOffset) -> NodeRef<'_> {
-        NodeRef::new(&self.pool, off, self.node_size)
+        NodeRef::with_geom(&self.pool, off, self.node_size, self.opts.geom())
     }
 
     /// Descends from the root to the leaf whose key range contains `key`,
@@ -351,25 +394,34 @@ impl FastFairTree {
         }
     }
 
-    /// If the node's right sibling exists and its first key is <= `key`,
-    /// returns the sibling (the reader must move right).
+    /// If `key` lies beyond this node's key range, returns the right
+    /// sibling to move to (B-link move-right).
+    ///
+    /// The bound is the first key of the nearest *non-empty* right
+    /// sibling: empty pass-through nodes (mid-merge, or a merge bail-out)
+    /// hold no keys and never receive new ones, so they are skipped, not
+    /// entered — stopping at one would block the rightward walk and make
+    /// every live key beyond it unreachable (a reader would miss it, a
+    /// writer would insert left of it and break the chain order).
     pub(crate) fn covering_sibling(&self, node: NodeRef<'_>, key: Key) -> Option<PmOffset> {
-        let sib = node.sibling();
-        if sib == NULL_OFFSET {
-            return None;
+        let mut sib = node.sibling();
+        while sib != NULL_OFFSET {
+            let s = self.node(sib);
+            match s.first_key() {
+                Some(fk) => return (fk <= key).then_some(sib),
+                None => sib = s.sibling(),
+            }
         }
-        let s = self.node(sib);
-        match s.first_key() {
-            Some(fk) if fk <= key => Some(sib),
-            _ => None,
-        }
+        None
     }
 
     /// Direction-aware lock-free child routing (the internal-node analogue
     /// of Algorithm 3).
     fn route_linear(&self, node: NodeRef<'_>, key: Key) -> PmOffset {
         let cap = self.cap;
+        let mut node = node;
         loop {
+            node.reframe();
             let sc = node.switch_counter();
             let mut child = node.leftmost();
             let mut scanned: u16 = 0;
@@ -423,7 +475,7 @@ impl FastFairTree {
             // Internal-node lines are LLC-resident on the modelled testbed;
             // no scan charge here (the leaf scan is charged in `search`).
             let _ = scanned;
-            if node.switch_counter() == sc {
+            if node.switch_counter() == sc && node.head_unchanged() {
                 if child == NULL_OFFSET {
                     // Transient empty view; retry.
                     std::hint::spin_loop();

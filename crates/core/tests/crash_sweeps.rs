@@ -351,6 +351,133 @@ fn crash_during_bulk_load_recovers_old_or_new() {
 }
 
 #[test]
+fn crash_during_fingerprinted_inserts_and_split() {
+    // 256-byte fingerprinted nodes hold 6 records: the batch crosses the
+    // first split, sweeping every cut of the seal dance (unseal persist,
+    // lockstep fp stores, fp-line flushes, reseal) and of the split's
+    // truncation-window unseal/zero/reseal.
+    let preload: Vec<u64> = vec![100, 200, 300, 400, 500];
+    let ops: Vec<Op> = [250u64, 50, 450, 150, 350]
+        .iter()
+        .map(|&k| Op::Insert(k))
+        .collect();
+    crash_sweep(
+        TreeOptions::new().node_size(256).fingerprints(true),
+        &preload,
+        &ops,
+        1,
+    );
+}
+
+#[test]
+fn crash_during_fingerprinted_deletes_and_updates() {
+    // Deletes break and re-arm the seal around the left-shift; in-place
+    // updates must not disturb the fingerprint array at all.
+    let preload: Vec<u64> = (1..=6).map(|k| k * 100).collect();
+    let ops = vec![
+        Op::Delete(100),
+        Op::Update(400),
+        Op::Delete(600),
+        Op::Update(200),
+        Op::Delete(300),
+    ];
+    crash_sweep(
+        TreeOptions::new().node_size(256).fingerprints(true),
+        &preload,
+        &ops,
+        1,
+    );
+}
+
+#[test]
+fn crash_during_circular_head_retreat_inserts() {
+    // Every op lands below the median of the circular leaf, driving the
+    // head-retreat path: the sweep cuts between the wrap-slot poison, the
+    // head store/persist, each ascending copy and the final insert.
+    let preload: Vec<u64> = (5..=9).map(|k| k * 100).collect();
+    let ops: Vec<Op> = [450u64, 350, 250, 150, 50]
+        .iter()
+        .map(|&k| Op::Insert(k))
+        .collect();
+    crash_sweep(
+        TreeOptions::new().node_size(256).circular(true),
+        &preload,
+        &ops,
+        1,
+    );
+}
+
+#[test]
+fn crash_during_circular_head_advance_deletes() {
+    // Deleting ascending minima keeps the victim below cnt/2, driving the
+    // head-advance path: cuts land between the poison commit, each
+    // descending copy, the pre-flip durability flush and the head persist.
+    let preload: Vec<u64> = (1..=10).map(|k| k * 100).collect();
+    let ops: Vec<Op> = [100u64, 200, 300, 400]
+        .iter()
+        .map(|&k| Op::Delete(k))
+        .collect();
+    crash_sweep(
+        TreeOptions::new().node_size(256).circular(true),
+        &preload,
+        &ops,
+        1,
+    );
+}
+
+#[test]
+fn crash_during_fp_circ_mixed_ops() {
+    // Both levers on at once: lockstep fingerprint moves ride the circular
+    // copies in both directions, across splits.
+    let preload: Vec<u64> = (1..=25).map(|k| k * 8).collect();
+    let mut live: std::collections::BTreeSet<u64> = preload.iter().copied().collect();
+    let ops: Vec<Op> = (0..24u64)
+        .map(|i| match i % 3 {
+            0 => Op::Insert(i * 13 + 3),
+            1 => Op::Update(((i % 25) + 1) * 8),
+            _ => Op::Delete(((i * 7) % 25 + 1) * 8),
+        })
+        .filter(|op| match op {
+            Op::Insert(k) => live.insert(*k),
+            Op::Update(k) => live.contains(k),
+            Op::Delete(k) => live.remove(k),
+        })
+        .collect();
+    crash_sweep(
+        TreeOptions::new()
+            .node_size(256)
+            .fingerprints(true)
+            .circular(true),
+        &preload,
+        &ops,
+        3,
+    );
+}
+
+#[test]
+fn crash_variant_axis_seeded() {
+    // The CI seed matrix walks a different random slice of crash states
+    // for every layout variant on every leg.
+    let es = pmem::crash::env_seed();
+    let preload = generate_keys(30, KeyDist::DenseShuffled, 23 ^ es)
+        .into_iter()
+        .map(|k| k * 11)
+        .collect::<Vec<_>>();
+    let fresh = generate_keys(30, KeyDist::Uniform, 29 ^ es);
+    let mut ops: Vec<Op> = fresh.iter().map(|&k| Op::Insert(k)).collect();
+    for (i, &k) in preload.iter().enumerate().take(8) {
+        ops.insert(i * 3 + 2, Op::Delete(k));
+    }
+    for geom in [
+        TreeOptions::new().fingerprints(true),
+        TreeOptions::new().circular(true),
+        TreeOptions::new().fingerprints(true).circular(true),
+    ] {
+        crash_sweep(geom.node_size(256), &preload, &ops, 11);
+    }
+}
+
+#[test]
 fn crash_with_larger_nodes() {
     let es = pmem::crash::env_seed();
     let preload = generate_keys(30, KeyDist::DenseShuffled, 17 ^ es)

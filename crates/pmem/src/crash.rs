@@ -62,6 +62,14 @@ impl CrashLog {
         self.events.lock().push(ev);
     }
 
+    /// Runs `f` with the event list locked — lets the pool make a
+    /// store-plus-dirty-bit (or flush-elision-plus-event) decision atomic
+    /// with respect to concurrent loggers, so the replayed event order can
+    /// never claim durability the dirty-line tracking denied.
+    pub(crate) fn with_events<R>(&self, f: impl FnOnce(&mut Vec<Event>) -> R) -> R {
+        f(&mut self.events.lock())
+    }
+
     /// Number of events recorded so far. Crash points range over
     /// `0..=len()`.
     pub fn len(&self) -> usize {

@@ -9,6 +9,7 @@
 //! log.
 
 use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{compiler_fence, AtomicU64, AtomicUsize, Ordering};
 
@@ -85,15 +86,18 @@ pub struct PoolConfig {
     size: usize,
     latency: LatencyProfile,
     crash_log: bool,
+    coalesce_flushes: bool,
 }
 
 impl PoolConfig {
-    /// Starts from the defaults: 64 MiB, DRAM latency, no crash log.
+    /// Starts from the defaults: 64 MiB, DRAM latency, no crash log,
+    /// flush coalescing on.
     pub fn new() -> Self {
         PoolConfig {
             size: 64 << 20,
             latency: LatencyProfile::dram(),
             crash_log: false,
+            coalesce_flushes: true,
         }
     }
 
@@ -112,6 +116,20 @@ impl PoolConfig {
     /// Enables the crash-simulation event log (see [`crate::crash`]).
     pub fn crash_log(mut self, enabled: bool) -> Self {
         self.crash_log = enabled;
+        self
+    }
+
+    /// Enables or disables the flush scheduler's clean-line elision
+    /// (default on).
+    ///
+    /// With coalescing on, [`Pool::flush_line`] skips a line that has not
+    /// been stored to since its previous flush — a semantic no-op under the
+    /// crash model (a clean line has no pending stores to write back) that
+    /// saves the emulated `clflush` latency. Turning it off restores the
+    /// paper-literal behaviour where every requested `clflush` is issued;
+    /// the A/B is the "coalesced flushes" lever of the benchmark sweep.
+    pub fn coalesce_flushes(mut self, enabled: bool) -> Self {
+        self.coalesce_flushes = enabled;
         self
     }
 }
@@ -176,6 +194,30 @@ pub struct Pool {
     crash: Option<CrashLog>,
     /// Count of allocations served, for diagnostics.
     allocations: AtomicUsize,
+    /// One bit per cache line: set = dirty (stored to since its last
+    /// flush). Initialized all-clean: a fresh pool's baseline contents
+    /// (zeros, or the durable image in [`Pool::from_image`]) are durable
+    /// by construction, so a line's first flush has nothing to write back
+    /// until a store touches it — exactly like `clflush` of an uncached
+    /// line on real hardware. Empty when coalescing is disabled.
+    dirty: Vec<AtomicU64>,
+    /// Identity for the thread-local deferred-flush scope (multi-pool safe).
+    pool_id: u64,
+}
+
+static POOL_IDS: AtomicU64 = AtomicU64::new(1);
+
+fn dirty_words(size: usize, coalesce: bool) -> Vec<AtomicU64> {
+    if !coalesce {
+        return Vec::new();
+    }
+    let lines = size.div_ceil(CACHE_LINE);
+    (0..lines.div_ceil(64)).map(|_| AtomicU64::new(0)).collect()
+}
+
+thread_local! {
+    /// Active deferred-flush scope: `(pool_id, requested-line list)`.
+    static DEFERRED: RefCell<Option<(u64, Vec<u64>)>> = const { RefCell::new(None) };
 }
 
 impl std::fmt::Debug for Pool {
@@ -208,6 +250,8 @@ impl Pool {
             freelists: Mutex::new(BTreeMap::new()),
             crash: config.crash_log.then(CrashLog::new),
             allocations: AtomicUsize::new(0),
+            dirty: dirty_words(config.size, config.coalesce_flushes),
+            pool_id: POOL_IDS.fetch_add(1, Ordering::Relaxed),
         };
         pool.raw_store(0, MAGIC);
         pool.raw_store(CURSOR_SLOT, POOL_HEADER_SIZE);
@@ -237,6 +281,8 @@ impl Pool {
             freelists: Mutex::new(BTreeMap::new()),
             crash: config.crash_log.then(CrashLog::new),
             allocations: AtomicUsize::new(0),
+            dirty: dirty_words(size, config.coalesce_flushes),
+            pool_id: POOL_IDS.fetch_add(1, Ordering::Relaxed),
         };
         let cursor = pool.raw_load(CURSOR_SLOT).max(POOL_HEADER_SIZE);
         pool.cursor.store(cursor, Ordering::SeqCst);
@@ -279,6 +325,30 @@ impl Pool {
     #[inline]
     fn raw_store(&self, off: PmOffset, val: u64) {
         self.atom(off).store(val, Ordering::Release);
+        self.mark_dirty(off);
+    }
+
+    /// Sets the dirty bit of the line containing `off` (no-op when flush
+    /// coalescing is disabled).
+    #[inline]
+    fn mark_dirty(&self, off: PmOffset) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let line = (off as usize) / CACHE_LINE;
+        self.dirty[line / 64].fetch_or(1 << (line % 64), Ordering::AcqRel);
+    }
+
+    /// Clears the dirty bit of `line` (a line-aligned offset); returns
+    /// whether it was set. Always reports dirty when coalescing is off.
+    #[inline]
+    fn test_and_clear_dirty(&self, line: u64) -> bool {
+        if self.dirty.is_empty() {
+            return true;
+        }
+        let idx = (line as usize) / CACHE_LINE;
+        let mask = 1u64 << (idx % 64);
+        self.dirty[idx / 64].fetch_and(!mask, Ordering::AcqRel) & mask != 0
     }
 
     #[inline]
@@ -293,9 +363,19 @@ impl Pool {
     /// durable by [`flush_line`](Pool::flush_line).
     #[inline]
     pub fn store_u64(&self, off: PmOffset, val: u64) {
-        self.raw_store(off, val);
-        if let Some(log) = &self.crash {
-            log.record(Event::Store { off, val });
+        match &self.crash {
+            // The store, its dirty bit and its log event commit under the
+            // event lock, so a concurrent flush of the same line either
+            // sees the bit (and issues, covering this store) or logs its
+            // flush before this store (and this line's bit stays set for
+            // the next flush). Without the lock, an elided flush could be
+            // ordered after the store in the log while the bit it cleared
+            // hid the store from every later flush.
+            Some(log) => log.with_events(|events| {
+                self.raw_store(off, val);
+                events.push(Event::Store { off, val });
+            }),
+            None => self.raw_store(off, val),
         }
     }
 
@@ -311,15 +391,26 @@ impl Pool {
     /// recorded in the crash log on success.
     #[inline]
     pub fn cas_u64(&self, off: PmOffset, current: u64, new: u64) -> Result<u64, u64> {
-        let r = self
-            .atom(off)
-            .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire);
-        if r.is_ok() {
-            if let Some(log) = &self.crash {
-                log.record(Event::Store { off, val: new });
+        let cas = || {
+            let r =
+                self.atom(off)
+                    .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire);
+            if r.is_ok() {
+                self.mark_dirty(off);
             }
+            r
+        };
+        match &self.crash {
+            // Same store/dirty-bit/event atomicity as store_u64.
+            Some(log) => log.with_events(|events| {
+                let r = cas();
+                if r.is_ok() {
+                    events.push(Event::Store { off, val: new });
+                }
+                r
+            }),
+            None => cas(),
         }
-        r
     }
 
     /// Volatile (unlogged) 8-byte compare-and-swap.
@@ -337,7 +428,10 @@ impl Pool {
     /// Volatile (unlogged) 8-byte store with release ordering.
     #[inline]
     pub fn store_u64_volatile(&self, off: PmOffset, val: u64) {
-        self.atom(off).store(val, Ordering::Release);
+        // Marks the line dirty too: volatile state is never flushed on its
+        // own, but it shares header lines with persistent fields, and a
+        // conservative dirty bit only costs an already-justified flush.
+        self.raw_store(off, val);
     }
 
     /// Volatile (unlogged) fetch-sub, used to release read locks.
@@ -374,15 +468,96 @@ impl Pool {
     /// Injects the configured PM write latency and bumps the flush counter.
     /// Does **not** fence; pair with [`sfence`](Pool::sfence) or use
     /// [`persist`](Pool::persist).
+    ///
+    /// With [`PoolConfig::coalesce_flushes`] (the default), a flush of a
+    /// *clean* line — no store since its previous flush — is elided and
+    /// counted in [`stats::Snapshot::flushes_coalesced`]: a clean line has
+    /// no pending stores to write back, so skipping the `clflush` leaves
+    /// the set of reachable post-crash images unchanged. Inside a
+    /// [`deferred flush scope`](Pool::deferred_flush_scope) the request is
+    /// instead queued and issued (deduplicated) when the scope closes.
     #[inline]
     pub fn flush_line(&self, off: PmOffset) {
         let line = off & !(CACHE_LINE as u64 - 1);
-        if let Some(log) = &self.crash {
-            log.record(Event::FlushLine { line });
+        let deferred = DEFERRED.with(|d| {
+            let mut d = d.borrow_mut();
+            match d.as_mut() {
+                Some((id, lines)) if *id == self.pool_id => {
+                    lines.push(line);
+                    true
+                }
+                _ => false,
+            }
+        });
+        if deferred {
+            return;
+        }
+        self.flush_line_now(line);
+    }
+
+    /// Issues (or elides) a flush of `line` immediately, bypassing any
+    /// deferred scope.
+    fn flush_line_now(&self, line: u64) {
+        match &self.crash {
+            Some(log) => {
+                // The elision decision and the log event must be one
+                // atomic step (see store_u64): otherwise a concurrent
+                // store could slip between them, be ordered before this
+                // flush in the log, yet have its dirty bit swallowed.
+                let issued = log.with_events(|events| {
+                    if !self.test_and_clear_dirty(line) {
+                        return false;
+                    }
+                    events.push(Event::FlushLine { line });
+                    true
+                });
+                if !issued {
+                    stats::count_flush_coalesced(1);
+                    return;
+                }
+            }
+            None => {
+                if !self.test_and_clear_dirty(line) {
+                    stats::count_flush_coalesced(1);
+                    return;
+                }
+            }
         }
         let ns = self.latency.write_ns;
         spin_ns(ns);
         stats::count_flush(u64::from(ns));
+    }
+
+    /// Opens a *deferred flush scope* on this thread: until the returned
+    /// guard drops, every [`flush_line`](Pool::flush_line) on this pool
+    /// from this thread is queued instead of issued; the guard's drop
+    /// issues the queued lines once each (duplicates counted in
+    /// [`stats::Snapshot::flushes_coalesced`]) followed by one fence.
+    ///
+    /// # Crash-ordering warning
+    ///
+    /// Deferral *removes* the intermediate flush/fence barriers the scoped
+    /// code asked for: a crash inside the scope can reorder persistence
+    /// across those barriers arbitrarily. It is only sound around code
+    /// whose recovery does not depend on intra-scope flush ordering —
+    /// e.g. staging writes into a region that a *later* (outside-scope)
+    /// failure-atomic commit publishes, such as the `txn` journal's
+    /// staging phase: until the commit store, recovery ignores the whole
+    /// region. Never wrap in-place index mutations (FAST shifts, FAIR
+    /// links) whose lazy recovery relies on their internal flush order.
+    ///
+    /// Scopes do not nest: an inner scope on the same thread is inert and
+    /// the outer one drains everything.
+    pub fn deferred_flush_scope(&self) -> FlushScope<'_> {
+        let armed = DEFERRED.with(|d| {
+            let mut d = d.borrow_mut();
+            if d.is_some() {
+                return false;
+            }
+            *d = Some((self.pool_id, Vec::new()));
+            true
+        });
+        FlushScope { pool: self, armed }
     }
 
     /// Store fence ordering prior flushes (emulated `sfence`/`mfence`).
@@ -533,11 +708,26 @@ impl Pool {
     }
 
     /// Zeroes `len` bytes starting at `off` (8-byte aligned, logged stores).
+    ///
+    /// With [`PoolConfig::coalesce_flushes`] (the default), words that
+    /// already read zero are skipped: rewriting them would re-dirty clean
+    /// lines and force the caller's covering persist to write back cache
+    /// lines whose durable contents cannot change. Fresh bump allocations
+    /// (and the untouched tail of recycled nodes) thus keep their lines
+    /// clean, and the node-sized persists after splits and root growth
+    /// elide them — counted in [`stats::Snapshot::flushes_coalesced`].
+    ///
+    /// Skipping is sound: a word that reads zero is either durably zero or
+    /// carries a pending zero store on a still-dirty line, so the set of
+    /// reachable post-crash images is unchanged either way.
     pub fn zero_region(&self, off: PmOffset, len: u64) {
         debug_assert!(off.is_multiple_of(8) && len.is_multiple_of(8));
+        let skip_clean_zeros = !self.dirty.is_empty();
         let mut o = off;
         while o < off + len {
-            self.store_u64(o, 0);
+            if !(skip_clean_zeros && self.raw_load(o) == 0) {
+                self.store_u64(o, 0);
+            }
             o += 8;
         }
     }
@@ -652,6 +842,47 @@ impl Pool {
     }
 }
 
+/// RAII guard of a [`Pool::deferred_flush_scope`]. Dropping it issues every
+/// queued line once (in ascending line order) and fences.
+pub struct FlushScope<'a> {
+    pool: &'a Pool,
+    armed: bool,
+}
+
+impl FlushScope<'_> {
+    /// Closes the scope early (before drop), issuing the queued flushes.
+    pub fn flush(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.armed = false;
+        let Some((_, mut lines)) = DEFERRED.with(|d| d.borrow_mut().take()) else {
+            return;
+        };
+        let requested = lines.len();
+        lines.sort_unstable();
+        lines.dedup();
+        stats::count_flush_coalesced((requested - lines.len()) as u64);
+        if lines.is_empty() {
+            return;
+        }
+        for line in lines {
+            self.pool.flush_line_now(line);
+        }
+        self.pool.sfence();
+    }
+}
+
+impl Drop for FlushScope<'_> {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -761,8 +992,11 @@ mod tests {
     #[test]
     fn persist_flushes_every_covered_line() {
         let p = small_pool();
-        stats::reset();
         let off = p.alloc(512, 64).unwrap();
+        stats::reset();
+        for line in 0..8 {
+            p.store_u64(off + line * 64, line + 1);
+        }
         p.persist(off, 512);
         let s = stats::take();
         assert_eq!(s.flushes, 8); // 512-byte node = 8 cache lines (paper §5.2)
@@ -772,9 +1006,138 @@ mod tests {
     #[test]
     fn persist_single_word_is_one_flush() {
         let p = small_pool();
-        stats::reset();
         let off = p.alloc(64, 64).unwrap();
+        stats::reset();
+        p.store_u64(off, 1);
         p.persist(off, 8);
+        assert_eq!(stats::take().flushes, 1);
+    }
+
+    #[test]
+    fn pristine_line_flush_is_elided() {
+        // A never-stored line has nothing to write back: its baseline
+        // contents (pool zeros, or the durable image on reopen) are
+        // durable by construction. Node-sized persists after a split thus
+        // only pay for the lines the record copy actually touched.
+        let p = small_pool();
+        let off = p.alloc(512, 64).unwrap();
+        stats::reset();
+        p.store_u64(off, 1); // dirty line 0 only
+        p.persist(off, 512);
+        let s = stats::take();
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.flushes_coalesced, 7);
+    }
+
+    #[test]
+    fn zero_region_keeps_pristine_lines_clean() {
+        let p = small_pool();
+        let off = p.alloc(256, 64).unwrap();
+        p.store_u64(off + 8, 77); // one stale word on line 0
+        p.persist(off, 256);
+        stats::reset();
+        p.zero_region(off, 256); // only the stale word is rewritten
+        p.persist(off, 256);
+        let s = stats::take();
+        assert_eq!(s.flushes, 1); // line 0 (stale word) re-flushed
+        assert_eq!(s.flushes_coalesced, 3);
+        for w in 0..32 {
+            assert_eq!(p.load_u64(off + w * 8), 0);
+        }
+    }
+
+    #[test]
+    fn clean_line_flush_is_elided() {
+        let p = small_pool();
+        let off = p.alloc(64, 64).unwrap();
+        stats::reset();
+        p.store_u64(off, 1);
+        p.persist(off, 8); // dirty: issued
+        p.persist(off, 8); // clean: elided
+        let s = stats::take();
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.flushes_coalesced, 1);
+        assert_eq!(s.fences, 2); // fences are never elided
+                                 // A new store re-dirties the line.
+        p.store_u64(off + 8, 2);
+        stats::reset();
+        p.persist(off, 8);
+        assert_eq!(stats::take().flushes, 1);
+    }
+
+    #[test]
+    fn coalescing_can_be_disabled() {
+        let p = Pool::new(PoolConfig::new().size(1 << 16).coalesce_flushes(false)).unwrap();
+        let off = p.alloc(64, 64).unwrap();
+        stats::reset();
+        p.persist(off, 8);
+        p.persist(off, 8);
+        let s = stats::take();
+        assert_eq!(s.flushes, 2);
+        assert_eq!(s.flushes_coalesced, 0);
+    }
+
+    #[test]
+    fn deferred_scope_dedups_and_flushes_on_close() {
+        let p = small_pool();
+        let off = p.alloc(128, 64).unwrap();
+        stats::reset();
+        {
+            let _scope = p.deferred_flush_scope();
+            p.store_u64(off, 1);
+            p.persist(off, 8);
+            p.store_u64(off, 2);
+            p.persist(off, 8); // same line again: deduplicated
+            p.store_u64(off + 64, 3);
+            p.persist(off + 64, 8);
+            // Nothing issued yet.
+            assert_eq!(stats::snapshot().flushes, 0);
+        }
+        let s = stats::take();
+        assert_eq!(s.flushes, 2); // two distinct lines
+        assert_eq!(s.flushes_coalesced, 1); // the duplicate request
+        assert_eq!(p.load_u64(off), 2);
+    }
+
+    #[test]
+    fn deferred_scope_logs_events_at_close() {
+        let p = Pool::new(PoolConfig::new().size(1 << 16).crash_log(true)).unwrap();
+        let off = p.alloc(64, 64).unwrap();
+        let scope = p.deferred_flush_scope();
+        p.store_u64(off, 9);
+        p.persist(off, 8);
+        // The flush is queued, not logged: a crash here loses the store.
+        let cut = p.crash_log().unwrap().len();
+        let img = p.crash_image(cut, crate::crash::Eviction::None);
+        assert_eq!(
+            u64::from_le_bytes(img[off as usize..][..8].try_into().unwrap()),
+            0
+        );
+        scope.flush();
+        // After the scope closes the flush is in the log and durable.
+        let cut = p.crash_log().unwrap().len();
+        let img = p.crash_image(cut, crate::crash::Eviction::None);
+        assert_eq!(
+            u64::from_le_bytes(img[off as usize..][..8].try_into().unwrap()),
+            9
+        );
+    }
+
+    #[test]
+    fn nested_deferred_scope_is_inert() {
+        let p = small_pool();
+        let off = p.alloc(64, 64).unwrap();
+        stats::reset();
+        {
+            let _outer = p.deferred_flush_scope();
+            {
+                let _inner = p.deferred_flush_scope();
+                p.store_u64(off, 1);
+                p.persist(off, 8);
+            }
+            // The inner scope must not have drained the outer's queue.
+            assert_eq!(stats::snapshot().flushes, 0);
+        }
         assert_eq!(stats::take().flushes, 1);
     }
 

@@ -43,6 +43,11 @@ pub enum Phase {
 pub struct Snapshot {
     /// Number of cache-line flush (`clflush`/`clwb`) operations.
     pub flushes: u64,
+    /// Number of flush requests *coalesced away* by the flush scheduler —
+    /// either elided because the line was already clean (no store since its
+    /// last flush) or deduplicated inside a deferred flush scope. Issued +
+    /// coalesced = flushes the algorithms *requested*.
+    pub flushes_coalesced: u64,
     /// Number of persist fences (`sfence`/`mfence` guarding flushes).
     pub fences: u64,
     /// Number of `dmb`-class barriers issued in non-TSO mode.
@@ -79,6 +84,13 @@ pub struct Snapshot {
     /// Number of journal entries replayed by `txn` recovery (committed
     /// batches re-applied after a crash cut the apply phase short).
     pub txn_replays: u64,
+    /// Number of in-node shift operations (FAST insert/delete compactions
+    /// that moved at least zero records; every call site counts one op).
+    pub shift_ops: u64,
+    /// Total records moved by in-node shifts. `shift_steps / shift_ops` is
+    /// the mean shift distance — the metric the circular-layout ablation
+    /// halves (Circ-Tree's N/2 → N/4 claim).
+    pub shift_steps: u64,
     /// Nanoseconds spent in flush operations (including injected latency).
     pub flush_ns: u64,
     /// Nanoseconds attributed to the search phase.
@@ -99,6 +111,7 @@ impl Add for Snapshot {
     fn add(self, rhs: Snapshot) -> Snapshot {
         Snapshot {
             flushes: self.flushes + rhs.flushes,
+            flushes_coalesced: self.flushes_coalesced + rhs.flushes_coalesced,
             fences: self.fences + rhs.fences,
             dmb_barriers: self.dmb_barriers + rhs.dmb_barriers,
             serial_misses: self.serial_misses + rhs.serial_misses,
@@ -110,6 +123,8 @@ impl Add for Snapshot {
             nodes_recycled_online: self.nodes_recycled_online + rhs.nodes_recycled_online,
             txn_commits: self.txn_commits + rhs.txn_commits,
             txn_replays: self.txn_replays + rhs.txn_replays,
+            shift_ops: self.shift_ops + rhs.shift_ops,
+            shift_steps: self.shift_steps + rhs.shift_steps,
             flush_ns: self.flush_ns + rhs.flush_ns,
             search_ns: self.search_ns + rhs.search_ns,
             update_ns: self.update_ns + rhs.update_ns,
@@ -125,6 +140,9 @@ impl AddAssign for Snapshot {
 
 thread_local! {
     static FLUSHES: Cell<u64> = const { Cell::new(0) };
+    static FLUSHES_COALESCED: Cell<u64> = const { Cell::new(0) };
+    static SHIFT_OPS: Cell<u64> = const { Cell::new(0) };
+    static SHIFT_STEPS: Cell<u64> = const { Cell::new(0) };
     static FENCES: Cell<u64> = const { Cell::new(0) };
     static DMB: Cell<u64> = const { Cell::new(0) };
     static SERIAL: Cell<u64> = const { Cell::new(0) };
@@ -145,6 +163,19 @@ thread_local! {
 pub(crate) fn count_flush(ns: u64) {
     FLUSHES.with(|c| c.set(c.get() + 1));
     FLUSH_NS.with(|c| c.set(c.get() + ns));
+}
+
+#[inline]
+pub(crate) fn count_flush_coalesced(n: u64) {
+    FLUSHES_COALESCED.with(|c| c.set(c.get() + n));
+}
+
+/// Counts one in-node shift that moved `steps` records. Public so the
+/// index crates can report shift distances into the shared counters.
+#[inline]
+pub fn count_shift(steps: u64) {
+    SHIFT_OPS.with(|c| c.set(c.get() + 1));
+    SHIFT_STEPS.with(|c| c.set(c.get() + steps));
 }
 
 #[inline]
@@ -225,6 +256,9 @@ pub fn count_recycled_online(n: u64) {
 /// Resets this thread's counters to zero.
 pub fn reset() {
     FLUSHES.with(|c| c.set(0));
+    FLUSHES_COALESCED.with(|c| c.set(0));
+    SHIFT_OPS.with(|c| c.set(0));
+    SHIFT_STEPS.with(|c| c.set(0));
     FENCES.with(|c| c.set(0));
     DMB.with(|c| c.set(0));
     SERIAL.with(|c| c.set(0));
@@ -245,6 +279,7 @@ pub fn reset() {
 pub fn snapshot() -> Snapshot {
     Snapshot {
         flushes: FLUSHES.with(Cell::get),
+        flushes_coalesced: FLUSHES_COALESCED.with(Cell::get),
         fences: FENCES.with(Cell::get),
         dmb_barriers: DMB.with(Cell::get),
         serial_misses: SERIAL.with(Cell::get),
@@ -256,6 +291,8 @@ pub fn snapshot() -> Snapshot {
         nodes_recycled_online: RECYCLED_ONLINE.with(Cell::get),
         txn_commits: TXN_COMMITS.with(Cell::get),
         txn_replays: TXN_REPLAYS.with(Cell::get),
+        shift_ops: SHIFT_OPS.with(Cell::get),
+        shift_steps: SHIFT_STEPS.with(Cell::get),
         flush_ns: FLUSH_NS.with(Cell::get),
         search_ns: SEARCH_NS.with(Cell::get),
         update_ns: UPDATE_NS.with(Cell::get),
@@ -310,8 +347,14 @@ mod tests {
         count_recycled_online(3);
         count_txn_commit();
         count_txn_replays(5);
+        count_flush_coalesced(2);
+        count_shift(6);
+        count_shift(0);
         let s = take();
         assert_eq!(s.flushes, 2);
+        assert_eq!(s.flushes_coalesced, 2);
+        assert_eq!(s.shift_ops, 2);
+        assert_eq!(s.shift_steps, 6);
         assert_eq!(s.flush_ns, 15);
         assert_eq!(s.fences, 1);
         assert_eq!(s.serial_misses, 3);
@@ -365,6 +408,7 @@ mod tests {
     fn snapshot_add() {
         let a = Snapshot {
             flushes: 1,
+            flushes_coalesced: 16,
             fences: 2,
             dmb_barriers: 3,
             serial_misses: 4,
@@ -376,12 +420,17 @@ mod tests {
             nodes_recycled_online: 13,
             txn_commits: 14,
             txn_replays: 15,
+            shift_ops: 17,
+            shift_steps: 18,
             flush_ns: 6,
             search_ns: 7,
             update_ns: 8,
         };
         let sum = a + a;
         assert_eq!(sum.flushes, 2);
+        assert_eq!(sum.flushes_coalesced, 32);
+        assert_eq!(sum.shift_ops, 34);
+        assert_eq!(sum.shift_steps, 36);
         assert_eq!(sum.epoch_advances, 22);
         assert_eq!(sum.nodes_recycled_online, 26);
         assert_eq!(sum.txn_commits, 28);

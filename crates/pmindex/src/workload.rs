@@ -148,6 +148,93 @@ pub fn scan_mixed_ops(preloaded: &[Key], fresh: &[Key], rounds: usize, seed: u64
     ops
 }
 
+/// Draws a rank in `[0, n)` with self-similar (Zipf-like) skew: a fraction
+/// `1 - h` of draws land in the hottest `h` fraction of ranks.
+fn skewed_rank(rng: &mut StdRng, n: usize, h: f64) -> usize {
+    let u: f64 = rng.gen();
+    ((n as f64 * u.powf(h.ln() / (1.0 - h).ln())) as usize).min(n - 1)
+}
+
+/// YCSB-style hot-key workload (the A/B shapes): a read-heavy stream over a
+/// preloaded population where a small fraction of *hot* keys absorbs most
+/// accesses. Each op is a search (ratio `1 - update_ratio`) or an in-place
+/// upsert of an existing key. `skew` is the self-similar parameter: 0.2
+/// sends ~80 % of accesses to the hottest 20 % of keys.
+pub fn ycsb_hotkey_ops(
+    preloaded: &[Key],
+    count: usize,
+    update_ratio: f64,
+    skew: f64,
+    seed: u64,
+) -> Vec<Op> {
+    assert!(!preloaded.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let h = skew.clamp(0.01, 0.99);
+    (0..count)
+        .map(|_| {
+            let k = preloaded[skewed_rank(&mut rng, preloaded.len(), h)];
+            if rng.gen::<f64>() < update_ratio {
+                Op::Insert(k) // upsert of an existing key: in-place update
+            } else {
+                Op::Search(k)
+            }
+        })
+        .collect()
+}
+
+/// YCSB-F read-modify-write: every round reads a (skewed) existing key and
+/// writes it back — a `Search` immediately followed by an upsert `Insert`
+/// of the same key, the pattern that keeps a leaf's record line hot while
+/// forcing the full in-place-update persist path.
+pub fn ycsb_rmw_ops(preloaded: &[Key], rounds: usize, skew: f64, seed: u64) -> Vec<Op> {
+    assert!(!preloaded.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let h = skew.clamp(0.01, 0.99);
+    let mut ops = Vec::with_capacity(rounds * 2);
+    for _ in 0..rounds {
+        let k = preloaded[skewed_rank(&mut rng, preloaded.len(), h)];
+        ops.push(Op::Search(k));
+        ops.push(Op::Insert(k));
+    }
+    ops
+}
+
+/// YCSB-E scan-heavy: 95 % short range scans (uniform start, ~`span` keys)
+/// and 5 % inserts of fresh keys.
+pub fn ycsb_scan_ops(preloaded: &[Key], fresh: &[Key], count: usize, seed: u64) -> Vec<Op> {
+    assert!(!preloaded.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sorted = preloaded.to_vec();
+    sorted.sort_unstable();
+    let span = (sorted.len() / 200).clamp(8, sorted.len() - 1);
+    let mut fresh_iter = fresh.iter().copied().cycle();
+    (0..count)
+        .map(|i| {
+            if i % 20 == 19 {
+                Op::Insert(fresh_iter.next().expect("fresh keys nonempty"))
+            } else {
+                let start = rng.gen_range(0..sorted.len() - span);
+                Op::Scan(sorted[start], sorted[start + span])
+            }
+        })
+        .collect()
+}
+
+/// Monotonic time-series append: `n` strictly ascending keys starting at
+/// `start`, separated by small random gaps — the log/append shape where
+/// every insert lands in the rightmost leaf and FAST never shifts (the
+/// best case for all layout variants, the worst case for head churn).
+pub fn monotonic_append_keys(n: usize, start: Key, seed: u64) -> Vec<Key> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut k = start.max(1);
+    let mut keys = Vec::with_capacity(n);
+    for _ in 0..n {
+        keys.push(k);
+        k = k.saturating_add(rng.gen_range(1..16)).min(u64::MAX - 1);
+    }
+    keys
+}
+
 /// Start keys for range queries with a given selection ratio.
 ///
 /// For a sorted key population of `n` keys, a selection ratio `r` (e.g.
@@ -292,6 +379,69 @@ mod tests {
                 assert!(selected >= 16, "scan selects {selected} keys");
             }
         }
+    }
+
+    #[test]
+    fn ycsb_hotkey_ops_skew_and_ratio() {
+        let pre = generate_keys(1000, KeyDist::Uniform, 1);
+        let ops = ycsb_hotkey_ops(&pre, 5000, 0.05, 0.2, 2);
+        assert_eq!(ops.len(), 5000);
+        let updates = ops.iter().filter(|o| matches!(o, Op::Insert(_))).count();
+        assert!((100..=500).contains(&updates), "update count {updates}");
+        // Hot 20 % of ranks absorb the bulk of accesses.
+        let hot: std::collections::HashSet<u64> = pre[..200].iter().copied().collect();
+        let hot_hits = ops
+            .iter()
+            .filter(|o| match o {
+                Op::Insert(k) | Op::Search(k) => hot.contains(k),
+                _ => false,
+            })
+            .count();
+        assert!(hot_hits > ops.len() / 2, "hot hits {hot_hits}");
+        // Every target is a preloaded key (updates are upserts in place).
+        let all: std::collections::HashSet<u64> = pre.iter().copied().collect();
+        assert!(ops.iter().all(|o| match o {
+            Op::Insert(k) | Op::Search(k) => all.contains(k),
+            _ => false,
+        }));
+    }
+
+    #[test]
+    fn ycsb_rmw_pairs_read_with_writeback() {
+        let pre = generate_keys(100, KeyDist::Uniform, 3);
+        let ops = ycsb_rmw_ops(&pre, 50, 0.2, 4);
+        assert_eq!(ops.len(), 100);
+        for pair in ops.chunks(2) {
+            match (pair[0], pair[1]) {
+                (Op::Search(a), Op::Insert(b)) => assert_eq!(a, b),
+                other => panic!("not a read-modify-write pair: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ycsb_scan_ops_are_scan_heavy() {
+        let pre = generate_keys(500, KeyDist::Uniform, 5);
+        let fresh = generate_keys(50, KeyDist::Uniform, 6);
+        let ops = ycsb_scan_ops(&pre, &fresh, 200, 7);
+        assert_eq!(ops.len(), 200);
+        let scans = ops.iter().filter(|o| matches!(o, Op::Scan(..))).count();
+        assert_eq!(scans, 190);
+        for op in &ops {
+            if let Op::Scan(lo, hi) = op {
+                assert!(lo < hi);
+            }
+        }
+    }
+
+    #[test]
+    fn monotonic_append_is_strictly_ascending() {
+        let keys = monotonic_append_keys(2000, 1_000_000, 8);
+        assert_eq!(keys.len(), 2000);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(keys[0], 1_000_000);
+        // Deterministic per seed.
+        assert_eq!(keys, monotonic_append_keys(2000, 1_000_000, 8));
     }
 
     #[test]

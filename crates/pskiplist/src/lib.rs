@@ -16,12 +16,19 @@
 //! block-like B+-tree layouts on PM.
 //!
 //! Deletes are committed by a persisted tombstone (value = 0) — one atomic
-//! 8-byte store, like every other commit point in this repository.
+//! 8-byte store, like every other commit point in this repository. After
+//! the tombstone commits, the node is physically unlinked from the bottom
+//! list (one more persisted 8-byte store) and retired through an
+//! [`epoch::EpochDomain`], so its block recycles online once concurrent
+//! lock-free readers drain — instead of accumulating forever. Structural
+//! link changes (publish and unlink) serialize on a small mutex; value
+//! reads, updates and searches stay lock-free.
 
 #![warn(missing_docs)]
 
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use pmem::{stats, PmOffset, Pool, NULL_OFFSET};
 use pmindex::{check_value, Cursor, IndexError, Key, PmIndex, Value};
 
@@ -36,6 +43,14 @@ const NODE_VAL: u64 = 8;
 const NODE_LEVEL: u64 = 16;
 const NODE_NEXT: u64 = 24; // next[0..level]
 
+/// Volatile deletion mark on a dying node's level-0 pointer (node offsets
+/// are 64-aligned, so bit 0 is free). Set — unlogged, never persisted —
+/// right before the node is unlinked: a racing insert whose predecessor
+/// snapshot is the dying node sees its publish CAS fail against the marked
+/// value and retries from a fresh search. A crash never observes the mark
+/// (volatile stores don't enter the crash log).
+const MARK: u64 = 1;
+
 /// Deterministic tower height for a key: geometric(1/2), capped.
 fn height_for(key: Key) -> usize {
     let h = key
@@ -49,6 +64,13 @@ fn height_for(key: Key) -> usize {
 pub struct PSkipList {
     pool: Arc<Pool>,
     meta: PmOffset,
+    /// Serializes structural link changes: publishing a new node,
+    /// reviving a tombstone in place, and unlinking a tombstoned node.
+    /// Searches, value updates and cursors never take it.
+    link_lock: Mutex<()>,
+    /// Reclamation domain for unlinked nodes: readers and cursors pin it,
+    /// so a retired block recycles only after they drain.
+    epoch: Arc<epoch::EpochDomain>,
 }
 
 impl std::fmt::Debug for PSkipList {
@@ -72,7 +94,12 @@ impl PSkipList {
         pool.store_u64(meta, META_MAGIC);
         pool.store_u64(meta + META_HEAD, head);
         pool.persist(meta, 64);
-        Ok(PSkipList { pool, meta })
+        Ok(PSkipList {
+            pool,
+            meta,
+            link_lock: Mutex::new(()),
+            epoch: epoch::EpochDomain::new(),
+        })
     }
 
     /// Opens a skip list and rebuilds the volatile express levels from the
@@ -87,7 +114,12 @@ impl PSkipList {
                 "no skip-list superblock at {meta:#x}"
             )));
         }
-        let s = PSkipList { pool, meta };
+        let s = PSkipList {
+            pool,
+            meta,
+            link_lock: Mutex::new(()),
+            epoch: epoch::EpochDomain::new(),
+        };
         s.rebuild_towers();
         Ok(s)
     }
@@ -95,6 +127,11 @@ impl PSkipList {
     /// Superblock offset.
     pub fn meta_offset(&self) -> PmOffset {
         self.meta
+    }
+
+    /// The reclamation domain unlinked nodes retire through.
+    pub fn epoch(&self) -> &Arc<epoch::EpochDomain> {
+        &self.epoch
     }
 
     fn alloc_node(pool: &Pool, key: Key, val: Value, level: usize) -> Result<PmOffset, IndexError> {
@@ -127,8 +164,56 @@ impl PSkipList {
         node + NODE_NEXT + l as u64 * 8
     }
 
+    /// Successor at level `l`, with any deletion mark stripped so a
+    /// traversal parked on a dying node still follows a valid offset.
     fn next(&self, node: PmOffset, l: usize) -> PmOffset {
-        self.pool.load_u64(Self::next_off(node, l))
+        self.pool.load_u64(Self::next_off(node, l)) & !MARK
+    }
+
+    /// Physically unlinks a tombstoned `node` and retires its block.
+    ///
+    /// Serialized with publishes and revivals by `link_lock`; bails if a
+    /// racing insert revived the key or another remove already unlinked
+    /// it. The bottom-list cut is one persisted 8-byte store (the same
+    /// failure-atomic commit shape as the publish); express-lane unhooks
+    /// are volatile. A crash before the cut leaves a tombstoned node
+    /// (absent either way); after it, an unreachable block that leaks like
+    /// any pre-crash free.
+    fn unlink_tombstone(&self, key: Key, node: PmOffset) {
+        let _lk = self.link_lock.lock();
+        if self.val_of(node) != 0 {
+            return; // revived under the lock by a racing insert
+        }
+        let (preds, succs) = self.find_preds(key);
+        if succs[0] != node {
+            return; // already unlinked
+        }
+        let level = self.level_of(node).min(MAX_LEVEL);
+        for (l, &pred) in preds.iter().enumerate().take(level).skip(1) {
+            if self.next(pred, l) == node {
+                self.pool
+                    .store_u64_volatile(Self::next_off(pred, l), self.next(node, l));
+            }
+        }
+        let succ = self.next(node, 0);
+        // Mark, then cut: after the volatile mark, a lock-free insert that
+        // snapshotted `node` as its predecessor can no longer publish
+        // behind it (its CAS sees the marked value and retries).
+        self.pool
+            .store_u64_volatile(Self::next_off(node, 0), succ | MARK);
+        if self
+            .pool
+            .cas_u64(Self::next_off(preds[0], 0), node, succ)
+            .is_ok()
+        {
+            self.pool.persist(Self::next_off(preds[0], 0), 8);
+            self.epoch
+                .retire_pm(&self.pool, node, NODE_NEXT + level as u64 * 8);
+        } else {
+            // Unreachable under the lock; restore the unmarked pointer so
+            // a still-linked node never wedges publishes behind it.
+            self.pool.store_u64_volatile(Self::next_off(node, 0), succ);
+        }
     }
 
     /// Finds, for every level, the rightmost node with key < `key`.
@@ -181,11 +266,13 @@ impl PSkipList {
 
 /// Streaming cursor over the persistent bottom list.
 ///
-/// Holds the offset of the node *before* the next entry; skip-list nodes
-/// are never physically freed once published, so the position stays valid
-/// across concurrent inserts and tombstone deletes. Every hop is one
-/// dependent cache miss — the pointer-chasing cost that makes skip-list
-/// range scans up to 20× slower than FAST+FAIR (Fig. 4).
+/// Holds the offset of the node *before* the next entry. The cursor pins
+/// the list's epoch domain for its whole lifetime, so a parked position
+/// stays valid across concurrent inserts and deletes: a concurrently
+/// unlinked node is only *retired*, never recycled while the pin is held,
+/// and its (marked) forward pointer still leads back into the live list.
+/// Every hop is one dependent cache miss — the pointer-chasing cost that
+/// makes skip-list range scans up to 20× slower than FAST+FAIR (Fig. 4).
 pub struct SkipCursor<'a> {
     list: &'a PSkipList,
     /// Node whose level-0 successor is the next candidate.
@@ -195,6 +282,8 @@ pub struct SkipCursor<'a> {
     /// after `cur`, so the bound — not the start position — enforces the
     /// `key >= target` contract.
     bound: Key,
+    /// Keeps retired nodes out of the free list while this cursor lives.
+    _pin: epoch::Guard,
 }
 
 impl Cursor for SkipCursor<'_> {
@@ -240,6 +329,7 @@ impl pmindex::PersistentIndex for PSkipList {
 impl PmIndex for PSkipList {
     fn insert(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
         check_value(value)?;
+        let _pin = self.epoch.pin();
         loop {
             let (preds, succs) = stats::timed(stats::Phase::Search, || self.find_preds(key));
             // Existing key (possibly tombstoned): update the value in place
@@ -247,10 +337,24 @@ impl PmIndex for PSkipList {
             if succs[0] != NULL_OFFSET && self.key_of(succs[0]) == key {
                 let done = stats::timed(stats::Phase::Update, || {
                     let cur = self.val_of(succs[0]);
+                    if cur == 0 {
+                        // Reviving a tombstone races with its physical
+                        // unlink; serialize with it and re-check that the
+                        // node is still reachable before writing through.
+                        let _lk = self.link_lock.lock();
+                        let (_, s2) = self.find_preds(key);
+                        if s2[0] != succs[0] {
+                            return None; // unlinked meanwhile: reinsert
+                        }
+                        if self.pool.cas_u64(succs[0] + NODE_VAL, 0, value).is_ok() {
+                            self.pool.persist(succs[0] + NODE_VAL, 8);
+                            return Some(None);
+                        }
+                        return None;
+                    }
                     if self.pool.cas_u64(succs[0] + NODE_VAL, cur, value).is_ok() {
                         self.pool.persist(succs[0] + NODE_VAL, 8);
-                        // A tombstoned node counts as an absent key.
-                        Some(if cur == 0 { None } else { Some(cur) })
+                        Some(Some(cur))
                     } else {
                         None
                     }
@@ -272,7 +376,10 @@ impl PmIndex for PSkipList {
                 }
                 self.pool.persist(node, NODE_NEXT + level as u64 * 8);
                 // Publish: one CAS + one flush — the only failure-atomic
-                // commit the bottom list needs.
+                // commit the bottom list needs. Serialized with unlinks;
+                // a predecessor unlinked since the search carries a marked
+                // pointer, so the CAS fails and the outer loop re-searches.
+                let _lk = self.link_lock.lock();
                 if self
                     .pool
                     .cas_u64(Self::next_off(preds[0], 0), succs[0], node)
@@ -298,6 +405,7 @@ impl PmIndex for PSkipList {
 
     fn update(&self, key: Key, value: Value) -> Result<Option<Value>, IndexError> {
         check_value(value)?;
+        let _pin = self.epoch.pin();
         loop {
             let (_, succs) = self.find_preds(key);
             let node = succs[0];
@@ -318,6 +426,7 @@ impl PmIndex for PSkipList {
     }
 
     fn get(&self, key: Key) -> Option<Value> {
+        let _pin = self.epoch.pin();
         stats::timed(stats::Phase::Search, || {
             let mut cur = self.head();
             for l in (0..MAX_LEVEL).rev() {
@@ -346,6 +455,7 @@ impl PmIndex for PSkipList {
     }
 
     fn remove(&self, key: Key) -> bool {
+        let _pin = self.epoch.pin();
         loop {
             let (_, succs) = self.find_preds(key);
             let node = succs[0];
@@ -356,9 +466,11 @@ impl PmIndex for PSkipList {
             if v == 0 {
                 return false; // already tombstoned
             }
-            // Tombstone commit: one persisted 8-byte store.
+            // Tombstone commit: one persisted 8-byte store. The physical
+            // unlink afterwards is cleanup, not part of the commit.
             if self.pool.cas_u64(node + NODE_VAL, v, 0).is_ok() {
                 self.pool.persist(node + NODE_VAL, 8);
+                self.unlink_tombstone(key, node);
                 return true;
             }
         }
@@ -369,6 +481,7 @@ impl PmIndex for PSkipList {
             list: self,
             cur: self.head(),
             bound: 0,
+            _pin: self.epoch.pin(),
         })
     }
 
@@ -459,6 +572,101 @@ mod tests {
         t.insert(50, 55).unwrap();
         assert_eq!(c.next(), Some((200, 205)));
         assert_eq!(c.next(), None);
+    }
+
+    #[test]
+    fn removed_nodes_unlink_and_recycle_through_epoch() {
+        let (_p, t) = mk();
+        for k in 1..=500u64 {
+            t.insert(k, k).unwrap();
+        }
+        for k in 1..=500u64 {
+            if k % 5 != 0 {
+                assert!(t.remove(k));
+            }
+        }
+        // The bottom list holds only the survivors — tombstoned nodes are
+        // physically gone, not skipped.
+        let mut hops = 0u64;
+        let mut cur = t.next(t.head(), 0);
+        while cur != NULL_OFFSET {
+            hops += 1;
+            cur = t.next(cur, 0);
+        }
+        assert_eq!(hops, 100, "unlinked nodes still on the bottom list");
+        let d = Arc::clone(t.epoch());
+        assert!(d.limbo_len() > 0 || d.recycled() > 0);
+        d.try_advance();
+        d.try_advance();
+        d.collect();
+        assert!(d.recycled() > 0, "unlinked nodes never recycled");
+        for k in 1..=500u64 {
+            let want = if k % 5 == 0 { Some(k) } else { None };
+            assert_eq!(t.get(k), want, "key {k}");
+        }
+        // Reinserts land on recycled blocks and revive the live keys.
+        for k in 1..=500u64 {
+            t.insert(k, k + 1).unwrap();
+        }
+        for k in 1..=500u64 {
+            assert_eq!(t.get(k), Some(k + 1));
+        }
+        assert_eq!(t.len(), 500);
+    }
+
+    #[test]
+    fn concurrent_remove_insert_cursor_storm() {
+        // Exercises the unlink/publish/revive races: writers churn
+        // disjoint ranges (insert, delete, reinsert) while cursors stream
+        // the bottom list pinned against reclamation.
+        let (_p, t) = mk();
+        let t = Arc::new(t);
+        const WRITERS: u64 = 4;
+        const PER: u64 = 400;
+        std::thread::scope(|s| {
+            for w in 0..WRITERS {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    let base = w * PER;
+                    for round in 0..3u64 {
+                        for k in base..base + PER {
+                            t.insert(k * 2 + 1, k + round + 1).unwrap();
+                        }
+                        for k in base..base + PER {
+                            if round < 2 || k % 3 != 0 {
+                                assert!(t.remove(k * 2 + 1), "key {} vanished", k * 2 + 1);
+                            }
+                        }
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    for _ in 0..6 {
+                        let mut c = t.cursor();
+                        let mut last = 0u64;
+                        while let Some((k, v)) = c.next() {
+                            assert!(k > last, "cursor disorder at {k}");
+                            assert!(v > 0, "torn value at {k}");
+                            last = k;
+                        }
+                    }
+                });
+            }
+        });
+        // Residue: every third key of each writer's final round survives.
+        let mut want = 0u64;
+        for w in 0..WRITERS {
+            for k in w * PER..(w + 1) * PER {
+                let alive = k % 3 == 0;
+                if alive {
+                    want += 1;
+                }
+                assert_eq!(t.get(k * 2 + 1).is_some(), alive, "key {}", k * 2 + 1);
+            }
+        }
+        assert_eq!(t.len() as u64, want);
     }
 
     #[test]

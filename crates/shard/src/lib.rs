@@ -1415,10 +1415,13 @@ mod tests {
         for k in 1..=KEYS {
             store.insert(k, k + 1).unwrap();
         }
-        // `removed` counts deletions that have fully completed; len() can
-        // lag behind it (a delete may land mid-count) but with the fix it
-        // can never exceed the keys that existed when the count started.
+        // `removed` counts deletions that have fully completed (used for
+        // the exact final check); `attempted` is bumped BEFORE each remove
+        // so it upper-bounds the deletes a concurrent len() may have
+        // missed — a remove can mutate the tree before the completed
+        // counter ticks, so `removed` alone would lag the tree state.
         let removed = Arc::new(AtomicU64::new(0));
+        let attempted = Arc::new(AtomicU64::new(0));
         let stop = Arc::new(AtomicBool::new(false));
         std::thread::scope(|s| {
             let st = Arc::clone(&store);
@@ -1434,12 +1437,14 @@ mod tests {
             });
             let st = Arc::clone(&store);
             let removed2 = Arc::clone(&removed);
+            let attempted2 = Arc::clone(&attempted);
             let stop3 = Arc::clone(&stop);
             let deleter = s.spawn(move || {
                 for k in 1..=KEYS / 2 {
                     if stop3.load(Ordering::SeqCst) {
                         break;
                     }
+                    attempted2.fetch_add(1, Ordering::SeqCst);
                     if st.remove(k * 2) {
                         removed2.fetch_add(1, Ordering::SeqCst);
                     }
@@ -1451,12 +1456,12 @@ mod tests {
                     n <= KEYS,
                     "len() overcounted: {n} > {KEYS} live keys ever inserted"
                 );
-                // Deletes that completed before len() returned are an upper
+                // Deletes *started* before len() returned are an upper
                 // bound on what the count may have missed.
-                let removed_after = removed.load(Ordering::SeqCst);
+                let attempted_after = attempted.load(Ordering::SeqCst);
                 assert!(
-                    n >= KEYS - removed_after,
-                    "len() undercounted: {n} with at most {removed_after} removed"
+                    n >= KEYS - attempted_after,
+                    "len() undercounted: {n} with at most {attempted_after} removes started"
                 );
             }
             rebalancer.join().unwrap();

@@ -84,6 +84,39 @@ impl Criterion {
         );
         self
     }
+
+    /// Opens a named group; benches registered on it report as
+    /// `name/id`, mirroring the real crate's grouped output (without its
+    /// comparison analysis).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Named benchmark group returned by [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs `routine` under the group's `Criterion` configuration,
+    /// reported as `group/id`.
+    pub fn bench_function<F>(&mut self, id: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, routine);
+        self
+    }
+
+    /// Ends the group. (The real crate finalizes comparison reports
+    /// here; the shim has nothing to flush.)
+    pub fn finish(self) {}
 }
 
 enum Mode {
@@ -196,6 +229,15 @@ mod tests {
                 x
             })
         });
+    }
+
+    #[test]
+    fn benchmark_group_prefixes_and_finishes() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("shim-group");
+        g.bench_function("a", |b| b.iter(|| black_box(1 + 1)))
+            .bench_function("b", |b| b.iter(|| black_box(2 * 2)));
+        g.finish();
     }
 
     #[test]
