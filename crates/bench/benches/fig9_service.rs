@@ -1,0 +1,130 @@
+//! Figure 9 (extension): the service's group-commit lever.
+//!
+//! N synchronous clients drive update-heavy traffic through
+//! `service::ClientHandle`s into a 2-lane service over a sharded
+//! FAST+FAIR store with a `txn` engine. A lone client can never share a
+//! commit — every op pays the journal's full staging + commit + retire
+//! fence overhead. Sixteen clients keep the lanes' queues non-empty, so
+//! the workers fold many clients' writes into one `commit_grouped` call
+//! and the fixed fences amortize across the group:
+//!
+//! * `kops`          — end-to-end client-visible throughput;
+//! * `p50_us`/`p99_us` — update completion latency (queue + commit);
+//! * `fences_per_op` — worker-issued store fences per completed request,
+//!   THE lever: it must fall well below the 1-client figure as clients
+//!   (and therefore group sizes) grow;
+//! * `mean_group`    — write requests per commit group (the batch-size
+//!   counter behind the amortization).
+
+use std::sync::Arc;
+
+use fastfair_bench::common::*;
+use pmem::LatencyProfile;
+use pmindex::workload::{generate_keys, KeyDist};
+use pmindex::PmIndex;
+use service::{OpClass, Service, ServiceConfig};
+use shard::{Partitioning, ShardedStore};
+use txn::TxnEngine;
+
+const LANES: usize = 2;
+const SHARDS: usize = 2;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Figure 9",
+        "service group commit: fence amortization",
+        scale,
+    );
+    let n = scale.n(1_000_000);
+    let ops_per_client = scale.n(200_000);
+    let mut report = SmokeReport::new("fig9_service", scale);
+
+    let keys = generate_keys(n, KeyDist::Uniform, 251);
+    header(&[
+        "clients",
+        "kops/s",
+        "p50 us",
+        "p99 us",
+        "fences/op",
+        "mean group",
+    ]);
+    for clients in [1usize, 4, 16] {
+        let pool = pool_with(LatencyProfile::dram(), n * 2);
+        let store: Arc<ShardedStore<fastfair::FastFairTree>> = Arc::new(
+            ShardedStore::create(
+                Arc::clone(&pool),
+                vec![Arc::clone(&pool); SHARDS],
+                Partitioning::Hash { shards: SHARDS },
+            )
+            .expect("store"),
+        );
+        for &k in &keys {
+            store.insert(k, k | 1).expect("preload");
+        }
+        let engine = Arc::new(TxnEngine::create(Arc::clone(&pool)).expect("engine"));
+        let service = Service::with_engine(
+            vec![Arc::clone(&store)],
+            engine,
+            ServiceConfig {
+                lanes: LANES,
+                affinity: Some(store.partitioning().clone()),
+                pin_domains: vec![Arc::clone(store.reclaim_domain())],
+                ..ServiceConfig::default()
+            },
+        );
+
+        let (secs, ()) = timeit(|| {
+            std::thread::scope(|s| {
+                for c in 0..clients {
+                    let client = service.handle();
+                    let keys = &keys;
+                    s.spawn(move || {
+                        // Synchronous closed loop: one outstanding op per
+                        // client, so grouping comes from client COUNT.
+                        let mut x = 0x9E37u64 + c as u64;
+                        for i in 0..ops_per_client {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            let k = keys[(x as usize) % keys.len()];
+                            client.update(k, (i as u64) | 1).expect("update");
+                        }
+                    });
+                }
+            });
+        });
+
+        let stats = service.stats();
+        let done = stats.completed();
+        let kops = done as f64 / secs / 1e3;
+        let hist = stats.op(OpClass::Update).latency();
+        let p50_us = hist.percentile(0.50) as f64 / 1e3;
+        let p99_us = hist.percentile(0.99) as f64 / 1e3;
+        let fences_per_op = stats.fences() as f64 / done as f64;
+        let mean_group = stats.mean_group_size();
+        row(&[
+            clients.to_string(),
+            format!("{kops:.1}"),
+            format!("{p50_us:.1}"),
+            format!("{p99_us:.1}"),
+            format!("{fences_per_op:.2}"),
+            format!("{mean_group:.2}"),
+        ]);
+        report.sample(format!("clients{clients}/service/kops"), kops);
+        report.sample(format!("clients{clients}/service/p50_us"), p50_us);
+        report.sample(format!("clients{clients}/service/p99_us"), p99_us);
+        report.sample(
+            format!("clients{clients}/service/fences_per_op"),
+            fences_per_op,
+        );
+        report.sample(format!("clients{clients}/service/mean_group"), mean_group);
+    }
+    report.finish();
+    println!(
+        "\nexpected shape: fences/op falls as clients grow — a lone closed-loop \
+         client commits alone (full staging+commit+retire fences per op) while 16 \
+         clients keep the lanes backed up and share those fences across the group \
+         (mean group ≫ 1, fences/op at 16 clients < 0.5× the 1-client figure)."
+    );
+}

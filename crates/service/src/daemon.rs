@@ -1,0 +1,221 @@
+//! The maintenance daemon: shard rebalancing and epoch collection off
+//! the client path.
+//!
+//! Clients should never pay for housekeeping. The daemon is one
+//! background thread that periodically
+//!
+//! * watches every tended [`epoch::EpochDomain`]'s limbo depth and runs
+//!   `try_advance` + `collect` when it crosses the high-water mark, and
+//! * watches `shard::ShardedStore::hottest_shard` and compacts a shard
+//!   whose population runs away from the mean (`compact_shard` routes
+//!   through the store's pointer-flip rebalance commit).
+//!
+//! It is pausable around snapshots: a [`MaintenanceDaemon::pause`]
+//! guard stops new maintenance passes until dropped, so a caller
+//! holding a `txn::Snapshot` (which blocks appliers at the gate) never
+//! deadlocks against a rebalance.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pmindex::{PersistentIndex, PmIndex};
+use shard::ShardedStore;
+
+/// Tuning for a [`MaintenanceDaemon`].
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Sleep between maintenance passes.
+    pub interval: Duration,
+    /// Limbo entries (per domain) above which the daemon advances and
+    /// collects epochs.
+    pub limbo_high_water: u64,
+    /// A shard is compacted when its population exceeds this multiple
+    /// of the per-shard mean.
+    pub skew_ratio: f64,
+    /// Never compact a shard smaller than this, however skewed — tiny
+    /// stores churn shards for no win.
+    pub min_shard_keys: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            interval: Duration::from_millis(10),
+            limbo_high_water: 64,
+            skew_ratio: 2.0,
+            min_shard_keys: 1024,
+        }
+    }
+}
+
+struct DaemonShared {
+    stop: AtomicBool,
+    paused: AtomicU64,
+    collections: AtomicU64,
+    rebalances: AtomicU64,
+    limbo_peak: AtomicU64,
+}
+
+/// A background housekeeping thread for one [`ShardedStore`]; stops and
+/// joins on drop.
+///
+/// ```
+/// use std::sync::Arc;
+/// use service::{DaemonConfig, MaintenanceDaemon};
+/// use shard::{Partitioning, ShardedStore};
+///
+/// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(4 << 20))?);
+/// let store: Arc<ShardedStore<fastfair::FastFairTree>> = Arc::new(ShardedStore::create(
+///     Arc::clone(&pool),
+///     vec![Arc::clone(&pool), Arc::clone(&pool)],
+///     Partitioning::Hash { shards: 2 },
+/// )?);
+/// let daemon = MaintenanceDaemon::spawn(Arc::clone(&store), vec![], DaemonConfig::default());
+/// {
+///     let _quiet = daemon.pause(); // e.g. while holding a snapshot
+/// }
+/// drop(daemon); // stops and joins
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct MaintenanceDaemon {
+    shared: Arc<DaemonShared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MaintenanceDaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaintenanceDaemon")
+            .field("collections", &self.collections())
+            .field("rebalances", &self.rebalances())
+            .finish()
+    }
+}
+
+/// RAII pause on a [`MaintenanceDaemon`]: maintenance passes skip while
+/// any guard lives. Guards nest.
+pub struct PauseGuard {
+    shared: Arc<DaemonShared>,
+}
+
+impl Drop for PauseGuard {
+    fn drop(&mut self) {
+        self.shared.paused.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl MaintenanceDaemon {
+    /// Spawns the daemon over `store`. It always tends the store's own
+    /// `reclaim_domain()`; `tended` adds further domains (e.g. ones the
+    /// service pins per group).
+    pub fn spawn<I>(
+        store: Arc<ShardedStore<I>>,
+        tended: Vec<Arc<epoch::EpochDomain>>,
+        config: DaemonConfig,
+    ) -> Self
+    where
+        I: PersistentIndex + Send + Sync + 'static,
+    {
+        let shared = Arc::new(DaemonShared {
+            stop: AtomicBool::new(false),
+            paused: AtomicU64::new(0),
+            collections: AtomicU64::new(0),
+            rebalances: AtomicU64::new(0),
+            limbo_peak: AtomicU64::new(0),
+        });
+        let shared2 = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("service-maintenance".into())
+            .spawn(move || daemon_loop(&shared2, &store, &tended, &config))
+            .expect("spawn maintenance daemon");
+        MaintenanceDaemon {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// Suspends maintenance until the returned guard drops. Take one
+    /// around `txn::TxnEngine::snapshot` windows so housekeeping never
+    /// competes with a frozen apply gate.
+    pub fn pause(&self) -> PauseGuard {
+        self.shared.paused.fetch_add(1, Ordering::SeqCst);
+        PauseGuard {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Epoch collection passes the daemon has run: passes that found a
+    /// tended domain's limbo above the high-water mark and drove an
+    /// advance/collect cycle. (The freed blocks themselves may be
+    /// claimed by a racing foreground collect — the pass still counts.)
+    pub fn collections(&self) -> u64 {
+        self.shared.collections.load(Ordering::Relaxed)
+    }
+
+    /// Shard compactions the daemon has committed.
+    pub fn rebalances(&self) -> u64 {
+        self.shared.rebalances.load(Ordering::Relaxed)
+    }
+
+    /// Deepest limbo list observed across tended domains.
+    pub fn limbo_peak(&self) -> u64 {
+        self.shared.limbo_peak.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for MaintenanceDaemon {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+fn daemon_loop<I>(
+    shared: &DaemonShared,
+    store: &Arc<ShardedStore<I>>,
+    tended: &[Arc<epoch::EpochDomain>],
+    config: &DaemonConfig,
+) where
+    I: PersistentIndex + Send + Sync + 'static,
+{
+    // Remember each shard's population at its last compaction: a shard
+    // whose skew is *structural* (e.g. a hot range under hash-unfriendly
+    // bounds) would otherwise be recompacted every pass forever.
+    let mut last_compacted: Vec<Option<usize>> = vec![None; store.shard_count()];
+    while !shared.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(config.interval);
+        if shared.paused.load(Ordering::SeqCst) > 0 {
+            continue;
+        }
+        for domain in tended.iter().chain(std::iter::once(store.reclaim_domain())) {
+            let limbo = domain.limbo_len();
+            shared.limbo_peak.fetch_max(limbo, Ordering::Relaxed);
+            if limbo > config.limbo_high_water {
+                // Two advances retire even the freshest limbo bucket
+                // (defer epoch + grace epoch), then collect. The
+                // foreground's amortized maintenance (every 32nd unpin)
+                // may win the race to the actual frees; the pass counts
+                // either way — the daemon carried the work off the
+                // client path, whoever banked the blocks.
+                domain.try_advance();
+                domain.try_advance();
+                domain.collect();
+                shared.collections.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if store.shard_count() > 1 {
+            let total = store.len();
+            let (hot, hot_len) = store.hottest_shard();
+            let mean = total / store.shard_count();
+            let skewed = hot_len >= config.min_shard_keys
+                && (hot_len as f64) > config.skew_ratio * (mean.max(1) as f64);
+            if skewed && last_compacted[hot] != Some(hot_len) && store.compact_shard(hot).is_ok() {
+                last_compacted[hot] = Some(hot_len);
+                shared.rebalances.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}

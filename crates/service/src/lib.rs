@@ -1,0 +1,1202 @@
+//! # Request-serving frontend: batched workers, group commit, backpressure
+//!
+//! The paper's FAST+FAIR tree is a function call; the ROADMAP's north
+//! star is a *service* draining request queues from many concurrent
+//! clients. This crate closes that gap:
+//!
+//! * N cloneable [`ClientHandle`]s feed bounded per-lane MPSC queues
+//!   (get / insert / update / delete / batch / scan).
+//! * One worker thread per lane drains its queue in **adaptive
+//!   batches**: take the first request (blocking), then opportunistically
+//!   drain whatever else has queued, up to
+//!   [`ServiceConfig::max_group`] — under load groups grow, idle they
+//!   shrink to 1 and latency stays flat.
+//! * Writes commit through **group commit**: every drained client
+//!   write is staged into one [`txn::TxnEngine::commit_grouped`] call —
+//!   one staging persist, ONE sequence-number store + fence, one
+//!   apply-gate acquisition and one retire fence for the whole group —
+//!   the amortization lever Marathe et al. (*Persistent Memory
+//!   Transactions*) show dominates pmem transaction cost. Completions
+//!   fan back through per-request `oneshot` reply slots.
+//! * **Admission control**: a full queue either rejects the submitter
+//!   with [`ServiceError::Overloaded`] ([`Admission::Shed`]) or parks it
+//!   until the worker catches up ([`Admission::Park`]).
+//! * **Observability**: lock-free p50/p99/p999 latency histograms and
+//!   throughput / queue-depth / batch-size gauges per op class, via
+//!   [`ServiceStats`].
+//!
+//! The same crate hosts the [`MaintenanceDaemon`]: a background thread
+//! that watches `shard::ShardedStore::hottest_shard` and epoch-limbo
+//! depth, and runs shard compaction / epoch collection off the client
+//! path — pausable around snapshots.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use service::{Service, ServiceConfig};
+//! use shard::{Partitioning, ShardedStore};
+//!
+//! let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(4 << 20))?);
+//! let store: Arc<ShardedStore<fastfair::FastFairTree>> = Arc::new(ShardedStore::create(
+//!     Arc::clone(&pool),
+//!     vec![Arc::clone(&pool), Arc::clone(&pool)],
+//!     Partitioning::Hash { shards: 2 },
+//! )?);
+//! let engine = Arc::new(txn::TxnEngine::create(Arc::clone(&pool))?);
+//!
+//! let service = Service::with_engine(vec![store], engine, ServiceConfig::default());
+//! let client = service.handle();
+//! assert_eq!(client.insert(1, 10)?, None);
+//! assert_eq!(client.get(1)?, Some(10));
+//! assert_eq!(client.update(1, 11)?, Some(10));
+//! assert_eq!(client.scan(0, 100)?, vec![(1, 11)]);
+//! assert!(client.delete(1)?);
+//! assert_eq!(service.stats().completed(), 5);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+
+mod daemon;
+mod stats;
+
+pub use daemon::{DaemonConfig, MaintenanceDaemon, PauseGuard};
+pub use stats::{LatencyHistogram, OpClass, OpStats, ServiceStats};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{Receiver, Sender, TrySendError};
+use pmem::Pool;
+use pmindex::{check_value, BatchOp, IndexError, Key, PmIndex, Value};
+use txn::{TxnEngine, WriteBatch};
+
+/// Errors a service request can come back with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Admission control rejected the request: the lane's queue is at
+    /// its high-water mark and the service runs [`Admission::Shed`].
+    Overloaded,
+    /// The service has shut down (or is shutting down) — the request
+    /// was not executed.
+    ShuttingDown,
+    /// The storage layer failed the request.
+    Index(IndexError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded => write!(f, "service overloaded: request shed at admission"),
+            ServiceError::ShuttingDown => write!(f, "service shutting down"),
+            ServiceError::Index(e) => write!(f, "index error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<IndexError> for ServiceError {
+    fn from(e: IndexError) -> Self {
+        ServiceError::Index(e)
+    }
+}
+
+/// What happens to a submitter when its lane's queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Reject immediately with [`ServiceError::Overloaded`] — load
+    /// shedding; the client decides whether to retry.
+    Shed,
+    /// Block the submitting thread until the worker drains room —
+    /// classic backpressure.
+    Park,
+}
+
+/// Construction-time knobs for a [`Service`].
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Worker threads (and request queues). Single-key traffic for one
+    /// key always lands on the same lane, so per-key operations
+    /// serialize per lane without any cross-lane locking.
+    pub lanes: usize,
+    /// Queued requests per lane before admission control engages.
+    pub queue_capacity: usize,
+    /// Most requests a worker folds into one commit group.
+    pub max_group: usize,
+    /// Full-queue policy.
+    pub admission: Admission,
+    /// How long an idle worker sleeps between queue checks (also the
+    /// shutdown-latency bound).
+    pub idle_timeout: Duration,
+    /// Route single-key requests with this partitioning (lane =
+    /// `shard_of(key) % lanes`) so lanes align with the backing
+    /// `shard::ShardedStore`'s shards; `None` hashes keys over lanes.
+    pub affinity: Option<shard::Partitioning>,
+    /// Epoch domains the worker pins **once per group** (instead of
+    /// once per request) around request execution — e.g. the backing
+    /// store's `reclaim_domain()`.
+    pub pin_domains: Vec<Arc<epoch::EpochDomain>>,
+    /// Engine-less services only: update-only groups wrap their
+    /// in-place stores in one `Pool::deferred_flush_scope` on this pool
+    /// — one fence per group instead of one per update. Sound because
+    /// each update is a single failure-atomic 8-byte store with no
+    /// intra-scope ordering for recovery to depend on.
+    pub coalesce_pool: Option<Arc<Pool>>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            lanes: 2,
+            queue_capacity: 64,
+            max_group: 32,
+            admission: Admission::Park,
+            idle_timeout: Duration::from_millis(20),
+            affinity: None,
+            pin_domains: Vec::new(),
+            coalesce_pool: None,
+        }
+    }
+}
+
+type ReplySlot<T> = oneshot::Sender<Result<T, ServiceError>>;
+
+/// A pipelined submission's pending completion: hold several, then
+/// [`Ticket::wait`] them — this is how a single client keeps a worker's
+/// group full (see the `fig9_service` bench).
+pub struct Ticket<T> {
+    rx: oneshot::Receiver<Result<T, ServiceError>>,
+}
+
+impl<T> Ticket<T> {
+    /// Blocks until the request completes.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the request failed with; [`ServiceError::ShuttingDown`]
+    /// if the service dropped the request during shutdown.
+    pub fn wait(self) -> Result<T, ServiceError> {
+        match self.rx.recv() {
+            Ok(out) => out,
+            Err(_) => Err(ServiceError::ShuttingDown),
+        }
+    }
+}
+
+enum Request {
+    Get {
+        key: Key,
+        reply: ReplySlot<Option<Value>>,
+        start: Instant,
+    },
+    Insert {
+        key: Key,
+        value: Value,
+        reply: ReplySlot<Option<Value>>,
+        start: Instant,
+    },
+    Update {
+        key: Key,
+        value: Value,
+        reply: ReplySlot<Option<Value>>,
+        start: Instant,
+    },
+    Delete {
+        key: Key,
+        reply: ReplySlot<bool>,
+        start: Instant,
+    },
+    Batch {
+        batch: WriteBatch,
+        reply: ReplySlot<()>,
+        start: Instant,
+    },
+    Scan {
+        lo: Key,
+        hi: Key,
+        reply: ReplySlot<Vec<(Key, Value)>>,
+        start: Instant,
+    },
+}
+
+impl Request {
+    fn class(&self) -> OpClass {
+        match self {
+            Request::Get { .. } => OpClass::Get,
+            Request::Insert { .. } => OpClass::Insert,
+            Request::Update { .. } => OpClass::Update,
+            Request::Delete { .. } => OpClass::Delete,
+            Request::Batch { .. } => OpClass::Batch,
+            Request::Scan { .. } => OpClass::Scan,
+        }
+    }
+}
+
+/// A computed reply waiting for the group's commit before fan-out.
+enum Done {
+    Val {
+        reply: ReplySlot<Option<Value>>,
+        out: Result<Option<Value>, ServiceError>,
+        class: OpClass,
+        start: Instant,
+    },
+    Flag {
+        reply: ReplySlot<bool>,
+        out: Result<bool, ServiceError>,
+        start: Instant,
+    },
+    Unit {
+        reply: ReplySlot<()>,
+        out: Result<(), ServiceError>,
+        start: Instant,
+    },
+    Rows {
+        reply: ReplySlot<Vec<(Key, Value)>>,
+        out: Result<Vec<(Key, Value)>, ServiceError>,
+        start: Instant,
+    },
+}
+
+struct Shared<I> {
+    tables: Vec<Arc<I>>,
+    engine: Option<Arc<TxnEngine>>,
+    stats: Arc<ServiceStats>,
+    stop: AtomicBool,
+    max_group: usize,
+    admission: Admission,
+    idle_timeout: Duration,
+    lanes: usize,
+    affinity: Option<shard::Partitioning>,
+    pin_domains: Vec<Arc<epoch::EpochDomain>>,
+    coalesce_pool: Option<Arc<Pool>>,
+}
+
+impl<I> Shared<I> {
+    fn lane_of(&self, key: Key) -> usize {
+        match &self.affinity {
+            Some(p) => p.shard_of(key) % self.lanes,
+            // Fibonacci hashing: spread adjacent keys across lanes.
+            None => (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % self.lanes,
+        }
+    }
+}
+
+/// The request-serving frontend over a set of [`PmIndex`] tables.
+///
+/// Construct with [`Service::with_engine`] (writes group-commit through
+/// a [`TxnEngine`] — atomic client batches, crash-recoverable) or
+/// [`Service::direct`] (writes apply straight to the tables — each op
+/// individually failure-atomic, no cross-op atomicity). Clone handles
+/// off it with [`Service::handle`]; drop (or [`Service::shutdown`]) to
+/// stop the workers after they drain their queues.
+///
+/// See the crate docs for a full walkthrough.
+pub struct Service<I: PmIndex + Send + Sync + 'static> {
+    shared: Arc<Shared<I>>,
+    senders: Vec<Sender<Request>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<I: PmIndex + Send + Sync + 'static> fmt::Debug for Service<I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Service")
+            .field("lanes", &self.shared.lanes)
+            .field("tables", &self.shared.tables.len())
+            .field("engine", &self.shared.engine.is_some())
+            .finish()
+    }
+}
+
+impl<I: PmIndex + Send + Sync + 'static> Service<I> {
+    /// Starts a service whose writes group-commit through `engine`:
+    /// every drained write in a group stages into one
+    /// [`TxnEngine::commit_grouped`] call. Single-key ops target
+    /// `tables[0]`; [`ClientHandle::batch`] ops name any table by its
+    /// index in `tables` (the same order every commit and
+    /// [`TxnEngine::recover`] must use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` is empty or the config names zero lanes.
+    pub fn with_engine(tables: Vec<Arc<I>>, engine: Arc<TxnEngine>, config: ServiceConfig) -> Self {
+        Service::start(tables, Some(engine), config)
+    }
+
+    /// Starts an engine-less service: writes apply directly to the
+    /// tables, each individually failure-atomic, with update-only
+    /// groups optionally flush-coalesced through
+    /// [`ServiceConfig::coalesce_pool`]. Client batches are *not*
+    /// atomic in this mode — use [`Service::with_engine`] when they
+    /// must be.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` is empty or the config names zero lanes.
+    pub fn direct(tables: Vec<Arc<I>>, config: ServiceConfig) -> Self {
+        Service::start(tables, None, config)
+    }
+
+    fn start(tables: Vec<Arc<I>>, engine: Option<Arc<TxnEngine>>, config: ServiceConfig) -> Self {
+        assert!(!tables.is_empty(), "a service needs at least one table");
+        assert!(config.lanes > 0, "a service needs at least one lane");
+        assert!(config.max_group > 0, "max_group must be at least 1");
+        let shared = Arc::new(Shared {
+            tables,
+            engine,
+            stats: Arc::new(ServiceStats::new()),
+            stop: AtomicBool::new(false),
+            max_group: config.max_group,
+            admission: config.admission,
+            idle_timeout: config.idle_timeout,
+            lanes: config.lanes,
+            affinity: config.affinity,
+            pin_domains: config.pin_domains,
+            coalesce_pool: config.coalesce_pool,
+        });
+        let mut senders = Vec::with_capacity(config.lanes);
+        let mut workers = Vec::with_capacity(config.lanes);
+        for lane in 0..config.lanes {
+            let (tx, rx) = crossbeam_channel::bounded(config.queue_capacity);
+            senders.push(tx);
+            let shared2 = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("service-worker-{lane}"))
+                    .spawn(move || worker_loop(&shared2, &rx))
+                    .expect("spawn service worker"),
+            );
+        }
+        Service {
+            shared,
+            senders,
+            workers,
+        }
+    }
+
+    /// A new client handle; clone it (or call again) for more clients.
+    pub fn handle(&self) -> ClientHandle<I> {
+        ClientHandle {
+            shared: Arc::clone(&self.shared),
+            senders: self.senders.clone(),
+        }
+    }
+
+    /// The service's live counters and histograms.
+    pub fn stats(&self) -> &Arc<ServiceStats> {
+        &self.shared.stats
+    }
+
+    /// Number of worker lanes.
+    pub fn lanes(&self) -> usize {
+        self.shared.lanes
+    }
+
+    /// Requests currently queued on `lane` (racy snapshot).
+    pub fn queue_depth(&self, lane: usize) -> usize {
+        self.senders[lane].len()
+    }
+
+    /// Stops accepting work, drains every queue, and joins the workers.
+    /// Requests already queued are served; requests submitted after the
+    /// drain fail with [`ServiceError::ShuttingDown`]. Also invoked by
+    /// `Drop`.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl<I: PmIndex + Send + Sync + 'static> Drop for Service<I> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A cloneable client of a [`Service`]: submits requests into the
+/// service's lanes and waits on per-request reply slots.
+///
+/// Every synchronous method is submit + [`Ticket::wait`]; the
+/// `submit_*` variants return the [`Ticket`] instead, letting one
+/// client pipeline many requests into the same commit group.
+pub struct ClientHandle<I: PmIndex + Send + Sync + 'static> {
+    shared: Arc<Shared<I>>,
+    senders: Vec<Sender<Request>>,
+}
+
+impl<I: PmIndex + Send + Sync + 'static> Clone for ClientHandle<I> {
+    fn clone(&self) -> Self {
+        ClientHandle {
+            shared: Arc::clone(&self.shared),
+            senders: self.senders.clone(),
+        }
+    }
+}
+
+impl<I: PmIndex + Send + Sync + 'static> fmt::Debug for ClientHandle<I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClientHandle")
+            .field("lanes", &self.senders.len())
+            .finish()
+    }
+}
+
+impl<I: PmIndex + Send + Sync + 'static> ClientHandle<I> {
+    fn submit(&self, lane: usize, req: Request) -> Result<(), ServiceError> {
+        let class = req.class();
+        self.shared.stats.note_submitted(class);
+        if self.shared.stop.load(Ordering::SeqCst) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        match self.shared.admission {
+            Admission::Shed => self.senders[lane].try_send(req).map_err(|e| match e {
+                TrySendError::Full(_) => {
+                    self.shared.stats.note_shed(class);
+                    ServiceError::Overloaded
+                }
+                TrySendError::Disconnected(_) => ServiceError::ShuttingDown,
+            }),
+            Admission::Park => self.senders[lane]
+                .send(req)
+                .map_err(|_| ServiceError::ShuttingDown),
+        }
+    }
+
+    /// Pipelined [`ClientHandle::get`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Overloaded`] / [`ServiceError::ShuttingDown`] at
+    /// admission.
+    pub fn submit_get(&self, key: Key) -> Result<Ticket<Option<Value>>, ServiceError> {
+        let (tx, rx) = oneshot::channel();
+        self.submit(
+            self.shared.lane_of(key),
+            Request::Get {
+                key,
+                reply: tx,
+                start: Instant::now(),
+            },
+        )?;
+        Ok(Ticket { rx })
+    }
+
+    /// Pipelined [`ClientHandle::insert`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ClientHandle::submit_get`].
+    pub fn submit_insert(
+        &self,
+        key: Key,
+        value: Value,
+    ) -> Result<Ticket<Option<Value>>, ServiceError> {
+        let (tx, rx) = oneshot::channel();
+        self.submit(
+            self.shared.lane_of(key),
+            Request::Insert {
+                key,
+                value,
+                reply: tx,
+                start: Instant::now(),
+            },
+        )?;
+        Ok(Ticket { rx })
+    }
+
+    /// Pipelined [`ClientHandle::update`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ClientHandle::submit_get`].
+    pub fn submit_update(
+        &self,
+        key: Key,
+        value: Value,
+    ) -> Result<Ticket<Option<Value>>, ServiceError> {
+        let (tx, rx) = oneshot::channel();
+        self.submit(
+            self.shared.lane_of(key),
+            Request::Update {
+                key,
+                value,
+                reply: tx,
+                start: Instant::now(),
+            },
+        )?;
+        Ok(Ticket { rx })
+    }
+
+    /// Pipelined [`ClientHandle::delete`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ClientHandle::submit_get`].
+    pub fn submit_delete(&self, key: Key) -> Result<Ticket<bool>, ServiceError> {
+        let (tx, rx) = oneshot::channel();
+        self.submit(
+            self.shared.lane_of(key),
+            Request::Delete {
+                key,
+                reply: tx,
+                start: Instant::now(),
+            },
+        )?;
+        Ok(Ticket { rx })
+    }
+
+    /// Pipelined [`ClientHandle::batch`]. Routed by the batch's first
+    /// key (any lane's worker can commit a cross-table batch).
+    ///
+    /// # Errors
+    ///
+    /// As [`ClientHandle::submit_get`].
+    pub fn submit_batch(&self, batch: WriteBatch) -> Result<Ticket<()>, ServiceError> {
+        let lane = batch
+            .ops()
+            .next()
+            .map(|(_, op)| match op {
+                BatchOp::Put(k, _) | BatchOp::Delete(k) => self.shared.lane_of(k),
+            })
+            .unwrap_or(0);
+        let (tx, rx) = oneshot::channel();
+        self.submit(
+            lane,
+            Request::Batch {
+                batch,
+                reply: tx,
+                start: Instant::now(),
+            },
+        )?;
+        Ok(Ticket { rx })
+    }
+
+    /// Pipelined [`ClientHandle::scan`]. Routed by `lo`'s lane.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClientHandle::submit_get`].
+    pub fn submit_scan(&self, lo: Key, hi: Key) -> Result<Ticket<Vec<(Key, Value)>>, ServiceError> {
+        let (tx, rx) = oneshot::channel();
+        self.submit(
+            self.shared.lane_of(lo),
+            Request::Scan {
+                lo,
+                hi,
+                reply: tx,
+                start: Instant::now(),
+            },
+        )?;
+        Ok(Ticket { rx })
+    }
+
+    /// Point lookup on table 0, linearized at its group's commit point.
+    ///
+    /// # Errors
+    ///
+    /// Admission errors, or the group's commit failure.
+    pub fn get(&self, key: Key) -> Result<Option<Value>, ServiceError> {
+        self.submit_get(key)?.wait()
+    }
+
+    /// Upsert into table 0; returns the replaced value as observed when
+    /// the group committed. Durable before the call returns.
+    ///
+    /// # Errors
+    ///
+    /// Admission errors, [`pmindex::IndexError::ReservedValue`] for
+    /// reserved values, or the group's commit failure.
+    pub fn insert(&self, key: Key, value: Value) -> Result<Option<Value>, ServiceError> {
+        self.submit_insert(key, value)?.wait()
+    }
+
+    /// In-place update of an existing key in table 0; `Ok(None)` (and
+    /// no write) if the key is absent at group-commit time.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClientHandle::insert`].
+    pub fn update(&self, key: Key, value: Value) -> Result<Option<Value>, ServiceError> {
+        self.submit_update(key, value)?.wait()
+    }
+
+    /// Point removal from table 0; `true` if the key was present at
+    /// group-commit time.
+    ///
+    /// # Errors
+    ///
+    /// Admission errors, or the group's commit failure.
+    pub fn delete(&self, key: Key) -> Result<bool, ServiceError> {
+        self.submit_delete(key)?.wait()
+    }
+
+    /// Commits a multi-key, multi-table [`WriteBatch`] — all-or-nothing
+    /// when the service runs an engine ([`Service::with_engine`]);
+    /// applied op-by-op otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Admission errors, validation failures (reserved value, table id
+    /// out of range), or the group's commit failure.
+    pub fn batch(&self, batch: WriteBatch) -> Result<(), ServiceError> {
+        self.submit_batch(batch)?.wait()
+    }
+
+    /// Range scan of table 0 over `lo <= key < hi`, ascending,
+    /// linearized at its group's commit point.
+    ///
+    /// # Errors
+    ///
+    /// Admission errors, or the group's commit failure.
+    pub fn scan(&self, lo: Key, hi: Key) -> Result<Vec<(Key, Value)>, ServiceError> {
+        self.submit_scan(lo, hi)?.wait()
+    }
+}
+
+fn worker_loop<I: PmIndex>(shared: &Shared<I>, rx: &Receiver<Request>) {
+    loop {
+        let first = match rx.recv_timeout(shared.idle_timeout) {
+            Ok(req) => req,
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    // Drain-and-exit: serve everything already queued.
+                    while let Ok(req) = rx.try_recv() {
+                        process_group(shared, vec![req], 0);
+                    }
+                    return;
+                }
+                continue;
+            }
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => return,
+        };
+        let backlog = rx.len();
+        let mut group = vec![first];
+        while group.len() < shared.max_group {
+            match rx.try_recv() {
+                Ok(req) => group.push(req),
+                Err(_) => break,
+            }
+        }
+        process_group(shared, group, backlog as u64);
+        // Self-harvest this thread's persistence counters into the
+        // service-level gauges (thread-local stats never leave the
+        // worker otherwise).
+        let s = pmem::stats::take();
+        shared.stats.harvest_pmem(s.fences, s.flushes);
+    }
+}
+
+fn process_group<I: PmIndex>(shared: &Shared<I>, group: Vec<Request>, backlog: u64) {
+    let _pins: Vec<epoch::Guard> = shared.pin_domains.iter().map(|d| d.pin()).collect();
+    match &shared.engine {
+        Some(engine) => process_group_engine(shared, engine, group, backlog),
+        None => process_group_direct(shared, group, backlog),
+    }
+}
+
+/// Overlay of the group's staged-but-uncommitted writes, keyed by
+/// `(table, key)`: `Some(v)` staged put, `None` staged delete. Reads in
+/// the group consult it first so a client that pipelines a write then a
+/// read observes its own write (session order), even though nothing has
+/// applied yet.
+type Overlay = HashMap<(usize, Key), Option<Value>>;
+
+fn peek<I: PmIndex>(tables: &[Arc<I>], overlay: &Overlay, table: usize, key: Key) -> Option<Value> {
+    match overlay.get(&(table, key)) {
+        Some(&staged) => staged,
+        None => tables[table].get(key),
+    }
+}
+
+fn process_group_engine<I: PmIndex>(
+    shared: &Shared<I>,
+    engine: &TxnEngine,
+    group: Vec<Request>,
+    backlog: u64,
+) {
+    let tables = &shared.tables;
+    let mut overlay: Overlay = HashMap::new();
+    let mut staged: Vec<WriteBatch> = Vec::new();
+    let mut dones: Vec<Done> = Vec::with_capacity(group.len());
+    for req in group {
+        match req {
+            Request::Get { key, reply, start } => dones.push(Done::Val {
+                reply,
+                out: Ok(peek(tables, &overlay, 0, key)),
+                class: OpClass::Get,
+                start,
+            }),
+            Request::Insert {
+                key,
+                value,
+                reply,
+                start,
+            } => {
+                let out = match check_value(value) {
+                    Err(e) => Err(e.into()),
+                    Ok(()) => {
+                        let prev = peek(tables, &overlay, 0, key);
+                        let mut b = WriteBatch::new();
+                        b.put(0, key, value);
+                        staged.push(b);
+                        overlay.insert((0, key), Some(value));
+                        Ok(prev)
+                    }
+                };
+                dones.push(Done::Val {
+                    reply,
+                    out,
+                    class: OpClass::Insert,
+                    start,
+                });
+            }
+            Request::Update {
+                key,
+                value,
+                reply,
+                start,
+            } => {
+                let out = match check_value(value) {
+                    Err(e) => Err(e.into()),
+                    Ok(()) => match peek(tables, &overlay, 0, key) {
+                        // Update never inserts: absent key is a no-op.
+                        None => Ok(None),
+                        Some(prev) => {
+                            let mut b = WriteBatch::new();
+                            b.put(0, key, value);
+                            staged.push(b);
+                            overlay.insert((0, key), Some(value));
+                            Ok(Some(prev))
+                        }
+                    },
+                };
+                dones.push(Done::Val {
+                    reply,
+                    out,
+                    class: OpClass::Update,
+                    start,
+                });
+            }
+            Request::Delete { key, reply, start } => {
+                let present = peek(tables, &overlay, 0, key).is_some();
+                if present {
+                    let mut b = WriteBatch::new();
+                    b.delete(0, key);
+                    staged.push(b);
+                    overlay.insert((0, key), None);
+                }
+                dones.push(Done::Flag {
+                    reply,
+                    out: Ok(present),
+                    start,
+                });
+            }
+            Request::Batch {
+                batch,
+                reply,
+                start,
+            } => {
+                let mut valid = Ok(());
+                for (t, op) in batch.ops() {
+                    if t >= tables.len() {
+                        valid = Err(ServiceError::Index(IndexError::Unsupported(format!(
+                            "batch names table {t} but the service holds {}",
+                            tables.len()
+                        ))));
+                        break;
+                    }
+                    if let BatchOp::Put(_, v) = op {
+                        if let Err(e) = check_value(v) {
+                            valid = Err(e.into());
+                            break;
+                        }
+                    }
+                }
+                if valid.is_ok() && !batch.is_empty() {
+                    for (t, op) in batch.ops() {
+                        match op {
+                            BatchOp::Put(k, v) => overlay.insert((t, k), Some(v)),
+                            BatchOp::Delete(k) => overlay.insert((t, k), None),
+                        };
+                    }
+                    staged.push(batch);
+                }
+                dones.push(Done::Unit {
+                    reply,
+                    out: valid,
+                    start,
+                });
+            }
+            Request::Scan {
+                lo,
+                hi,
+                reply,
+                start,
+            } => {
+                let mut rows = Vec::new();
+                tables[0].range(lo, hi, &mut rows);
+                if overlay.keys().any(|&(t, k)| t == 0 && k >= lo && k < hi) {
+                    let mut merged: BTreeMap<Key, Value> = rows.drain(..).collect();
+                    for (&(t, k), &staged_v) in &overlay {
+                        if t == 0 && k >= lo && k < hi {
+                            match staged_v {
+                                Some(v) => merged.insert(k, v),
+                                None => merged.remove(&k),
+                            };
+                        }
+                    }
+                    rows = merged.into_iter().collect();
+                }
+                dones.push(Done::Rows {
+                    reply,
+                    out: Ok(rows),
+                    start,
+                });
+            }
+        }
+    }
+    // ONE commit for every write the group staged.
+    let mut commit_failure: Option<ServiceError> = None;
+    if !staged.is_empty() {
+        let refs: Vec<&I> = tables.iter().map(|t| t.as_ref()).collect();
+        if let Err(e) = engine.commit_grouped(&staged, &refs) {
+            commit_failure = Some(ServiceError::Index(e));
+        } else {
+            shared.stats.note_group(staged.len() as u64, backlog);
+        }
+    } else {
+        shared.stats.note_backlog(backlog);
+    }
+    fan_out(shared, dones, commit_failure);
+}
+
+fn process_group_direct<I: PmIndex>(shared: &Shared<I>, group: Vec<Request>, backlog: u64) {
+    let tables = &shared.tables;
+    // Update-only groups (point reads allowed) coalesce their in-place
+    // persists into one deferred flush scope: every update is still an
+    // independent failure-atomic 8-byte store, so deferral only merges
+    // the *flush* traffic — acknowledgements wait for the scope's
+    // closing fence below.
+    let coalesce = shared.coalesce_pool.as_ref().filter(|_| {
+        group.len() > 1
+            && group
+                .iter()
+                .all(|r| matches!(r, Request::Update { .. } | Request::Get { .. }))
+    });
+    let scope = coalesce.map(|p| p.deferred_flush_scope());
+    let mut writes = 0u64;
+    let mut dones: Vec<Done> = Vec::with_capacity(group.len());
+    for req in group {
+        match req {
+            Request::Get { key, reply, start } => dones.push(Done::Val {
+                reply,
+                out: Ok(tables[0].get(key)),
+                class: OpClass::Get,
+                start,
+            }),
+            Request::Insert {
+                key,
+                value,
+                reply,
+                start,
+            } => {
+                writes += 1;
+                dones.push(Done::Val {
+                    reply,
+                    out: tables[0].insert(key, value).map_err(ServiceError::from),
+                    class: OpClass::Insert,
+                    start,
+                });
+            }
+            Request::Update {
+                key,
+                value,
+                reply,
+                start,
+            } => {
+                writes += 1;
+                dones.push(Done::Val {
+                    reply,
+                    out: tables[0].update(key, value).map_err(ServiceError::from),
+                    class: OpClass::Update,
+                    start,
+                });
+            }
+            Request::Delete { key, reply, start } => {
+                writes += 1;
+                dones.push(Done::Flag {
+                    reply,
+                    out: Ok(tables[0].remove(key)),
+                    start,
+                });
+            }
+            Request::Batch {
+                batch,
+                reply,
+                start,
+            } => {
+                writes += 1;
+                let mut out = Ok(());
+                for (t, op) in batch.ops() {
+                    if t >= tables.len() {
+                        out = Err(ServiceError::Index(IndexError::Unsupported(format!(
+                            "batch names table {t} but the service holds {}",
+                            tables.len()
+                        ))));
+                        break;
+                    }
+                    let step = match op {
+                        BatchOp::Put(k, v) => tables[t].insert(k, v).map(|_| ()),
+                        BatchOp::Delete(k) => {
+                            tables[t].remove(k);
+                            Ok(())
+                        }
+                    };
+                    if let Err(e) = step {
+                        out = Err(e.into());
+                        break;
+                    }
+                }
+                dones.push(Done::Unit { reply, out, start });
+            }
+            Request::Scan {
+                lo,
+                hi,
+                reply,
+                start,
+            } => {
+                let mut rows = Vec::new();
+                tables[0].range(lo, hi, &mut rows);
+                dones.push(Done::Rows {
+                    reply,
+                    out: Ok(rows),
+                    start,
+                });
+            }
+        }
+    }
+    // Close the coalescing scope (issue the deduplicated flushes + one
+    // fence) BEFORE acknowledging: durability precedes every ack.
+    if let Some(scope) = scope {
+        scope.flush();
+    }
+    if writes > 0 {
+        shared.stats.note_group(writes, backlog);
+    } else {
+        shared.stats.note_backlog(backlog);
+    }
+    fan_out(shared, dones, None);
+}
+
+/// Sends every computed reply, recording per-class latency and
+/// outcome. `group_failure` (an engine commit that failed) overrides
+/// every member's result: the group is all-or-nothing, so no reply may
+/// claim success — including reads, whose answers were computed against
+/// the group's overlay.
+fn fan_out<I>(shared: &Shared<I>, dones: Vec<Done>, group_failure: Option<ServiceError>) {
+    for done in dones {
+        match done {
+            Done::Val {
+                reply,
+                out,
+                class,
+                start,
+            } => {
+                let out = match &group_failure {
+                    Some(e) => Err(e.clone()),
+                    None => out,
+                };
+                shared
+                    .stats
+                    .note_done(class, out.is_ok(), start.elapsed().as_nanos() as u64);
+                let _ = reply.send(out);
+            }
+            Done::Flag { reply, out, start } => {
+                let out = match &group_failure {
+                    Some(e) => Err(e.clone()),
+                    None => out,
+                };
+                shared.stats.note_done(
+                    OpClass::Delete,
+                    out.is_ok(),
+                    start.elapsed().as_nanos() as u64,
+                );
+                let _ = reply.send(out);
+            }
+            Done::Unit { reply, out, start } => {
+                let out = match &group_failure {
+                    Some(e) => Err(e.clone()),
+                    None => out,
+                };
+                shared.stats.note_done(
+                    OpClass::Batch,
+                    out.is_ok(),
+                    start.elapsed().as_nanos() as u64,
+                );
+                let _ = reply.send(out);
+            }
+            Done::Rows { reply, out, start } => {
+                let out = match &group_failure {
+                    Some(e) => Err(e.clone()),
+                    None => out,
+                };
+                shared.stats.note_done(
+                    OpClass::Scan,
+                    out.is_ok(),
+                    start.elapsed().as_nanos() as u64,
+                );
+                let _ = reply.send(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastfair::FastFairTree;
+    use shard::{Partitioning, ShardedStore};
+
+    fn engine_service(
+        lanes: usize,
+    ) -> (
+        Arc<ShardedStore<FastFairTree>>,
+        Service<ShardedStore<FastFairTree>>,
+    ) {
+        let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(16 << 20)).unwrap());
+        let store = Arc::new(
+            ShardedStore::create(
+                Arc::clone(&pool),
+                vec![Arc::clone(&pool), Arc::clone(&pool)],
+                Partitioning::Hash { shards: 2 },
+            )
+            .unwrap(),
+        );
+        let engine = Arc::new(TxnEngine::create(pool).unwrap());
+        let config = ServiceConfig {
+            lanes,
+            affinity: Some(store.partitioning().clone()),
+            pin_domains: vec![Arc::clone(store.reclaim_domain())],
+            ..ServiceConfig::default()
+        };
+        let service = Service::with_engine(vec![Arc::clone(&store)], engine, config);
+        (store, service)
+    }
+
+    #[test]
+    fn basic_ops_round_trip() {
+        let (store, service) = engine_service(2);
+        let c = service.handle();
+        assert_eq!(c.insert(1, 10).unwrap(), None);
+        assert_eq!(c.insert(1, 11).unwrap(), Some(10));
+        assert_eq!(c.get(1).unwrap(), Some(11));
+        assert_eq!(c.update(2, 20).unwrap(), None); // absent: no insert
+        assert_eq!(c.get(2).unwrap(), None);
+        assert_eq!(c.update(1, 12).unwrap(), Some(11));
+        assert!(c.delete(1).unwrap());
+        assert!(!c.delete(1).unwrap());
+        assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn pipelined_requests_preserve_session_order() {
+        let (_store, service) = engine_service(1);
+        let c = service.handle();
+        // Submit write-then-read without waiting: the group overlay must
+        // make the read see the write even when both land in one group.
+        let t1 = c.submit_insert(7, 70).unwrap();
+        let t2 = c.submit_get(7).unwrap();
+        let t3 = c.submit_delete(7).unwrap();
+        let t4 = c.submit_get(7).unwrap();
+        assert_eq!(t1.wait().unwrap(), None);
+        assert_eq!(t2.wait().unwrap(), Some(70));
+        assert!(t3.wait().unwrap());
+        assert_eq!(t4.wait().unwrap(), None);
+    }
+
+    #[test]
+    fn batches_and_scans_cross_shards() {
+        let (_store, service) = engine_service(2);
+        let c = service.handle();
+        let mut b = WriteBatch::new();
+        for k in 1..=20u64 {
+            b.put(0, k, k * 10);
+        }
+        c.batch(b).unwrap();
+        let rows = c.scan(5, 9).unwrap();
+        assert_eq!(rows, vec![(5, 50), (6, 60), (7, 70), (8, 80)]);
+        let stats = service.stats();
+        assert_eq!(stats.op(OpClass::Batch).completed(), 1);
+        assert!(stats.groups() >= 1);
+    }
+
+    #[test]
+    fn reserved_values_rejected_per_request_not_per_group() {
+        let (_store, service) = engine_service(1);
+        let c = service.handle();
+        assert!(matches!(
+            c.insert(1, 0),
+            Err(ServiceError::Index(IndexError::ReservedValue(0)))
+        ));
+        // The rejection did not poison the lane: later writes commit.
+        assert_eq!(c.insert(1, 10).unwrap(), None);
+        assert_eq!(service.stats().op(OpClass::Insert).errors(), 1);
+    }
+
+    #[test]
+    fn shutdown_drains_then_rejects() {
+        let (store, mut service) = engine_service(2);
+        let c = service.handle();
+        let tickets: Vec<_> = (1..=50u64)
+            .map(|k| c.submit_insert(k, k + 1).unwrap())
+            .collect();
+        service.shutdown();
+        let mut done = 0;
+        for t in tickets {
+            if t.wait().is_ok() {
+                done += 1;
+            }
+        }
+        assert_eq!(done, 50, "queued requests must drain on shutdown");
+        assert_eq!(store.len(), 50);
+        assert!(matches!(c.get(1), Err(ServiceError::ShuttingDown)));
+    }
+
+    #[test]
+    fn direct_mode_coalesces_update_only_groups() {
+        let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(8 << 20)).unwrap());
+        let store: Arc<ShardedStore<FastFairTree>> = Arc::new(
+            ShardedStore::create(
+                Arc::clone(&pool),
+                vec![Arc::clone(&pool)],
+                Partitioning::Hash { shards: 1 },
+            )
+            .unwrap(),
+        );
+        for k in 1..=64u64 {
+            store.insert(k, 1).unwrap();
+        }
+        let config = ServiceConfig {
+            lanes: 1,
+            coalesce_pool: Some(Arc::clone(&pool)),
+            ..ServiceConfig::default()
+        };
+        let service = Service::direct(vec![Arc::clone(&store)], config);
+        let c = service.handle();
+        let tickets: Vec<_> = (1..=64u64)
+            .map(|k| c.submit_update(k, k + 1).unwrap())
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        for k in 1..=64u64 {
+            assert_eq!(store.get(k), Some(k + 1));
+        }
+        assert!(service.stats().mean_group_size() >= 1.0);
+    }
+}

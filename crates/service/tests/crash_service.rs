@@ -1,0 +1,224 @@
+//! Crash-atomicity sweep for **group commit**: many clients' write
+//! batches staged into ONE `TxnEngine::commit_grouped` call, crashed at
+//! every store of the commit, recovered, and held to two contracts:
+//!
+//! * **per-client all-or-nothing** — each client's batch lands with all
+//!   of its keys (exact values) or none of them, at every cut under
+//!   every eviction policy;
+//! * **group atomicity** — the group shares one commit word, so the
+//!   sweep must observe exactly two states: no client's writes, or
+//!   every client's writes. A cut may never split the group.
+//!
+//! The group is replayed **exactly once**: recovery retires the journal
+//! (`pending()` false) and a second `recover` replays zero entries.
+//!
+//! The sweep drives `commit_grouped` directly (single-threaded, so the
+//! crash log totally orders the stores) against the same
+//! `ShardedStore` + engine layout the service's workers use; a separate
+//! live test crashes *under* a running `Service` and recovers what the
+//! workers actually committed.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use fastfair::FastFairTree;
+use pmem::crash::Eviction;
+use pmem::{Pool, PoolConfig};
+use pmindex::PmIndex;
+use service::{Service, ServiceConfig};
+use shard::{Partitioning, ShardedStore};
+use txn::{TxnEngine, WriteBatch};
+
+const POOL: usize = 8 << 20;
+const SHARDS: usize = 2;
+
+fn crash_pool() -> Arc<Pool> {
+    Arc::new(Pool::new(PoolConfig::new().size(POOL).crash_log(true)).unwrap())
+}
+
+fn crash_store(pool: &Arc<Pool>) -> ShardedStore<FastFairTree> {
+    ShardedStore::create(
+        Arc::clone(pool),
+        vec![Arc::clone(pool); SHARDS],
+        Partitioning::Hash { shards: SHARDS },
+    )
+    .unwrap()
+}
+
+/// Three clients' worth of writes for one group: a TPC-C Payment
+/// history trio, a 2-key transfer, and a single put — keys disjoint.
+fn client_batches() -> Vec<Vec<(u64, u64)>> {
+    vec![
+        tpcc::payment_history_writes(9, 42, 1000, -2500).to_vec(),
+        vec![(7_001, 71), (7_002, 72)],
+        vec![(9_001, 91)],
+    ]
+}
+
+fn as_write_batches(clients: &[Vec<(u64, u64)>]) -> Vec<WriteBatch> {
+    clients
+        .iter()
+        .map(|writes| {
+            let mut b = WriteBatch::new();
+            for &(k, v) in writes {
+                b.put(0, k, v);
+            }
+            b
+        })
+        .collect()
+}
+
+/// How many of `writes` survived, insisting present keys are exact.
+fn survivors(get: impl Fn(u64) -> Option<u64>, writes: &[(u64, u64)], ctx: &str) -> usize {
+    let mut n = 0;
+    for &(k, v) in writes {
+        if let Some(got) = get(k) {
+            assert_eq!(got, v, "{ctx}: key {k} has torn value");
+            n += 1;
+        }
+    }
+    n
+}
+
+#[test]
+fn grouped_commit_crash_sweep_is_atomic_per_client_and_per_group() {
+    let pool = crash_pool();
+    let store = crash_store(&pool);
+    let engine = TxnEngine::create(Arc::clone(&pool)).unwrap();
+
+    // Durable context outside the sweep: pre-group keys that must
+    // survive every cut, plus one committed group so the swept commit
+    // is not the journal's first.
+    for k in [500_000u64, 600_000] {
+        store.insert(k, k + 1).unwrap();
+    }
+    let mut warmup = WriteBatch::new();
+    warmup.put(0, 700_000, 700_001);
+    engine
+        .commit_grouped(std::slice::from_ref(&warmup), &[&store])
+        .unwrap();
+
+    let log = pool.crash_log().unwrap();
+    log.set_baseline(pool.volatile_image());
+
+    // The swept operation: THREE clients' batches, one commit.
+    let clients = client_batches();
+    let batches = as_write_batches(&clients);
+    assert_eq!(engine.commit_grouped(&batches, &[&store]).unwrap(), 2);
+
+    let total = log.len();
+    assert!(total > 10, "group commit should emit a rich event stream");
+    let mut group_outcomes = BTreeSet::new();
+    for cut in 0..=total {
+        for policy in [
+            Eviction::None,
+            Eviction::All,
+            Eviction::random_with_env(cut as u64),
+        ] {
+            let ctx = format!("cut {cut}/{total} {policy:?}");
+            let img = pool.crash_image(cut, policy);
+            let p2 = Arc::new(Pool::from_image(&img, PoolConfig::new().size(POOL)).unwrap());
+            let s2: ShardedStore<FastFairTree> =
+                ShardedStore::open(Arc::clone(&p2), vec![Arc::clone(&p2); SHARDS])
+                    .unwrap_or_else(|e| panic!("{ctx}: store open failed: {e}"));
+            let e2 = TxnEngine::open(Arc::clone(&p2)).unwrap();
+            e2.recover(&[&s2]).unwrap();
+
+            // Per-client all-or-nothing, and all clients agree.
+            let mut per_client = BTreeSet::new();
+            for (i, writes) in clients.iter().enumerate() {
+                let n = survivors(|k| s2.get(k), writes, &ctx);
+                assert!(
+                    n == 0 || n == writes.len(),
+                    "{ctx}: client {i} torn — {n}/{} keys",
+                    writes.len()
+                );
+                per_client.insert(n != 0);
+            }
+            assert_eq!(
+                per_client.len(),
+                1,
+                "{ctx}: group split across clients — some landed, some did not"
+            );
+            let landed = per_client.contains(&true);
+            // The single commit word decides the whole group.
+            match e2.last_committed() {
+                1 => assert!(!landed, "{ctx}: uncommitted group leaked writes"),
+                2 => assert!(landed, "{ctx}: committed group lost writes"),
+                s => panic!("{ctx}: impossible sequence {s}"),
+            }
+            group_outcomes.insert(landed);
+
+            // Context committed before the baseline is never disturbed.
+            for k in [500_000u64, 600_000, 700_000] {
+                assert_eq!(s2.get(k), Some(k + 1), "{ctx}: context key {k}");
+            }
+            // Replayed exactly once: journal clean, second recover idle.
+            assert!(!e2.pending(), "{ctx}: journal still pending");
+            assert_eq!(
+                e2.recover(&[&s2]).unwrap(),
+                0,
+                "{ctx}: recover not idempotent"
+            );
+        }
+    }
+    assert_eq!(
+        group_outcomes,
+        BTreeSet::from([false, true]),
+        "sweep should observe both the no-client and the every-client outcome"
+    );
+}
+
+/// Crash under a live `Service`: acknowledged writes must survive the
+/// crash image taken after shutdown (acks imply durability), and
+/// recovery finds a clean journal.
+#[test]
+fn acknowledged_service_writes_survive_a_crash() {
+    let pool = crash_pool();
+    let store = Arc::new(crash_store(&pool));
+    let engine = Arc::new(TxnEngine::create(Arc::clone(&pool)).unwrap());
+    let log = pool.crash_log().unwrap();
+    log.set_baseline(pool.volatile_image());
+
+    let acked: Vec<(u64, u64)> = {
+        let service = Service::with_engine(
+            vec![Arc::clone(&store)],
+            Arc::clone(&engine),
+            ServiceConfig {
+                lanes: 2,
+                affinity: Some(store.partitioning().clone()),
+                ..ServiceConfig::default()
+            },
+        );
+        let client = service.handle();
+        let tickets: Vec<_> = (1..=40u64)
+            .map(|k| (k, client.submit_insert(k, k * 10).unwrap()))
+            .collect();
+        tickets
+            .into_iter()
+            .map(|(k, t)| {
+                t.wait().unwrap();
+                (k, k * 10)
+            })
+            .collect()
+        // Service drops here: queues drain, workers join.
+    };
+    assert_eq!(acked.len(), 40);
+
+    // Crash at the END of the log (power loss after the last ack) under
+    // every eviction policy: acknowledged writes are durable by then.
+    let total = log.len();
+    for policy in [Eviction::None, Eviction::All, Eviction::random_with_env(7)] {
+        let ctx = format!("post-ack crash {policy:?}");
+        let img = pool.crash_image(total, policy);
+        let p2 = Arc::new(Pool::from_image(&img, PoolConfig::new().size(POOL)).unwrap());
+        let s2: ShardedStore<FastFairTree> =
+            ShardedStore::open(Arc::clone(&p2), vec![Arc::clone(&p2); SHARDS]).unwrap();
+        let e2 = TxnEngine::open(Arc::clone(&p2)).unwrap();
+        e2.recover(&[&s2]).unwrap();
+        for &(k, v) in &acked {
+            assert_eq!(s2.get(k), Some(v), "{ctx}: acknowledged key {k} lost");
+        }
+        assert!(!e2.pending(), "{ctx}: journal not clean");
+    }
+}

@@ -1,0 +1,107 @@
+//! TPC-C Payment and New-Order served through [`service::ClientHandle`]s.
+//!
+//! The service holds the nine txn-visible TPC-C tables (the
+//! [`tpcc::Table::txn_id`] order) over one engine; terminal threads
+//! submit each transaction as ONE multi-table `WriteBatch`, so the
+//! workers fold many terminals' transactions into shared group commits
+//! while each transaction stays individually atomic. After the storm,
+//! every Payment history trio and every New-Order's Order + NewOrder +
+//! OrderLine rows must be complete and exact.
+
+use std::sync::Arc;
+
+use fastfair::{FastFairTree, TreeOptions};
+use pmem::{Pool, PoolConfig};
+use pmindex::PmIndex;
+use service::{Service, ServiceConfig};
+use txn::{TxnEngine, WriteBatch};
+
+const TERMINALS: u64 = 4;
+const TXNS_PER_TERMINAL: u64 = 50;
+
+#[test]
+fn payment_and_new_order_through_handles() {
+    let pool = Arc::new(Pool::new(PoolConfig::new().size(64 << 20)).unwrap());
+    let tables: Vec<Arc<FastFairTree>> = (0..9)
+        .map(|_| Arc::new(FastFairTree::create(Arc::clone(&pool), TreeOptions::new()).unwrap()))
+        .collect();
+    let engine = Arc::new(TxnEngine::create(Arc::clone(&pool)).unwrap());
+    let service = Service::with_engine(
+        tables.clone(),
+        engine,
+        ServiceConfig {
+            lanes: 2,
+            max_group: 16,
+            ..ServiceConfig::default()
+        },
+    );
+
+    std::thread::scope(|s| {
+        for t in 0..TERMINALS {
+            let client = service.handle();
+            s.spawn(move || {
+                for i in 0..TXNS_PER_TERMINAL {
+                    let serial = t * TXNS_PER_TERMINAL + i;
+                    if i % 2 == 0 {
+                        // Payment: district YTD + customer balance +
+                        // history trio, one atomic batch.
+                        let mut b = WriteBatch::new();
+                        b.put(1, tpcc::k_district(t, 1), 1000 + serial);
+                        b.put(2, tpcc::k_customer(t, 1, 7), 5000 + serial);
+                        for (k, v) in
+                            tpcc::payment_history_writes(serial, 7, 1000 + serial, serial as i64)
+                        {
+                            b.put(8, k, v);
+                        }
+                        client.batch(b).unwrap();
+                    } else {
+                        // New-Order: Order + NewOrder + order lines.
+                        let mut b = WriteBatch::new();
+                        for (table, k, v) in tpcc::new_order_writes(t, 1, serial, 5 + serial % 11) {
+                            b.put(table, k, v);
+                        }
+                        client.batch(b).unwrap();
+                    }
+                }
+            });
+        }
+    });
+
+    // Every terminal's every transaction landed in full.
+    for t in 0..TERMINALS {
+        for i in 0..TXNS_PER_TERMINAL {
+            let serial = t * TXNS_PER_TERMINAL + i;
+            if i % 2 == 0 {
+                for (k, v) in tpcc::payment_history_writes(serial, 7, 1000 + serial, serial as i64)
+                {
+                    assert_eq!(tables[8].get(k), Some(v), "payment {serial} history torn");
+                }
+            } else {
+                for (table, k, v) in tpcc::new_order_writes(t, 1, serial, 5 + serial % 11) {
+                    assert_eq!(
+                        tables[table].get(k),
+                        Some(v),
+                        "new-order {serial} torn at table {table}"
+                    );
+                }
+            }
+        }
+        // The last Payment wins the per-terminal district/customer rows.
+        let last_payment = t * TXNS_PER_TERMINAL + TXNS_PER_TERMINAL - 2;
+        assert_eq!(
+            tables[1].get(tpcc::k_district(t, 1)),
+            Some(1000 + last_payment)
+        );
+        assert_eq!(
+            tables[2].get(tpcc::k_customer(t, 1, 7)),
+            Some(5000 + last_payment)
+        );
+    }
+
+    // Group commit actually grouped: fewer groups than transactions.
+    let stats = service.stats();
+    let txns = TERMINALS * TXNS_PER_TERMINAL;
+    assert_eq!(stats.op(service::OpClass::Batch).completed(), txns);
+    assert!(stats.groups() <= txns, "groups cannot exceed transactions");
+    assert!(stats.grouped_writes() == txns, "every batch rode a group");
+}

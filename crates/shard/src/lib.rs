@@ -350,6 +350,25 @@ impl<I: PmIndex> ShardedStore<I> {
         }
     }
 
+    /// The store's reclamation epoch domain — where evacuated indexes
+    /// retire after a rebalance. Exposed so an external maintenance
+    /// daemon (`crates/service`) can watch its limbo depth and run
+    /// `try_advance`/`collect` off the client path, and so snapshot
+    /// readers can pin it alongside a `txn::Snapshot`.
+    ///
+    /// ```
+    /// use shard::{Partitioning, ShardedStore};
+    ///
+    /// let store = ShardedStore::from_indexes(
+    ///     vec![blink::BlinkTree::new()],
+    ///     Partitioning::Hash { shards: 1 },
+    /// );
+    /// assert_eq!(store.reclaim_domain().limbo_len(), 0);
+    /// ```
+    pub fn reclaim_domain(&self) -> &Arc<epoch::EpochDomain> {
+        &self.reclaim
+    }
+
     /// The most loaded shard as `(shard id, live keys)` — the
     /// rebalance-*policy* helper built on [`ShardedStore::shard_len`]: a
     /// daemon (or an operator) watches this and feeds the winner to
@@ -735,6 +754,64 @@ impl<I: PersistentIndex> ShardedStore<I> {
         self.reclaim.try_advance();
         self.reclaim.collect();
         Ok(moved)
+    }
+
+    /// Compacts one shard in place: a [`ShardedStore::rebalance_into`]
+    /// whose destination is the shard's *current* pool and slot. The
+    /// cursor-stream + `bulk_load` copy packs the shard's leaves tight
+    /// (defragmentation) and the evacuated structure is walked back onto
+    /// the same pool's free list through the reclamation domain — this
+    /// is the maintenance daemon's response to a hot shard, run entirely
+    /// off the client path (readers never block; writers of this shard
+    /// only, for the duration of the copy).
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmem::{Pool, PoolConfig};
+    /// use pmindex::PmIndex;
+    /// use shard::{Partitioning, ShardedStore};
+    ///
+    /// let pool = Arc::new(Pool::new(PoolConfig::default().size(8 << 20))?);
+    /// let store: ShardedStore<fastfair::FastFairTree> = ShardedStore::create(
+    ///     Arc::clone(&pool),
+    ///     vec![Arc::clone(&pool), Arc::clone(&pool)],
+    ///     Partitioning::Hash { shards: 2 },
+    /// )?;
+    /// for k in 1..=500u64 {
+    ///     store.insert(k, k)?;
+    /// }
+    /// let n = store.shard_len(0);
+    /// assert_eq!(store.compact_shard(0)?, n); // every key copied
+    /// assert_eq!(store.epoch(), Some(1));     // one manifest commit
+    /// assert_eq!(store.len(), 500);           // nothing lost
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedStore::rebalance_into`]: volatile routers and
+    /// out-of-range shard ids are [`IndexError::Unsupported`]; pool
+    /// exhaustion propagates and leaves the old map committed.
+    pub fn compact_shard(&self, shard: usize) -> Result<usize, IndexError>
+    where
+        I: 'static,
+    {
+        let persist = self.persist.as_ref().ok_or_else(|| {
+            IndexError::Unsupported("compaction requires a manifest-backed store".into())
+        })?;
+        if shard >= self.shards.len() {
+            return Err(IndexError::Unsupported(format!(
+                "shard {shard} out of range (have {})",
+                self.shards.len()
+            )));
+        }
+        let (slot, pool) = {
+            let slots = persist.slots.lock();
+            let slot = slots[shard];
+            let pools = persist.pools.lock();
+            (slot, Arc::clone(&pools[slot as usize]))
+        };
+        self.rebalance_into(shard, slot, pool)
     }
 
     fn commit_manifest(&self, epoch: u64) -> Result<(), IndexError> {

@@ -1,0 +1,371 @@
+//! Offline stand-in for the `crossbeam-channel` crate (see
+//! `crates/shims/README.md`).
+//!
+//! Implements the bounded multi-producer single-consumer surface the
+//! `service` crate uses — [`bounded`], blocking/non-blocking sends,
+//! blocking/timed/non-blocking receives, and queue introspection
+//! ([`Sender::len`] / [`Receiver::len`]) — over a `Mutex<VecDeque>` and
+//! two condvars. No `select!`, no zero-capacity rendezvous channels.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when the receiver has been dropped;
+/// carries the unsent message back.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+/// Error returned by [`Sender::try_send`].
+#[derive(PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue is at capacity; the message is handed back.
+    Full(T),
+    /// The receiver has been dropped; the message is handed back.
+    Disconnected(T),
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+/// Error returned by [`Receiver::recv`]: every sender has been dropped
+/// and the queue is empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// Every sender has been dropped and the queue is empty.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is currently empty.
+    Empty,
+    /// Every sender has been dropped and the queue is empty.
+    Disconnected,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+/// Creates a bounded channel holding at most `capacity` queued messages.
+/// `capacity` must be at least 1 (no rendezvous channels).
+///
+/// ```
+/// let (tx, rx) = crossbeam_channel::bounded(2);
+/// tx.send(7).unwrap();
+/// assert_eq!(rx.recv(), Ok(7));
+/// ```
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "bounded(0) rendezvous channels not supported");
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::with_capacity(capacity),
+            senders: 1,
+            receiver_alive: true,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity,
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// The producing half of a channel; cloneable — each clone is another
+/// producer feeding the same queue.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Blocks until there is room, then enqueues `msg`.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError`] (with the message) if the receiver is gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if !state.receiver_alive {
+                return Err(SendError(msg));
+            }
+            if state.queue.len() < self.shared.capacity {
+                state.queue.push_back(msg);
+                drop(state);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.shared.not_full.wait(state).unwrap();
+        }
+    }
+
+    /// Enqueues `msg` if there is room, without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] at capacity, [`TrySendError::Disconnected`]
+    /// if the receiver is gone; both hand the message back.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.shared.state.lock().unwrap();
+        if !state.receiver_alive {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if state.queue.len() >= self.shared.capacity {
+            return Err(TrySendError::Full(msg));
+        }
+        state.queue.push_back(msg);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Messages currently queued (racy snapshot — advisory only).
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// True if no messages are queued (racy snapshot — advisory only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The queue's fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().unwrap().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            // Wake a receiver blocked in recv so it observes disconnect.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+/// The consuming half of a channel (single consumer — not cloneable).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    fn pop(&self, state: &mut State<T>) -> Option<T> {
+        let msg = state.queue.pop_front();
+        if msg.is_some() {
+            self.shared.not_full.notify_one();
+        }
+        msg
+    }
+
+    /// Blocks until a message arrives or every sender is dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError`] once the queue is empty and all senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(msg) = self.pop(&mut state) {
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.shared.not_empty.wait(state).unwrap();
+        }
+    }
+
+    /// Blocks up to `timeout` for a message.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] if nothing arrived in time,
+    /// [`RecvTimeoutError::Disconnected`] once the queue is empty and all
+    /// senders are gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(msg) = self.pop(&mut state) {
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (s, timed_out) = self
+                .shared
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .unwrap();
+            state = s;
+            if timed_out.timed_out() && state.queue.is_empty() {
+                return if state.senders == 0 {
+                    Err(RecvTimeoutError::Disconnected)
+                } else {
+                    Err(RecvTimeoutError::Timeout)
+                };
+            }
+        }
+    }
+
+    /// Dequeues a message if one is ready, without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] when nothing is queued,
+    /// [`TryRecvError::Disconnected`] once the queue is empty and all
+    /// senders are gone.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.state.lock().unwrap();
+        if let Some(msg) = self.pop(&mut state) {
+            return Ok(msg);
+        }
+        if state.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Messages currently queued (racy snapshot — advisory only).
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// True if no messages are queued (racy snapshot — advisory only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.receiver_alive = false;
+        // Undelivered messages drop here; wake every sender blocked on a
+        // full queue so it observes the disconnect.
+        state.queue.clear();
+        drop(state);
+        self.shared.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_across_producers() {
+        let (tx, rx) = bounded(8);
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        tx.send(3).unwrap();
+        assert_eq!(rx.len(), 3);
+        assert_eq!((rx.recv(), rx.recv(), rx.recv()), (Ok(1), Ok(2), Ok(3)));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn try_send_observes_capacity() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!((rx.recv(), rx.recv()), (Ok(2), Ok(3)));
+    }
+
+    #[test]
+    fn blocking_send_resumes_when_room_appears() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let h = thread::spawn(move || tx.send(2));
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(1));
+        h.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn disconnects_propagate_both_ways() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert!(matches!(tx.send(1), Err(SendError(1))));
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Disconnected(2))));
+
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(4).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(4));
+    }
+}

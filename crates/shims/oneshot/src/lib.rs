@@ -1,0 +1,212 @@
+//! Offline stand-in for the `oneshot` crate (see
+//! `crates/shims/README.md`).
+//!
+//! A single-message, single-use channel: the `service` crate's reply
+//! slot. The sender moves exactly one value in; the receiver blocks
+//! until that value (or the sender's drop) arrives. Built on a
+//! `Mutex<Option<T>>` and one condvar — no async integration.
+
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Receiver::recv`]: the sender was dropped without
+/// sending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No value arrived within the timeout.
+    Timeout,
+    /// The sender was dropped without sending.
+    Disconnected,
+}
+
+/// Error returned by [`Sender::send`] when the receiver has been
+/// dropped; carries the unsent value back.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+struct State<T> {
+    value: Option<T>,
+    sender_alive: bool,
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+/// Creates a fresh oneshot channel.
+///
+/// ```
+/// let (tx, rx) = oneshot::channel();
+/// tx.send(42).unwrap();
+/// assert_eq!(rx.recv(), Ok(42));
+/// ```
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            value: None,
+            sender_alive: true,
+            receiver_alive: true,
+        }),
+        ready: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// The sending half; consumed by [`Sender::send`].
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Moves `value` to the receiver and consumes the sender.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError`] (with the value) if the receiver is gone.
+    pub fn send(self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.state.lock().unwrap();
+        if !state.receiver_alive {
+            return Err(SendError(value));
+        }
+        state.value = Some(value);
+        drop(state);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.sender_alive = false;
+        drop(state);
+        self.shared.ready.notify_one();
+    }
+}
+
+/// The receiving half; consumed by [`Receiver::recv`] /
+/// [`Receiver::recv_timeout`].
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until the value arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError`] if the sender was dropped without sending.
+    pub fn recv(self) -> Result<T, RecvError> {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(v) = state.value.take() {
+                return Ok(v);
+            }
+            if !state.sender_alive {
+                return Err(RecvError);
+            }
+            state = self.shared.ready.wait(state).unwrap();
+        }
+    }
+
+    /// Blocks up to `timeout` for the value.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] if nothing arrived in time,
+    /// [`RecvTimeoutError::Disconnected`] if the sender was dropped
+    /// without sending.
+    pub fn recv_timeout(self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(v) = state.value.take() {
+                return Ok(v);
+            }
+            if !state.sender_alive {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (s, _) = self
+                .shared
+                .ready
+                .wait_timeout(state, deadline - now)
+                .unwrap();
+            state = s;
+        }
+    }
+
+    /// Returns the value if it has already arrived, without blocking;
+    /// `None` leaves the receiver usable.
+    pub fn try_recv(&self) -> Option<T> {
+        self.shared.state.lock().unwrap().value.take()
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.state.lock().unwrap().receiver_alive = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn delivers_across_threads() {
+        let (tx, rx) = channel();
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(5));
+            tx.send("hi").unwrap();
+        });
+        assert_eq!(rx.recv(), Ok("hi"));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn dropped_sender_disconnects() {
+        let (tx, rx) = channel::<u32>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn dropped_receiver_rejects_send() {
+        let (tx, rx) = channel();
+        drop(rx);
+        assert!(matches!(tx.send(1), Err(SendError(1))));
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (tx, rx) = channel::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+    }
+}

@@ -276,6 +276,29 @@ pub fn payment_history_writes(
     ]
 }
 
+/// The cross-table writes of one New-Order transaction — TPC-C §2.4
+/// inserts one Order row, one NewOrder queue row and `ol_cnt` OrderLine
+/// rows, all of which must land together or not at all. Each element is
+/// `(txn_table_id, key, value)` with the table ids of
+/// [`Table::txn_id`] (Order 3, NewOrder 4, OrderLine 5), ready to stage
+/// into one `txn::WriteBatch`; values are derived from the row identity
+/// so a torn or mis-applied New-Order is *observable*, and biased off
+/// the reserved 0 / `u64::MAX` endpoints.
+///
+/// `ol_cnt` is clamped to TPC-C's 5..=15 line-count range.
+pub fn new_order_writes(w: u64, d: u64, o: u64, ol_cnt: u64) -> Vec<(usize, Key, u64)> {
+    let ol_cnt = ol_cnt.clamp(5, 15);
+    let mut writes = Vec::with_capacity(2 + ol_cnt as usize);
+    // Order row carries the line count; NewOrder queue row the order id.
+    writes.push((3, k_order(w, d, o), ol_cnt + 1));
+    writes.push((4, k_order(w, d, o), o + 1));
+    for ol in 0..ol_cnt {
+        // Order line value: a fake item id derived from the row identity.
+        writes.push((5, k_orderline(w, d, o, ol), (o << 8) + ol + 1));
+    }
+    writes
+}
+
 /// Range-partition split points that place each contiguous group of
 /// warehouses in its own shard of `table`'s index, or `None` for the two
 /// tables whose keys carry no warehouse id (Item, History) — shard those

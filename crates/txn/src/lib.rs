@@ -176,6 +176,23 @@ impl WriteBatch {
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }
+
+    /// The staged ops as `(table id, op)` pairs, in staging order — what
+    /// `crates/service` walks to validate, route and simulate a client
+    /// batch before handing it to [`TxnEngine::commit_grouped`].
+    ///
+    /// ```
+    /// use pmindex::BatchOp;
+    ///
+    /// let mut b = txn::WriteBatch::new();
+    /// b.put(1, 7, 70);
+    /// b.delete(0, 9);
+    /// let ops: Vec<_> = b.ops().collect();
+    /// assert_eq!(ops, vec![(1, BatchOp::Put(7, 70)), (0, BatchOp::Delete(9))]);
+    /// ```
+    pub fn ops(&self) -> impl Iterator<Item = (usize, BatchOp)> + '_ {
+        self.ops.iter().map(|&(t, op)| (t as usize, op))
+    }
 }
 
 /// Applies `ops` grouped per table: each table receives its ops in batch
@@ -214,6 +231,11 @@ pub struct TxnEngine {
     /// Last committed sequence number (volatile mirror of the journal's
     /// committed word; re-derived by `open`/`recover`).
     seq: AtomicU64,
+    /// Last *applied* sequence number — trails `seq` during the window
+    /// between the commit store and the end of the apply phase. This is
+    /// what [`Snapshot::seq`] reports: a snapshot taken mid-commit must
+    /// not claim visibility for a batch whose apply has not run.
+    applied: AtomicU64,
     /// Excludes the apply phase (exclusive) against open snapshots
     /// (shared): a batch becomes visible to snapshot readers entirely or
     /// not at all.
@@ -273,6 +295,7 @@ impl TxnEngine {
                 cap: INITIAL_CAPACITY,
             }),
             seq: AtomicU64::new(0),
+            applied: AtomicU64::new(0),
             apply_gate: RwLock::new(()),
             epoch: epoch::EpochDomain::new(),
         })
@@ -321,6 +344,7 @@ impl TxnEngine {
             pool,
             journal: Mutex::new(Journal { off, cap }),
             seq: AtomicU64::new(committed),
+            applied: AtomicU64::new(applied),
             apply_gate: RwLock::new(()),
             epoch: epoch::EpochDomain::new(),
         })
@@ -423,15 +447,62 @@ impl TxnEngine {
         batch: WriteBatch,
         tables: &[&T],
     ) -> Result<u64, IndexError> {
-        for &(t, op) in &batch.ops {
-            if t as usize >= tables.len() {
-                return Err(IndexError::Unsupported(format!(
-                    "batch names table {t} but only {} tables were passed",
-                    tables.len()
-                )));
-            }
-            if let BatchOp::Put(_, v) = op {
-                check_value(v)?;
+        self.commit_grouped(std::slice::from_ref(&batch), tables)
+    }
+
+    /// Group commit: stages *many* clients' [`WriteBatch`]es into the
+    /// journal contiguously and commits them all with **one** sequence
+    /// store + fence — the amortization lever `crates/service` pulls.
+    /// Per group, not per client batch: one staging persist (the entry
+    /// lines coalesce into a single flush+fence round), one commit
+    /// fence, one apply-gate acquisition, one retire fence.
+    ///
+    /// The group is all-or-nothing as a unit: a crash before the commit
+    /// store recovers *none* of the member batches, after it *all* of
+    /// them (each member batch is therefore also individually
+    /// all-or-nothing). Validation failures reject the whole group
+    /// before anything is staged. Empty groups (and groups of empty
+    /// batches) are no-ops returning the current sequence.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmindex::PmIndex;
+    /// use txn::{TxnEngine, WriteBatch};
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+    /// let tree = fastfair::FastFairTree::create(Arc::clone(&pool), fastfair::TreeOptions::new())?;
+    /// let engine = TxnEngine::create(Arc::clone(&pool))?;
+    /// let mut a = WriteBatch::new();
+    /// a.put(0, 1, 10);
+    /// let mut b = WriteBatch::new();
+    /// b.put(0, 2, 20);
+    /// b.delete(0, 1); // later batches see earlier ones: apply order is group order
+    /// let seq = engine.commit_grouped(&[a, b], &[&tree])?;
+    /// assert_eq!(seq, 1); // ONE sequence number for the whole group
+    /// assert_eq!((tree.get(1), tree.get(2)), (None, Some(20)));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`TxnEngine::commit`], checked across every member
+    /// batch before staging begins.
+    pub fn commit_grouped<T: PmIndex + ?Sized>(
+        &self,
+        batches: &[WriteBatch],
+        tables: &[&T],
+    ) -> Result<u64, IndexError> {
+        for batch in batches {
+            for &(t, op) in &batch.ops {
+                if t as usize >= tables.len() {
+                    return Err(IndexError::Unsupported(format!(
+                        "batch names table {t} but only {} tables were passed",
+                        tables.len()
+                    )));
+                }
+                if let BatchOp::Put(_, v) = op {
+                    check_value(v)?;
+                }
             }
         }
         let mut j = self.journal.lock();
@@ -441,13 +512,15 @@ impl TxnEngine {
                 "journal holds a committed batch not yet applied; run recover() first".into(),
             ));
         }
-        if batch.ops.is_empty() {
+        let total: usize = batches.iter().map(|b| b.ops.len()).sum();
+        if total == 0 {
             return Ok(committed);
         }
-        self.ensure_capacity(&mut j, batch.ops.len() as u64)?;
-        // 1. STAGE: entries + count, fully persisted before the commit
-        // word can name them. Nothing is reachable yet.
-        for (i, &(t, op)) in batch.ops.iter().enumerate() {
+        self.ensure_capacity(&mut j, total as u64)?;
+        // 1. STAGE: every member batch's entries back to back, plus the
+        // count word, persisted with ONE flush+fence round before the
+        // commit word can name them. Nothing is reachable yet.
+        for (i, &(t, op)) in batches.iter().flat_map(|b| b.ops.iter()).enumerate() {
             let base = j.off + J_ENTRIES + (i as u64) * ENTRY_WORDS * 8;
             let (kind, k, v) = match op {
                 BatchOp::Put(k, v) => (OP_PUT, k, v),
@@ -458,24 +531,30 @@ impl TxnEngine {
             self.pool.store_u64(base + 16, k);
             self.pool.store_u64(base + 24, v);
         }
-        self.pool.store_u64(j.off + J_COUNT, batch.ops.len() as u64);
+        self.pool.store_u64(j.off + J_COUNT, total as u64);
         self.pool.persist(
             j.off + J_COUNT,
-            (J_ENTRIES - J_COUNT) + batch.ops.len() as u64 * ENTRY_WORDS * 8,
+            (J_ENTRIES - J_COUNT) + total as u64 * ENTRY_WORDS * 8,
         );
-        // 2. COMMIT: THE single failure-atomic 8-byte store. A crash
-        // before this flush exposes the old sequence (batch never
-        // happened); after it, recovery replays the whole batch.
+        // 2. COMMIT: THE single failure-atomic 8-byte store — one per
+        // *group*. A crash before this flush exposes the old sequence
+        // (no member batch ever happened); after it, recovery replays
+        // them all.
         let seq = committed + 1;
         self.pool.store_u64(j.off + J_COMMITTED, seq);
         self.pool.persist(j.off + J_COMMITTED, 8);
         pmem::stats::count_txn_commit();
         self.seq.store(seq, Ordering::SeqCst);
         // 3. APPLY: idempotent redo onto the live tables, atomically
-        // with respect to snapshot readers.
+        // with respect to snapshot readers. The applied counter advances
+        // inside the gate so a snapshot's seq always matches what its
+        // reads can observe.
         {
             let _excl = self.apply_gate.write();
-            apply_grouped(&batch.ops, tables)?;
+            let ops: Vec<(u64, BatchOp)> =
+                batches.iter().flat_map(|b| b.ops.iter().copied()).collect();
+            apply_grouped(&ops, tables)?;
+            self.applied.store(seq, Ordering::SeqCst);
         }
         // 4. RETIRE: mark applied so the next commit can reuse the
         // region. Crashing before this store merely makes recovery
@@ -517,6 +596,7 @@ impl TxnEngine {
         let applied = self.pool.load_u64(j.off + J_APPLIED);
         self.seq.store(committed, Ordering::SeqCst);
         if committed == applied {
+            self.applied.store(committed, Ordering::SeqCst);
             self.epoch.flush();
             return Ok(0);
         }
@@ -546,6 +626,7 @@ impl TxnEngine {
         {
             let _excl = self.apply_gate.write();
             apply_grouped(&ops, tables)?;
+            self.applied.store(committed, Ordering::SeqCst);
         }
         pmem::stats::count_txn_replays(n);
         self.pool.store_u64(j.off + J_APPLIED, committed);
@@ -578,8 +659,13 @@ impl TxnEngine {
     /// ```
     pub fn snapshot(&self) -> Snapshot<'_> {
         let gate = self.apply_gate.read();
+        // Report the *applied* sequence, not the committed one: between
+        // a group's commit store and the end of its apply, `seq` already
+        // names a batch whose writes no read can observe. The applied
+        // counter only advances inside the (write-held) gate, so under
+        // our read guard it exactly matches table state.
         Snapshot {
-            seq: self.seq.load(Ordering::SeqCst),
+            seq: self.applied.load(Ordering::SeqCst),
             _gate: gate,
             guards: vec![self.epoch.pin()],
         }
@@ -770,6 +856,102 @@ mod tests {
         });
         assert_eq!(tree.get(1), Some(10));
         assert_eq!(tree.get(2), Some(20));
+    }
+
+    /// Wrapper whose `apply_batch` fails once on demand — freezing the
+    /// engine in the committed-but-unapplied window a snapshot could
+    /// previously misreport.
+    struct FailingApply {
+        inner: FastFairTree,
+        fail_next: std::sync::atomic::AtomicBool,
+    }
+
+    impl PmIndex for FailingApply {
+        fn insert(&self, key: u64, value: u64) -> Result<Option<u64>, IndexError> {
+            self.inner.insert(key, value)
+        }
+        fn update(&self, key: u64, value: u64) -> Result<Option<u64>, IndexError> {
+            self.inner.update(key, value)
+        }
+        fn get(&self, key: u64) -> Option<u64> {
+            self.inner.get(key)
+        }
+        fn remove(&self, key: u64) -> bool {
+            self.inner.remove(key)
+        }
+        fn cursor(&self) -> Box<dyn pmindex::Cursor + '_> {
+            self.inner.cursor()
+        }
+        fn name(&self) -> &'static str {
+            "failing-apply"
+        }
+        fn apply_batch(&self, ops: &[BatchOp]) -> Result<(), IndexError> {
+            if self.fail_next.swap(false, Ordering::SeqCst) {
+                return Err(IndexError::PoolExhausted("injected apply failure".into()));
+            }
+            self.inner.apply_batch(ops)
+        }
+    }
+
+    /// Regression (PR 8): `Snapshot::seq` must report the last *applied*
+    /// group, not the last *committed* one. With the apply frozen after
+    /// the commit store (injected failure here; the mid-group window in
+    /// live service traffic), a snapshot used to claim seq 1 while the
+    /// tables still showed nothing of the batch.
+    #[test]
+    fn snapshot_mid_group_sees_none_of_it() {
+        let pool = Arc::new(Pool::new(PoolConfig::new().size(8 << 20)).unwrap());
+        let table = FailingApply {
+            inner: FastFairTree::create(Arc::clone(&pool), TreeOptions::new()).unwrap(),
+            fail_next: std::sync::atomic::AtomicBool::new(true),
+        };
+        let engine = TxnEngine::create(Arc::clone(&pool)).unwrap();
+        let mut a = WriteBatch::new();
+        a.put(0, 1, 10);
+        let mut b = WriteBatch::new();
+        b.put(0, 2, 20);
+        // The group commits (journal word flips) but the apply dies.
+        assert!(engine.commit_grouped(&[a, b], &[&table]).is_err());
+        assert_eq!(engine.last_committed(), 1);
+        assert!(engine.pending());
+        {
+            let snap = engine.snapshot();
+            // Committed-but-unapplied: the snapshot must not claim the
+            // group is visible — and indeed no read can see it.
+            assert_eq!(snap.seq(), 0, "snapshot leaked an unapplied group");
+            assert_eq!((table.get(1), table.get(2)), (None, None));
+        }
+        // Recovery replays the group; snapshots then see all of it.
+        assert_eq!(engine.recover(&[&table]).unwrap(), 2);
+        let snap = engine.snapshot();
+        assert_eq!(snap.seq(), 1);
+        assert_eq!((table.get(1), table.get(2)), (Some(10), Some(20)));
+    }
+
+    #[test]
+    fn grouped_commit_is_one_sequence_and_one_commit_fence_set() {
+        let (_pool, tree, engine) = mk();
+        let batches: Vec<WriteBatch> = (0..4u64)
+            .map(|c| {
+                let mut b = WriteBatch::new();
+                b.put(0, 10 + c, 100 + c);
+                b.put(0, 20 + c, 200 + c);
+                b
+            })
+            .collect();
+        pmem::stats::reset();
+        assert_eq!(engine.commit_grouped(&batches, &[&tree]).unwrap(), 1);
+        let s = pmem::stats::take();
+        assert_eq!(s.txn_commits, 1, "one journal commit for the group");
+        for c in 0..4u64 {
+            assert_eq!(tree.get(10 + c), Some(100 + c));
+            assert_eq!(tree.get(20 + c), Some(200 + c));
+        }
+        // A second group continues the sequence by one, not by four.
+        let mut b = WriteBatch::new();
+        b.put(0, 99, 999);
+        assert_eq!(engine.commit_grouped(&[b], &[&tree]).unwrap(), 2);
+        assert!(!engine.pending());
     }
 
     #[test]

@@ -11,6 +11,7 @@ pub use fptree;
 pub use pmem;
 pub use pmindex;
 pub use pskiplist;
+pub use service;
 pub use shard;
 pub use tpcc;
 pub use txn;

@@ -261,3 +261,90 @@ fn byte_cursor_survives_deletes_under_its_feet() {
         "byte-keyed post-delete scan diverged from model"
     );
 }
+
+/// Scans *through the service* while deletes stream through the same
+/// single lane: because every request on a lane serializes into group
+/// order and scans are answered at their group's commit point, each scan
+/// must observe exactly a PREFIX of the delete sequence — never a torn
+/// middle state, never a deleted key resurfacing. This is the
+/// client-visible face of the snapshot/group-commit seam: a scan grouped
+/// mid-way through the deletes sees all earlier deletes and none of the
+/// later ones.
+#[test]
+fn service_scans_observe_delete_prefixes() {
+    use fastfair_repro::service::{Service, ServiceConfig};
+    use fastfair_repro::shard::{Partitioning, ShardedStore};
+    use fastfair_repro::txn::TxnEngine;
+
+    let pool = Arc::new(Pool::new(PoolConfig::default().size(POOL_BYTES)).unwrap());
+    let store: Arc<ShardedStore<fastfair_repro::fastfair::FastFairTree>> = Arc::new(
+        ShardedStore::create(
+            Arc::clone(&pool),
+            vec![Arc::clone(&pool)],
+            Partitioning::Hash { shards: 1 },
+        )
+        .unwrap(),
+    );
+    let engine = Arc::new(TxnEngine::create(Arc::clone(&pool)).unwrap());
+    let service = Service::with_engine(
+        vec![Arc::clone(&store)],
+        engine,
+        ServiceConfig {
+            lanes: 1,
+            ..ServiceConfig::default()
+        },
+    );
+
+    let loader = service.handle();
+    for k in 1..=DENSE {
+        loader.insert(k, expected_value(k)).unwrap();
+    }
+    let victims: Vec<u64> = (1..=DENSE).filter(|k| k % 2 == 1).collect();
+
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let scanner = service.handle();
+        let victims_ref = &victims;
+        let done = &done;
+        s.spawn(move || {
+            let mut max_prefix = 0usize;
+            while !done.load(Ordering::Acquire) {
+                let rows = scanner.scan(1, DENSE + 1).unwrap();
+                // Values exact, order ascending.
+                for w in rows.windows(2) {
+                    assert!(w[0].0 < w[1].0, "service scan not ascending");
+                }
+                for &(k, v) in &rows {
+                    assert_eq!(v, expected_value(k), "service scan yielded torn value");
+                }
+                // The missing odd keys must be exactly the first `d`
+                // victims of the delete sequence — a prefix, not a subset.
+                let present: std::collections::BTreeSet<u64> =
+                    rows.iter().map(|&(k, _)| k).collect();
+                let d = victims_ref.iter().filter(|k| !present.contains(k)).count();
+                for (i, k) in victims_ref.iter().enumerate() {
+                    assert_eq!(
+                        present.contains(k),
+                        i >= d,
+                        "scan observed a torn delete sequence: {d} gone but key {k} wrong"
+                    );
+                }
+                // Prefixes only grow: commits are ordered on the lane.
+                assert!(d >= max_prefix, "a deleted key resurfaced");
+                max_prefix = d;
+            }
+        });
+        let deleter = service.handle();
+        for &k in &victims {
+            assert!(deleter.delete(k).unwrap(), "victim {k} missing");
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    let survivors = service.handle().scan(1, DENSE + 1).unwrap();
+    let want: Vec<(u64, u64)> = (1..=DENSE)
+        .filter(|k| k % 2 == 0)
+        .map(|k| (k, expected_value(k)))
+        .collect();
+    assert_eq!(survivors, want, "post-delete service scan diverged");
+}
