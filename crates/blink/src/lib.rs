@@ -492,6 +492,14 @@ impl Cursor for BlinkCursor<'_> {
     fn next(&mut self) -> Option<(Key, Value)> {
         self.0.next()
     }
+
+    fn seek_for_prev(&mut self, target: Key) {
+        self.0.seek_for_prev(target)
+    }
+
+    fn prev(&mut self) -> Option<(Key, Value)> {
+        self.0.prev()
+    }
 }
 
 impl PmIndex for BlinkTree {

@@ -653,6 +653,14 @@ impl Cursor for FpCursor<'_> {
     fn next(&mut self) -> Option<(Key, Value)> {
         self.0.next()
     }
+
+    fn seek_for_prev(&mut self, target: Key) {
+        self.0.seek_for_prev(target)
+    }
+
+    fn prev(&mut self) -> Option<(Key, Value)> {
+        self.0.prev()
+    }
 }
 
 #[cfg(test)]

@@ -29,12 +29,12 @@ pub const NULL_OFFSET: PmOffset = 0;
 ///
 /// Layout: `[0..8)` magic, `[8..16)` root object offset, `[16..24)`
 /// allocation cursor (high-water mark), `[24..32)` manifest offset,
-/// `[32..40)` transaction-journal offset, rest reserved. The allocation
-/// cursor is treated as failure-atomic allocator metadata (PM allocator
-/// recovery is outside the paper's scope); the *root offset*, the
-/// *manifest offset* and the *journal offset* participate in normal crash
-/// semantics because index structures update them with an explicit store +
-/// persist.
+/// `[32..40)` transaction-journal offset, `[40..48)` catalog offset, rest
+/// reserved. The allocation cursor is treated as failure-atomic allocator
+/// metadata (PM allocator recovery is outside the paper's scope); the
+/// *root offset*, the *manifest offset*, the *journal offset* and the
+/// *catalog offset* participate in normal crash semantics because index
+/// structures update them with an explicit store + persist.
 pub const POOL_HEADER_SIZE: u64 = CACHE_LINE as u64;
 
 const MAGIC: u64 = 0x46_41_53_54_46_41_49_52; // "FASTFAIR"
@@ -42,6 +42,7 @@ const ROOT_SLOT: u64 = 8;
 const CURSOR_SLOT: u64 = 16;
 const MANIFEST_SLOT: u64 = 24;
 const JOURNAL_SLOT: u64 = 32;
+const CATALOG_SLOT: u64 = 40;
 
 /// A byte offset into a [`Pool`]; the persistent analogue of a pointer.
 pub type PmOffset = u64;
@@ -800,6 +801,30 @@ impl Pool {
         self.persist(JOURNAL_SLOT, 8);
     }
 
+    /// The pool's store-catalog offset (0 when unset).
+    ///
+    /// A fourth well-known header slot, naming the `catalog` crate's
+    /// superblock in this pool: the persistent name→store registry a
+    /// reopening process bootstraps from. Only the *root pool* of a
+    /// deployment uses this slot; it is distinct from
+    /// [`root`](Pool::root), [`manifest`](Pool::manifest) and
+    /// [`txn_journal`](Pool::txn_journal) so the root pool can host an
+    /// index, a shard manifest, a journal and the catalog simultaneously.
+    pub fn catalog(&self) -> PmOffset {
+        self.load_u64(CATALOG_SLOT)
+    }
+
+    /// Sets and persists the store-catalog offset — one failure-atomic
+    /// 8-byte store followed by a flush + fence, the same publish
+    /// discipline as [`set_manifest`](Pool::set_manifest): prepare and
+    /// persist the catalog superblock first, then name it here with a
+    /// single atomic pointer flip. A crash exposes either the old catalog
+    /// or the new one, never a mixture.
+    pub fn set_catalog(&self, off: PmOffset) {
+        self.store_u64(CATALOG_SLOT, off);
+        self.persist(CATALOG_SLOT, 8);
+    }
+
     /// Copies the current *volatile* contents of the pool.
     ///
     /// This is what the memory would look like if every cache line were
@@ -987,6 +1012,24 @@ mod tests {
         assert_eq!(p.txn_journal(), 16384);
         assert_eq!(p.root(), 4096);
         assert_eq!(p.manifest(), 8192);
+    }
+
+    #[test]
+    fn catalog_roundtrip_and_independence() {
+        let p = small_pool();
+        assert_eq!(p.catalog(), NULL_OFFSET);
+        p.set_catalog(24576);
+        assert_eq!(p.catalog(), 24576);
+        // The catalog slot is independent of the other header slots, and
+        // survives a clean-image reopen like any persisted store.
+        p.set_root(4096);
+        p.set_manifest(8192);
+        p.set_txn_journal(16384);
+        assert_eq!(p.catalog(), 24576);
+        let img = p.volatile_image();
+        let p2 = Pool::from_image(&img, PoolConfig::new().size(1 << 20)).unwrap();
+        assert_eq!(p2.catalog(), 24576);
+        assert_eq!(p2.root(), 4096);
     }
 
     #[test]

@@ -131,6 +131,57 @@ pub trait Cursor {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     fn next(&mut self) -> Option<(Key, Value)>;
+
+    /// Repositions the cursor for **descending** iteration: the next call
+    /// to [`Cursor::prev`] returns the last entry with `key <= target`.
+    ///
+    /// The mirror image of [`Cursor::seek`] — where `seek` opens an
+    /// ascending scan from a lower bound, `seek_for_prev` opens a
+    /// descending scan from an upper bound (the `ORDER BY ... DESC` entry
+    /// point, and how TPC-C Order-Status lands directly on a customer's
+    /// newest order instead of streaming every order forward).
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmindex::{Cursor, PmIndex};
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+    /// let tree = fastfair::FastFairTree::create(pool, fastfair::TreeOptions::new())?;
+    /// tree.bulk_load(&mut [(10u64, 1u64), (20, 2), (30, 3)].into_iter())?;
+    /// let mut cur = tree.cursor();
+    /// cur.seek_for_prev(25); // between keys: lands on the previous one
+    /// assert_eq!(cur.prev(), Some((20, 2)));
+    /// cur.seek_for_prev(30); // exact hit is included
+    /// assert_eq!(cur.prev(), Some((30, 3)));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    fn seek_for_prev(&mut self, target: Key);
+
+    /// Returns the next entry in **descending** key order, or `None` when
+    /// the scan has moved below the smallest key.
+    ///
+    /// Must be preceded by [`Cursor::seek_for_prev`]; interleaving with
+    /// [`Cursor::next`] is not supported — switch direction by re-seeking.
+    /// Reverse scans carry the same concurrency guarantee as forward
+    /// scans: entries committed before the cursor passed their position
+    /// are observed exactly once, in strictly descending order.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use pmindex::{Cursor, PmIndex};
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+    /// let tree = fastfair::FastFairTree::create(pool, fastfair::TreeOptions::new())?;
+    /// tree.insert(2, 20)?;
+    /// tree.insert(1, 10)?;
+    /// let mut cur = tree.cursor();
+    /// cur.seek_for_prev(u64::MAX); // from the top
+    /// assert_eq!(cur.prev(), Some((2, 20)));
+    /// assert_eq!(cur.prev(), Some((1, 10)));
+    /// assert_eq!(cur.prev(), None);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    fn prev(&mut self) -> Option<(Key, Value)>;
 }
 
 impl Cursor for Box<dyn Cursor + '_> {
@@ -139,6 +190,12 @@ impl Cursor for Box<dyn Cursor + '_> {
     }
     fn next(&mut self) -> Option<(Key, Value)> {
         (**self).next()
+    }
+    fn seek_for_prev(&mut self, target: Key) {
+        (**self).seek_for_prev(target)
+    }
+    fn prev(&mut self) -> Option<(Key, Value)> {
+        (**self).prev()
     }
 }
 
@@ -695,6 +752,29 @@ mod tests {
                 }
             }
         }
+        fn seek_for_prev(&mut self, target: Key) {
+            self.from = target;
+            self.done = false;
+        }
+        fn prev(&mut self) -> Option<(Key, Value)> {
+            if self.done {
+                return None;
+            }
+            let map = self.idx.0.lock().unwrap();
+            match map.range(..=self.from).next_back() {
+                Some((&k, &v)) => {
+                    match k.checked_sub(1) {
+                        Some(n) => self.from = n,
+                        None => self.done = true,
+                    }
+                    Some((k, v))
+                }
+                None => {
+                    self.done = true;
+                    None
+                }
+            }
+        }
     }
 
     impl PmIndex for ModelIndex {
@@ -761,6 +841,12 @@ mod tests {
             assert_eq!(c.next(), Some((5, 51)));
             assert_eq!(c.next(), Some((9, 91)));
             assert_eq!(c.next(), None);
+            // ...and flipped into a descending scan by seek_for_prev.
+            c.seek_for_prev(5);
+            assert_eq!(c.prev(), Some((5, 51)));
+            assert_eq!(c.prev(), Some((2, 20)));
+            assert_eq!(c.prev(), Some((1, 11)));
+            assert_eq!(c.prev(), None);
         }
         // Forwarding impls preserve the whole surface.
         let boxed: Box<dyn PmIndex> = Box::new(idx);

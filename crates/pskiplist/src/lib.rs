@@ -277,11 +277,16 @@ pub struct SkipCursor<'a> {
     list: &'a PSkipList,
     /// Node whose level-0 successor is the next candidate.
     cur: pmem::PmOffset,
-    /// Lower bound from the last seek: an insert racing between the
-    /// predecessor lookup and `next` can link a key below the target right
-    /// after `cur`, so the bound — not the start position — enforces the
-    /// `key >= target` contract.
+    /// Lower bound from the last seek (upper bound, inclusive, after a
+    /// `seek_for_prev`): an insert racing between the predecessor lookup
+    /// and `next` can link a key below the target right after `cur`, so
+    /// the bound — not the start position — enforces the `key >= target`
+    /// contract.
     bound: Key,
+    /// Scan direction, set by the last seek.
+    reverse: bool,
+    /// A reverse scan has moved below the smallest key.
+    done: bool,
     /// Keeps retired nodes out of the free list while this cursor lives.
     _pin: epoch::Guard,
 }
@@ -291,9 +296,14 @@ impl Cursor for SkipCursor<'_> {
         let (preds, _) = self.list.find_preds(target);
         self.cur = preds[0];
         self.bound = target;
+        self.reverse = false;
+        self.done = false;
     }
 
     fn next(&mut self) -> Option<(Key, Value)> {
+        if self.reverse {
+            return None; // direction switches go through a re-seek
+        }
         loop {
             let nxt = self.list.next(self.cur, 0);
             if nxt == NULL_OFFSET {
@@ -311,6 +321,51 @@ impl Cursor for SkipCursor<'_> {
             }
             // Tombstone: skip.
         }
+    }
+
+    fn seek_for_prev(&mut self, target: Key) {
+        self.bound = target;
+        self.reverse = true;
+        self.done = false;
+    }
+
+    fn prev(&mut self) -> Option<(Key, Value)> {
+        if !self.reverse {
+            if self.bound == 0 {
+                // Bare prev() on a fresh cursor: start from the top.
+                self.seek_for_prev(Key::MAX);
+            } else {
+                return None; // direction switches go through a re-seek
+            }
+        }
+        // The bottom list is singly linked, so every step left is a fresh
+        // tower descent for the rightmost node with `key <= bound` — one
+        // O(log n) predecessor search per entry, the skip list's honest
+        // reverse-scan cost.
+        while !self.done {
+            let (preds, succs) = self.list.find_preds(self.bound);
+            let node = if succs[0] != NULL_OFFSET && self.list.key_of(succs[0]) == self.bound {
+                succs[0]
+            } else {
+                preds[0]
+            };
+            if node == self.list.head() {
+                self.done = true;
+                break;
+            }
+            self.list.pool.charge_serial_reads(1);
+            let k = self.list.key_of(node);
+            match k.checked_sub(1) {
+                Some(n) => self.bound = n,
+                None => self.done = true,
+            }
+            let v = self.list.val_of(node);
+            if v != 0 {
+                return Some((k, v));
+            }
+            // Tombstone: lower the bound past it and retry.
+        }
+        None
     }
 }
 
@@ -481,6 +536,8 @@ impl PmIndex for PSkipList {
             list: self,
             cur: self.head(),
             bound: 0,
+            reverse: false,
+            done: false,
             _pin: self.epoch.pin(),
         })
     }

@@ -340,6 +340,70 @@ impl<I: PmIndex + Send + Sync + 'static> Service<I> {
         Service::start(tables, None, config)
     }
 
+    /// Boots a service from a [`catalog::Catalog`]: every name in
+    /// `tables` is re-opened by [`catalog::Catalog::open_store`] (in
+    /// order — the resulting positions are the table ids client batches
+    /// use), and `engine` (if given) is re-opened with
+    /// [`catalog::Catalog::open_txn`] and **recovered** against the
+    /// tables before any request is served, so committed-but-unapplied
+    /// batches from a crash are replayed first. This is the
+    /// warm-restart path: cold starts create stores, register them, and
+    /// call [`Service::with_engine`] / [`Service::direct`] directly;
+    /// every later boot goes through here with nothing but names.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use catalog::{Catalog, StoreKind};
+    /// use pmindex::PersistentIndex;
+    /// use service::{Service, ServiceConfig};
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(4 << 20))?);
+    /// let cat = Catalog::create(vec![Arc::clone(&pool)])?;
+    /// let tree = fastfair::FastFairTree::create_in(Arc::clone(&pool))?;
+    /// cat.register("kv", &StoreKind::Index { pool: 0, superblock: tree.superblock() })?;
+    /// drop(tree);
+    ///
+    /// let service: Service<fastfair::FastFairTree> =
+    ///     Service::from_catalog(&cat, &["kv"], None, ServiceConfig::default())?;
+    /// let client = service.handle();
+    /// client.insert(1, 10)?;
+    /// assert_eq!(client.get(1)?, Some(10));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates catalog lookup, store-open, and journal-recovery
+    /// failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` is empty or the config names zero lanes.
+    pub fn from_catalog(
+        catalog: &catalog::Catalog,
+        tables: &[&str],
+        engine: Option<&str>,
+        config: ServiceConfig,
+    ) -> Result<Self, IndexError>
+    where
+        I: pmindex::PersistentIndex,
+    {
+        let tables = tables
+            .iter()
+            .map(|name| catalog.open_store::<I>(name).map(Arc::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        let engine = match engine {
+            Some(name) => {
+                let engine = catalog.open_txn(name)?;
+                let refs: Vec<&I> = tables.iter().map(|t| t.as_ref()).collect();
+                engine.recover(&refs)?;
+                Some(Arc::new(engine))
+            }
+            None => None,
+        };
+        Ok(Service::start(tables, engine, config))
+    }
+
     fn start(tables: Vec<Arc<I>>, engine: Option<Arc<TxnEngine>>, config: ServiceConfig) -> Self {
         assert!(!tables.is_empty(), "a service needs at least one table");
         assert!(config.lanes > 0, "a service needs at least one lane");

@@ -870,13 +870,16 @@ impl<I: PmIndex> PmIndex for ShardedStore<I> {
             Partitioning::Hash { .. } => Box::new(HashMergeCursor {
                 feeds: self.feeds(),
                 heap: BinaryHeap::new(),
+                heap_rev: BinaryHeap::new(),
                 primed: false,
+                reverse: false,
                 _pin: pin,
             }),
             Partitioning::Range { .. } => Box::new(RangeChainCursor {
                 feeds: self.feeds(),
                 partitioning: self.partitioning.clone(),
                 active: 0,
+                reverse: false,
                 _pin: pin,
             }),
         }
@@ -1017,15 +1020,48 @@ impl<I: PmIndex> Feed<I> {
         }
         self.buf.pop_front()
     }
+
+    /// Descending twin of [`Feed::pop`]: `next_seek` carries the
+    /// *upper* bound (inclusive) and each refill opens a short-lived
+    /// per-shard cursor at `seek_for_prev` — one descent amortized over
+    /// the whole batch, exactly like the forward path.
+    fn pop_rev(&mut self) -> Option<(Key, Value)> {
+        if self.buf.is_empty() && !self.exhausted {
+            let mut cur = self.index.cursor();
+            cur.seek_for_prev(self.next_seek);
+            for _ in 0..FEED_BATCH {
+                match cur.prev() {
+                    Some(entry) => self.buf.push_back(entry),
+                    None => {
+                        self.exhausted = true;
+                        break;
+                    }
+                }
+            }
+            match self.buf.back() {
+                Some(&(last, _)) => match last.checked_sub(1) {
+                    Some(next) => self.next_seek = next,
+                    None => self.exhausted = true, // key 0 was yielded
+                },
+                None => self.exhausted = true,
+            }
+        }
+        self.buf.pop_front()
+    }
 }
 
 /// K-way heap merge over per-shard feeds (hash partitioning: every shard
 /// may hold keys from anywhere in the keyspace).
 struct HashMergeCursor<I> {
     feeds: Vec<Feed<I>>,
-    /// Min-heap of the current head entry of each non-exhausted feed.
+    /// Min-heap of the current head entry of each non-exhausted feed
+    /// (ascending merge).
     heap: BinaryHeap<Reverse<(Key, Value, usize)>>,
+    /// Max-heap twin driving the descending merge after a
+    /// `seek_for_prev`.
+    heap_rev: BinaryHeap<(Key, Value, usize)>,
     primed: bool,
+    reverse: bool,
     /// Declared after `feeds` so the Arcs release before the unpin can
     /// trigger reclamation of an evacuated snapshot.
     _pin: epoch::Guard,
@@ -1037,10 +1073,15 @@ impl<I: PmIndex> Cursor for HashMergeCursor<I> {
             feed.reset(target);
         }
         self.heap.clear();
+        self.heap_rev.clear();
         self.primed = false;
+        self.reverse = false;
     }
 
     fn next(&mut self) -> Option<(Key, Value)> {
+        if self.reverse {
+            return None; // direction switches go through a re-seek
+        }
         if !self.primed {
             self.primed = true;
             for (i, feed) in self.feeds.iter_mut().enumerate() {
@@ -1055,6 +1096,39 @@ impl<I: PmIndex> Cursor for HashMergeCursor<I> {
         }
         Some((key, value))
     }
+
+    fn seek_for_prev(&mut self, target: Key) {
+        for feed in &mut self.feeds {
+            feed.reset(target);
+        }
+        self.heap.clear();
+        self.heap_rev.clear();
+        self.primed = false;
+        self.reverse = true;
+    }
+
+    fn prev(&mut self) -> Option<(Key, Value)> {
+        if !self.reverse {
+            if self.primed {
+                return None; // direction switches go through a re-seek
+            }
+            // Bare prev() on a fresh cursor: start from the top.
+            self.seek_for_prev(Key::MAX);
+        }
+        if !self.primed {
+            self.primed = true;
+            for (i, feed) in self.feeds.iter_mut().enumerate() {
+                if let Some((k, v)) = feed.pop_rev() {
+                    self.heap_rev.push((k, v, i));
+                }
+            }
+        }
+        let (key, value, i) = self.heap_rev.pop()?;
+        if let Some((k, v)) = self.feeds[i].pop_rev() {
+            self.heap_rev.push((k, v, i));
+        }
+        Some((key, value))
+    }
 }
 
 /// Sequential shard chaining (range partitioning: shard order *is* key
@@ -1064,6 +1138,7 @@ struct RangeChainCursor<I> {
     feeds: Vec<Feed<I>>,
     partitioning: Partitioning,
     active: usize,
+    reverse: bool,
     /// Declared after `feeds` so the Arcs release before the unpin can
     /// trigger reclamation of an evacuated snapshot.
     _pin: epoch::Guard,
@@ -1072,12 +1147,16 @@ struct RangeChainCursor<I> {
 impl<I: PmIndex> Cursor for RangeChainCursor<I> {
     fn seek(&mut self, target: Key) {
         self.active = self.partitioning.shard_of(target);
+        self.reverse = false;
         for feed in &mut self.feeds[self.active..] {
             feed.reset(target);
         }
     }
 
     fn next(&mut self) -> Option<(Key, Value)> {
+        if self.reverse {
+            return None; // direction switches go through a re-seek
+        }
         while self.active < self.feeds.len() {
             if let Some(entry) = self.feeds[self.active].pop() {
                 return Some(entry);
@@ -1085,6 +1164,31 @@ impl<I: PmIndex> Cursor for RangeChainCursor<I> {
             self.active += 1;
         }
         None
+    }
+
+    fn seek_for_prev(&mut self, target: Key) {
+        self.active = self.partitioning.shard_of(target);
+        self.reverse = true;
+        for feed in &mut self.feeds[..=self.active] {
+            feed.reset(target);
+        }
+    }
+
+    fn prev(&mut self) -> Option<(Key, Value)> {
+        if !self.reverse {
+            // Bare prev() (or a direction switch): restart from the top —
+            // range shards chain right-to-left from the highest shard.
+            self.seek_for_prev(Key::MAX);
+        }
+        loop {
+            if let Some(entry) = self.feeds[self.active].pop_rev() {
+                return Some(entry);
+            }
+            if self.active == 0 {
+                return None;
+            }
+            self.active -= 1;
+        }
     }
 }
 

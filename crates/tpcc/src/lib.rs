@@ -847,18 +847,12 @@ impl<I: PmIndex> TpccDb<I> {
         let w = rng.gen_range(0..cfg.warehouses);
         let d = rng.gen_range(0..cfg.districts_per_warehouse);
         let _cid = self.select_customer(rng, w, d);
-        // Most recent order of the district: stream the order keyspace
-        // without materializing it, keeping only the last entry.
-        let hi = k_order(w, d, u32::MAX as u64);
+        // Most recent order of the district: one reverse seek lands on
+        // the predecessor of the district's key-range ceiling directly,
+        // instead of streaming every order forward to find the last.
         let mut cur = self.order.cursor();
-        cur.seek(k_order(w, d, 0));
-        let mut newest = None;
-        while let Some((k, oid)) = cur.next() {
-            if k >= hi {
-                break;
-            }
-            newest = Some((k, oid));
-        }
+        cur.seek_for_prev(k_order(w, d, u32::MAX as u64) - 1);
+        let newest = cur.prev().filter(|&(k, _)| k >= k_order(w, d, 0));
         if let Some((okey, oid)) = newest {
             let o = okey & 0xffff_ffff;
             let row = self.orders.get(oid);
@@ -1046,6 +1040,45 @@ mod tests {
             v.len()
         };
         assert_eq!(after, before + 100);
+    }
+
+    #[test]
+    fn order_status_cost_does_not_scale_with_order_count() {
+        // Order-Status finds the newest order with one reverse seek, so
+        // its pointer-chase count must stay flat as a district's order
+        // history grows (a forward stream would pay one leaf hop per
+        // batch of existing orders). Stats counters are thread-local and
+        // `run` executes on the calling thread, so the measurement is
+        // deterministic under parallel test execution.
+        let only_new_order = Mix {
+            new_order: 100,
+            payment: 0,
+            order_status: 0,
+            delivery: 0,
+            stock_level: 0,
+        };
+        let only_status = Mix {
+            new_order: 0,
+            payment: 0,
+            order_status: 100,
+            delivery: 0,
+            stock_level: 0,
+        };
+        let status_cost = |extra_orders: usize| {
+            let db = fastfair_db();
+            if extra_orders > 0 {
+                db.run(only_new_order, extra_orders, 3).unwrap();
+            }
+            let _ = pmem::stats::take();
+            db.run(only_status, 50, 9).unwrap();
+            pmem::stats::take().serial_misses
+        };
+        let small = status_cost(0);
+        let big = status_cost(3000);
+        assert!(
+            big <= small.saturating_mul(3),
+            "newest-order lookup cost grew with order count: {small} -> {big} serial misses"
+        );
     }
 
     #[test]

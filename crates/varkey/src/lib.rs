@@ -137,6 +137,55 @@ pub trait ByteCursor {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     fn next(&mut self) -> Option<(Vec<u8>, Value)>;
+
+    /// Repositions the cursor for **descending** iteration: the next call
+    /// to [`ByteCursor::prev`] returns the last entry with
+    /// `key <= target` (lexicographically) — the byte-keyed mirror of
+    /// `pmindex::Cursor::seek_for_prev`.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use varkey::{VarKeyIndex, VarKeyStore};
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+    /// let tree = fastfair::FastFairTree::create(Arc::clone(&pool), fastfair::TreeOptions::new())?;
+    /// let store = VarKeyStore::new(tree, pool);
+    /// store.insert(b"ant", 1)?;
+    /// store.insert(b"bee", 2)?;
+    /// let mut cur = store.cursor();
+    /// cur.seek_for_prev(b"b"); // between keys: lands on the previous one
+    /// assert_eq!(cur.prev(), Some((b"ant".to_vec(), 1)));
+    /// cur.seek_for_prev(b"bee"); // exact hit is included
+    /// assert_eq!(cur.prev(), Some((b"bee".to_vec(), 2)));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    fn seek_for_prev(&mut self, target: &[u8]);
+
+    /// Returns the next entry in **descending** key order, or `None` when
+    /// the scan has moved below the smallest key.
+    ///
+    /// Must be preceded by [`ByteCursor::seek_for_prev`] — except that a
+    /// bare `prev()` on a fresh cursor starts from the largest key
+    /// (byte strings have no maximum, so there is no seek target for
+    /// "the end"). Interleaving with [`ByteCursor::next`] is not
+    /// supported; switch direction by re-seeking.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use varkey::{VarKeyIndex, VarKeyStore};
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+    /// let tree = fastfair::FastFairTree::create(Arc::clone(&pool), fastfair::TreeOptions::new())?;
+    /// let store = VarKeyStore::new(tree, pool);
+    /// store.insert(b"short", 1)?;
+    /// store.insert(b"longer-than-seven-bytes", 7)?;
+    /// let mut cur = store.cursor();
+    /// assert_eq!(cur.prev(), Some((b"short".to_vec(), 1)));
+    /// assert_eq!(cur.prev(), Some((b"longer-than-seven-bytes".to_vec(), 7)));
+    /// assert_eq!(cur.prev(), None);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    fn prev(&mut self) -> Option<(Vec<u8>, Value)>;
 }
 
 impl ByteCursor for Box<dyn ByteCursor + '_> {
@@ -145,6 +194,12 @@ impl ByteCursor for Box<dyn ByteCursor + '_> {
     }
     fn next(&mut self) -> Option<(Vec<u8>, Value)> {
         (**self).next()
+    }
+    fn seek_for_prev(&mut self, target: &[u8]) {
+        (**self).seek_for_prev(target)
+    }
+    fn prev(&mut self) -> Option<(Vec<u8>, Value)> {
+        (**self).prev()
     }
 }
 
@@ -907,6 +962,8 @@ impl<I: PmIndex> VarKeyIndex for VarKeyStore<I> {
             buf: Vec::new(),
             pos: 0,
             bound: Vec::new(),
+            reverse: false,
+            unbounded: false,
         })
     }
 
@@ -1018,10 +1075,18 @@ struct StoreCursor<'a, I: PmIndex> {
     /// One drained chain, consumed through `pos` (same pattern as
     /// `pmindex::chain::LeafChainCursor`) — the buffer is reused across
     /// chains, so a scan allocates nothing per chain but the keys.
+    /// Ascending scans consume it front-to-back, descending scans
+    /// back-to-front.
     buf: Vec<(Vec<u8>, Value)>,
     pos: usize,
-    /// Lower bound from the last seek; entries below it are dropped.
+    /// Lower bound from the last seek (upper bound, inclusive, after a
+    /// `seek_for_prev`); entries outside it are dropped.
     bound: Vec<u8>,
+    /// Scan direction, set by the last seek.
+    reverse: bool,
+    /// Reverse scan with no upper bound (a bare `prev()` from the end —
+    /// byte strings have no maximum key to seek to).
+    unbounded: bool,
 }
 
 impl<I: PmIndex> ByteCursor for StoreCursor<'_, I> {
@@ -1030,9 +1095,14 @@ impl<I: PmIndex> ByteCursor for StoreCursor<'_, I> {
         self.bound = target.to_vec();
         self.buf.clear();
         self.pos = 0;
+        self.reverse = false;
+        self.unbounded = false;
     }
 
     fn next(&mut self) -> Option<(Vec<u8>, Value)> {
+        if self.reverse {
+            return None; // direction switches go through a re-seek
+        }
         loop {
             if self.pos < self.buf.len() {
                 let entry = std::mem::take(&mut self.buf[self.pos]);
@@ -1055,6 +1125,60 @@ impl<I: PmIndex> ByteCursor for StoreCursor<'_, I> {
                     self.buf.clear();
                     self.pos = 0;
                     self.store.drain_chain(chunk, &self.bound, &mut self.buf);
+                }
+            }
+        }
+    }
+
+    fn seek_for_prev(&mut self, target: &[u8]) {
+        // The chunk codec is order-preserving, so every key `<= target`
+        // encodes a first chunk `<= first_chunk(target)` — the inner
+        // reverse cursor starting there covers all candidates.
+        self.inner.seek_for_prev(codec::first_chunk(target));
+        self.bound = target.to_vec();
+        self.buf.clear();
+        self.pos = 0;
+        self.reverse = true;
+        self.unbounded = false;
+    }
+
+    fn prev(&mut self) -> Option<(Vec<u8>, Value)> {
+        if !self.reverse {
+            if !self.buf.is_empty() || !self.bound.is_empty() {
+                return None; // direction switches go through a re-seek
+            }
+            // Bare prev() on a fresh cursor: chunks never reach u64::MAX
+            // (their low byte is a small discriminant), so seeking the
+            // inner cursor there lands past the largest chunk.
+            self.inner.seek_for_prev(u64::MAX);
+            self.reverse = true;
+            self.unbounded = true;
+        }
+        loop {
+            if self.pos > 0 {
+                self.pos -= 1;
+                return Some(std::mem::take(&mut self.buf[self.pos]));
+            }
+            let (chunk, value) = self.inner.prev()?;
+            match codec::decode_inline(chunk) {
+                Some(key) => {
+                    if self.unbounded || key.as_slice() <= self.bound.as_slice() {
+                        return Some((key, value));
+                    }
+                }
+                None => {
+                    // Overflow chain: drain it whole (ascending), drop
+                    // what exceeds the upper bound — only the chain at
+                    // the seek target can overshoot, since later chunks
+                    // are strictly below it — and consume back-to-front.
+                    let _ = value;
+                    self.buf.clear();
+                    self.store.drain_chain(chunk, &[], &mut self.buf);
+                    if !self.unbounded {
+                        let ub = &self.bound;
+                        self.buf.retain(|(k, _)| k.as_slice() <= ub.as_slice());
+                    }
+                    self.pos = self.buf.len();
                 }
             }
         }

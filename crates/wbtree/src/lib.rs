@@ -618,6 +618,14 @@ impl Cursor for WbCursor<'_> {
     fn next(&mut self) -> Option<(Key, Value)> {
         self.0.next()
     }
+
+    fn seek_for_prev(&mut self, target: Key) {
+        self.0.seek_for_prev(target)
+    }
+
+    fn prev(&mut self) -> Option<(Key, Value)> {
+        self.0.prev()
+    }
 }
 
 impl pmindex::PersistentIndex for WbTree {

@@ -475,6 +475,45 @@ impl Wort {
         None
     }
 
+    /// Largest `(key, value)` with `key <= bound` in the subtree at
+    /// `node`, or `None`. The in-order predecessor search behind
+    /// [`Cursor::prev`]: children are probed high-to-low and any subtree
+    /// whose smallest reachable key already exceeds the bound is skipped.
+    fn max_le(&self, node: PmOffset, d: u8, acc: u64, bound: Key) -> Option<(Key, Value)> {
+        if d > 2 {
+            self.pool.charge_serial_reads(1);
+        }
+        let h = self.header(node);
+        let prefix = Self::effective_prefix(h, d);
+        let mut acc2 = acc & Self::high_mask(d);
+        for (j, &p) in prefix.iter().enumerate() {
+            acc2 |= u64::from(p) << ((15 - (d + j as u8)) * 4);
+        }
+        let d = d + prefix.len() as u8;
+        for i in (0u8..16).rev() {
+            let slot = self.child(node, i);
+            if slot == 0 {
+                continue;
+            }
+            let a = acc2 | (u64::from(i) << ((15 - d) * 4));
+            if d + 1 == 16 {
+                if a <= bound {
+                    return Some((a, slot));
+                }
+            } else {
+                // Skip subtrees wholly above the bound (`a` is the
+                // subtree's smallest reachable key).
+                if a > bound {
+                    continue;
+                }
+                if let Some(found) = self.max_le(slot, d + 1, a, bound) {
+                    return Some(found);
+                }
+            }
+        }
+        None
+    }
+
     /// Mask of the key bits fixed by the first `d` nibbles.
     fn high_mask(d: u8) -> u64 {
         if d == 0 {
@@ -505,22 +544,58 @@ pub struct WortCursor<'a> {
     tree: &'a Wort,
     bound: Key,
     done: bool,
+    reverse: bool,
 }
 
 impl Cursor for WortCursor<'_> {
     fn seek(&mut self, target: Key) {
         self.bound = target;
         self.done = false;
+        self.reverse = false;
     }
 
     fn next(&mut self) -> Option<(Key, Value)> {
-        if self.done {
+        if self.done || self.reverse {
             return None;
         }
         let _g = self.tree.op_lock.lock();
         match self.tree.min_ge(self.tree.root(), 0, 0, self.bound) {
             Some((k, v)) => {
                 match k.checked_add(1) {
+                    Some(n) => self.bound = n,
+                    None => self.done = true,
+                }
+                Some((k, v))
+            }
+            None => {
+                self.done = true;
+                None
+            }
+        }
+    }
+
+    fn seek_for_prev(&mut self, target: Key) {
+        self.bound = target;
+        self.done = false;
+        self.reverse = true;
+    }
+
+    fn prev(&mut self) -> Option<(Key, Value)> {
+        if !self.reverse {
+            if self.bound == 0 && !self.done {
+                // Bare prev() on a fresh cursor: start from the top.
+                self.seek_for_prev(Key::MAX);
+            } else {
+                return None; // direction switches go through a re-seek
+            }
+        }
+        if self.done {
+            return None;
+        }
+        let _g = self.tree.op_lock.lock();
+        match self.tree.max_le(self.tree.root(), 0, 0, self.bound) {
+            Some((k, v)) => {
+                match k.checked_sub(1) {
                     Some(n) => self.bound = n,
                     None => self.done = true,
                 }
@@ -610,6 +685,7 @@ impl PmIndex for Wort {
             tree: self,
             bound: 0,
             done: false,
+            reverse: false,
         })
     }
 

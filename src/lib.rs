@@ -5,6 +5,7 @@
 //! depend on the individual crates ([`fastfair`], [`pmem`], ...) directly.
 
 pub use blink;
+pub use catalog;
 pub use epoch;
 pub use fastfair;
 pub use fptree;

@@ -56,6 +56,20 @@ fn varkey_kv_runs_to_completion() {
 }
 
 #[test]
+fn reopen_kv_runs_to_completion() {
+    run_example(
+        "reopen_kv",
+        &[
+            "newest order via reverse seek: (10000, 20000)",
+            "orders intact",
+            "second reopen: 10000 orders still intact",
+            "service booted from catalog and served the newest order",
+            "reopen_kv example finished OK",
+        ],
+    );
+}
+
+#[test]
 fn sharded_kv_runs_to_completion() {
     run_example(
         "sharded_kv",
