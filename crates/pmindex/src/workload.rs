@@ -182,6 +182,112 @@ pub fn ycsb_hotkey_ops(
         .collect()
 }
 
+/// A YCSB-style Zipf(θ) rank sampler (Gray et al., *Quickly Generating
+/// Billion-Record Synthetic Databases*): rank `r` over a population of
+/// `n` ranks is drawn with probability proportional to `1 / (r+1)^θ`,
+/// so rank 0 is the hottest key. YCSB's default θ is 0.99; θ → 0
+/// approaches uniform.
+///
+/// Unlike the self-similar transform in [`ycsb_hotkey_ops`], this is the
+/// true Zipfian quantile — the head is a *few* scorching keys rather
+/// than a hot *range*, which is what makes replication lag interesting
+/// (hot keys produce long runs of same-leaf groups).
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use pmindex::workload::ZipfianGenerator;
+///
+/// let zipf = ZipfianGenerator::new(1000, 0.99);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut hits = [0usize; 1000];
+/// for _ in 0..10_000 {
+///     hits[zipf.next_rank(&mut rng)] += 1;
+/// }
+/// // Rank 0 is by far the hottest.
+/// assert!(hits[0] > hits[500] * 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfianGenerator {
+    n: usize,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl ZipfianGenerator {
+    /// A sampler over `n` ranks with skew `theta` (clamped to
+    /// `[0.01, 0.995]`; θ = 1 makes the zeta sum diverge).
+    ///
+    /// Construction is O(n) (the zeta partial sum); sampling is O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0.
+    pub fn new(n: usize, theta: f64) -> ZipfianGenerator {
+        assert!(n > 0, "a zipfian needs at least one rank");
+        let theta = theta.clamp(0.01, 0.995);
+        let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let zeta2 = 1.0 + 0.5f64.powf(theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        ZipfianGenerator {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.n
+    }
+
+    /// Draws the next rank in `[0, n)`, hottest-first.
+    pub fn next_rank(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let r = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as usize;
+        r.min(self.n - 1)
+    }
+}
+
+/// Zipfian hot-key workload over a preloaded population: `count` ops,
+/// each an upsert of an existing key (ratio `update_ratio`) or a point
+/// search, with the target key drawn by a true [`ZipfianGenerator`] of
+/// skew `theta` over the population's ranks (`preloaded[0]` hottest).
+/// The replication benches drive their skewed write stream with this.
+pub fn zipfian_ops(
+    preloaded: &[Key],
+    count: usize,
+    update_ratio: f64,
+    theta: f64,
+    seed: u64,
+) -> Vec<Op> {
+    assert!(!preloaded.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = ZipfianGenerator::new(preloaded.len(), theta);
+    (0..count)
+        .map(|_| {
+            let k = preloaded[zipf.next_rank(&mut rng)];
+            if rng.gen::<f64>() < update_ratio {
+                Op::Insert(k) // upsert of an existing key: in-place update
+            } else {
+                Op::Search(k)
+            }
+        })
+        .collect()
+}
+
 /// YCSB-F read-modify-write: every round reads a (skewed) existing key and
 /// writes it back — a `Search` immediately followed by an upsert `Insert`
 /// of the same key, the pattern that keeps a leaf's record line hot while
@@ -404,6 +510,64 @@ mod tests {
             Op::Insert(k) | Op::Search(k) => all.contains(k),
             _ => false,
         }));
+    }
+
+    #[test]
+    fn zipfian_head_dominates_and_is_deterministic() {
+        let zipf = ZipfianGenerator::new(10_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut hits = vec![0usize; 10_000];
+        for _ in 0..100_000 {
+            hits[zipf.next_rank(&mut rng)] += 1;
+        }
+        // YCSB θ=0.99 over 10k ranks: the hottest 1% of ranks absorbs
+        // roughly half the draws; rank 0 alone takes several percent.
+        let head: usize = hits[..100].iter().sum();
+        assert!(head > 30_000, "head hits {head}");
+        assert!(hits[0] > 3_000, "rank-0 hits {}", hits[0]);
+        // Same seed, same stream.
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert_eq!(zipf.next_rank(&mut a), zipf.next_rank(&mut b));
+        }
+    }
+
+    #[test]
+    fn zipfian_low_theta_flattens() {
+        let hot = ZipfianGenerator::new(1000, 0.99);
+        let flat = ZipfianGenerator::new(1000, 0.01);
+        let mut rng = StdRng::seed_from_u64(3);
+        let count = |z: &ZipfianGenerator, rng: &mut StdRng| {
+            (0..20_000).filter(|_| z.next_rank(rng) == 0).count()
+        };
+        let hot0 = count(&hot, &mut rng);
+        let flat0 = count(&flat, &mut rng);
+        assert!(
+            hot0 > flat0 * 5,
+            "theta should concentrate rank 0: {hot0} vs {flat0}"
+        );
+    }
+
+    #[test]
+    fn zipfian_ops_target_population_with_update_ratio() {
+        let pre = generate_keys(1000, KeyDist::Uniform, 1);
+        let ops = zipfian_ops(&pre, 5000, 0.5, 0.99, 2);
+        assert_eq!(ops.len(), 5000);
+        let updates = ops.iter().filter(|o| matches!(o, Op::Insert(_))).count();
+        assert!((2000..=3000).contains(&updates), "update count {updates}");
+        let all: std::collections::HashSet<u64> = pre.iter().copied().collect();
+        assert!(ops.iter().all(|o| match o {
+            Op::Insert(k) | Op::Search(k) => all.contains(k),
+            _ => false,
+        }));
+        // The hottest rank (pre[0]) dominates any cold rank.
+        let hits = |key: u64| {
+            ops.iter()
+                .filter(|o| matches!(o, Op::Insert(k) | Op::Search(k) if *k == key))
+                .count()
+        };
+        assert!(hits(pre[0]) > hits(pre[900]) * 5);
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! Transports: how [`LogRecord`]s travel from shipper to replica.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_channel::{Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::LogRecord;
+
+/// A one-way record pipe from a [`crate::LogShipper`] subscriber slot to
+/// a [`crate::Replica`].
+///
+/// Implementations may be lossy, duplicating and reordering — the
+/// replica's sequence check plus shipper retransmits recover from all
+/// of it. Both ends share one object (an `Arc<dyn Transport>`): the
+/// shipper calls [`Transport::ship`], the replica calls
+/// [`Transport::poll`].
+pub trait Transport: Send + Sync {
+    /// Offers a record to the pipe. Returns `false` if the record was
+    /// definitely not delivered (receiver gone / pipe full); `true`
+    /// means "accepted", which for a faulty transport still does not
+    /// promise delivery.
+    fn ship(&self, rec: LogRecord) -> bool;
+
+    /// Takes the next available record, waiting up to `timeout`.
+    /// `Duration::ZERO` is a non-blocking drain step.
+    fn poll(&self, timeout: Duration) -> Option<LogRecord>;
+}
+
+/// The in-process transport: a bounded MPMC channel, reliable and
+/// order-preserving — the "perfect network" baseline tests and benches
+/// wrap with [`FaultTransport`] when they want weather.
+///
+/// ```
+/// use std::time::Duration;
+/// use repl::{ChannelTransport, LogRecord, Transport};
+///
+/// let t = ChannelTransport::new();
+/// assert!(t.ship(LogRecord { seq: 1, ops: vec![] }));
+/// assert_eq!(t.poll(Duration::ZERO).unwrap().seq, 1);
+/// assert!(t.poll(Duration::ZERO).is_none());
+/// ```
+pub struct ChannelTransport {
+    tx: Sender<LogRecord>,
+    rx: Receiver<LogRecord>,
+}
+
+impl ChannelTransport {
+    /// A transport buffering up to 64Ki in-flight records (ample for the
+    /// in-process tests; a full pipe drops records, which the shipper's
+    /// retransmit path absorbs like any other loss).
+    pub fn new() -> Arc<ChannelTransport> {
+        ChannelTransport::with_capacity(1 << 16)
+    }
+
+    /// A transport with an explicit in-flight capacity — small
+    /// capacities are a cheap way to exercise the loss path.
+    ///
+    /// ```
+    /// use repl::{ChannelTransport, LogRecord, Transport};
+    ///
+    /// let t = ChannelTransport::with_capacity(1);
+    /// assert!(t.ship(LogRecord { seq: 1, ops: vec![] }));
+    /// assert!(!t.ship(LogRecord { seq: 2, ops: vec![] })); // full: dropped
+    /// ```
+    pub fn with_capacity(capacity: usize) -> Arc<ChannelTransport> {
+        let (tx, rx) = crossbeam_channel::bounded(capacity);
+        Arc::new(ChannelTransport { tx, rx })
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn ship(&self, rec: LogRecord) -> bool {
+        !matches!(self.tx.try_send(rec), Err(TrySendError::Full(_)))
+    }
+
+    fn poll(&self, timeout: Duration) -> Option<LogRecord> {
+        if timeout.is_zero() {
+            self.rx.try_recv().ok()
+        } else {
+            self.rx.recv_timeout(timeout).ok()
+        }
+    }
+}
+
+/// Fault probabilities for a [`FaultTransport`], each rolled per
+/// shipped record (mutually exclusive, in listed order). Probabilities
+/// are clamped to sum ≤ 1 by construction of the roll.
+///
+/// ```
+/// let c = repl::FaultConfig::storm(42);
+/// assert!(c.drop > 0.0 && c.duplicate > 0.0 && c.reorder > 0.0 && c.delay > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Probability a record is silently discarded.
+    pub drop: f64,
+    /// Probability a record is delivered twice.
+    pub duplicate: f64,
+    /// Probability a record is held back and released after later
+    /// records (out-of-order delivery).
+    pub reorder: f64,
+    /// Probability a record is held back and released later (delayed,
+    /// possibly still in order).
+    pub delay: f64,
+    /// Seed for the transport's private RNG — same seed, same weather.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// A calm link: no faults at all (useful to A/B a test against the
+    /// reliable baseline without changing types).
+    pub fn calm(seed: u64) -> FaultConfig {
+        FaultConfig {
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            delay: 0.0,
+            seed,
+        }
+    }
+
+    /// The storm the differential suite uses: 10% drops, 10%
+    /// duplicates, 10% reorders, 10% delays.
+    pub fn storm(seed: u64) -> FaultConfig {
+        FaultConfig {
+            drop: 0.10,
+            duplicate: 0.10,
+            reorder: 0.10,
+            delay: 0.10,
+            seed,
+        }
+    }
+}
+
+/// Cumulative fault counts a [`FaultTransport`] has injected — handy
+/// for asserting a storm actually stormed.
+///
+/// ```
+/// let s = repl::FaultStats::default();
+/// assert_eq!(s.dropped + s.duplicated + s.reordered + s.delayed, 0);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Records discarded.
+    pub dropped: u64,
+    /// Records delivered twice.
+    pub duplicated: u64,
+    /// Records held back for out-of-order release.
+    pub reordered: u64,
+    /// Records held back for delayed release.
+    pub delayed: u64,
+}
+
+struct FaultState {
+    rng: StdRng,
+    held: Vec<LogRecord>,
+    stats: FaultStats,
+}
+
+/// A deterministic bad network around any inner [`Transport`]: each
+/// shipped record is dropped, duplicated, held for out-of-order
+/// release, delayed, or passed through, by seeded dice. Held records
+/// are released newest-first on later ships (that is what makes them
+/// arrive out of order); [`FaultTransport::flush`] forces the stragglers
+/// out when a test wants eventual delivery *now*.
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use repl::{ChannelTransport, FaultConfig, FaultTransport, LogRecord, Transport};
+///
+/// let faulty = FaultTransport::new(ChannelTransport::new(), FaultConfig::storm(7));
+/// for seq in 1..=100 {
+///     faulty.ship(LogRecord { seq, ops: vec![] });
+/// }
+/// faulty.flush();
+/// let s = faulty.stats();
+/// assert!(s.dropped + s.duplicated + s.reordered + s.delayed > 0);
+/// ```
+pub struct FaultTransport {
+    inner: Arc<dyn Transport>,
+    config: FaultConfig,
+    state: Mutex<FaultState>,
+}
+
+impl FaultTransport {
+    /// Wraps `inner` with the given fault profile.
+    pub fn new(inner: Arc<dyn Transport>, config: FaultConfig) -> Arc<FaultTransport> {
+        Arc::new(FaultTransport {
+            inner,
+            config,
+            state: Mutex::new(FaultState {
+                rng: StdRng::seed_from_u64(config.seed ^ 0x5ca1_ab1e),
+                held: Vec::new(),
+                stats: FaultStats::default(),
+            }),
+        })
+    }
+
+    /// Releases every held (reordered/delayed) record into the inner
+    /// transport, newest first. Retransmit loops converge without this;
+    /// it just shortens the tail.
+    pub fn flush(&self) {
+        let mut st = self.state.lock();
+        while let Some(rec) = st.held.pop() {
+            self.inner.ship(rec);
+        }
+    }
+
+    /// Fault counts injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.state.lock().stats
+    }
+
+    /// Records currently held back (not yet released downstream).
+    pub fn held(&self) -> usize {
+        self.state.lock().held.len()
+    }
+}
+
+impl Transport for FaultTransport {
+    fn ship(&self, rec: LogRecord) -> bool {
+        let c = self.config;
+        let mut st = self.state.lock();
+        let roll: f64 = st.rng.gen();
+        let mut ok = true;
+        if roll < c.drop {
+            st.stats.dropped += 1;
+        } else if roll < c.drop + c.duplicate {
+            st.stats.duplicated += 1;
+            ok &= self.inner.ship(rec.clone());
+            ok &= self.inner.ship(rec);
+        } else if roll < c.drop + c.duplicate + c.reorder {
+            st.stats.reordered += 1;
+            st.held.push(rec);
+        } else if roll < c.drop + c.duplicate + c.reorder + c.delay {
+            st.stats.delayed += 1;
+            st.held.push(rec);
+        } else {
+            ok &= self.inner.ship(rec);
+        }
+        // Each ship also gives held records a chance to escape,
+        // newest-first — so a held record overtakes everything shipped
+        // after it was captured.
+        while !st.held.is_empty() && st.rng.gen_bool(0.5) {
+            let rec = st.held.pop().expect("held is non-empty");
+            self.inner.ship(rec);
+        }
+        ok
+    }
+
+    fn poll(&self, timeout: Duration) -> Option<LogRecord> {
+        self.inner.poll(timeout)
+    }
+}

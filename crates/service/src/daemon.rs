@@ -18,10 +18,12 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pmindex::{PersistentIndex, PmIndex};
 use shard::ShardedStore;
+
+use crate::{ReadRotation, ServiceStats};
 
 /// Tuning for a [`MaintenanceDaemon`].
 #[derive(Debug, Clone)]
@@ -37,6 +39,15 @@ pub struct DaemonConfig {
     /// Never compact a shard smaller than this, however skewed — tiny
     /// stores churn shards for no win.
     pub min_shard_keys: usize,
+    /// Replication watch only: a replica whose lag (primary
+    /// `last_committed` minus replica watermark) exceeds this is paused
+    /// out of the read rotation.
+    pub repl_lag_high_water: u64,
+    /// Replication watch only: a paused replica whose lag has fallen
+    /// back to this or below rejoins the rotation. Keep it well under
+    /// [`DaemonConfig::repl_lag_high_water`] for hysteresis, or a
+    /// replica hovering at the boundary flaps in and out every pass.
+    pub repl_lag_resume: u64,
 }
 
 impl Default for DaemonConfig {
@@ -46,8 +57,24 @@ impl Default for DaemonConfig {
             limbo_high_water: 64,
             skew_ratio: 2.0,
             min_shard_keys: 1024,
+            repl_lag_high_water: 1024,
+            repl_lag_resume: 64,
         }
     }
+}
+
+/// What [`MaintenanceDaemon::spawn_with_replication`] watches: the
+/// primary engine (lag numerator source), the service's read rotation
+/// (slots to pause/resume), and optionally the service stats to publish
+/// the [`ServiceStats::replication_lag`] /
+/// [`ServiceStats::replication_apply_rate`] gauges into.
+pub struct ReplWatch {
+    /// The primary's engine — `last_committed()` is what replicas trail.
+    pub engine: Arc<txn::TxnEngine>,
+    /// The rotation to police (from `crate::Service::rotation`).
+    pub rotation: Arc<ReadRotation>,
+    /// Stats sink for the replication gauges, if any.
+    pub stats: Option<Arc<ServiceStats>>,
 }
 
 struct DaemonShared {
@@ -56,6 +83,7 @@ struct DaemonShared {
     collections: AtomicU64,
     rebalances: AtomicU64,
     limbo_peak: AtomicU64,
+    repl_pauses: AtomicU64,
 }
 
 /// A background housekeeping thread for one [`ShardedStore`]; stops and
@@ -117,17 +145,49 @@ impl MaintenanceDaemon {
     where
         I: PersistentIndex + Send + Sync + 'static,
     {
+        MaintenanceDaemon::launch(store, tended, None, config)
+    }
+
+    /// As [`MaintenanceDaemon::spawn`], plus a replication watch: every
+    /// pass the daemon measures each rotation slot's lag against the
+    /// primary's `last_committed`, pauses slots beyond
+    /// [`DaemonConfig::repl_lag_high_water`] out of the read rotation,
+    /// resumes them once they recover to
+    /// [`DaemonConfig::repl_lag_resume`], and publishes the worst lag
+    /// and summed apply rate into `watch.stats` (when given).
+    pub fn spawn_with_replication<I>(
+        store: Arc<ShardedStore<I>>,
+        tended: Vec<Arc<epoch::EpochDomain>>,
+        watch: ReplWatch,
+        config: DaemonConfig,
+    ) -> Self
+    where
+        I: PersistentIndex + Send + Sync + 'static,
+    {
+        MaintenanceDaemon::launch(store, tended, Some(watch), config)
+    }
+
+    fn launch<I>(
+        store: Arc<ShardedStore<I>>,
+        tended: Vec<Arc<epoch::EpochDomain>>,
+        watch: Option<ReplWatch>,
+        config: DaemonConfig,
+    ) -> Self
+    where
+        I: PersistentIndex + Send + Sync + 'static,
+    {
         let shared = Arc::new(DaemonShared {
             stop: AtomicBool::new(false),
             paused: AtomicU64::new(0),
             collections: AtomicU64::new(0),
             rebalances: AtomicU64::new(0),
             limbo_peak: AtomicU64::new(0),
+            repl_pauses: AtomicU64::new(0),
         });
         let shared2 = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
             .name("service-maintenance".into())
-            .spawn(move || daemon_loop(&shared2, &store, &tended, &config))
+            .spawn(move || daemon_loop(&shared2, &store, &tended, watch.as_ref(), &config))
             .expect("spawn maintenance daemon");
         MaintenanceDaemon {
             shared,
@@ -162,6 +222,12 @@ impl MaintenanceDaemon {
     pub fn limbo_peak(&self) -> u64 {
         self.shared.limbo_peak.load(Ordering::Relaxed)
     }
+
+    /// Times the replication watch paused a lagging replica out of the
+    /// read rotation (resumes are not counted).
+    pub fn repl_pauses(&self) -> u64 {
+        self.shared.repl_pauses.load(Ordering::Relaxed)
+    }
 }
 
 impl Drop for MaintenanceDaemon {
@@ -177,6 +243,7 @@ fn daemon_loop<I>(
     shared: &DaemonShared,
     store: &Arc<ShardedStore<I>>,
     tended: &[Arc<epoch::EpochDomain>],
+    watch: Option<&ReplWatch>,
     config: &DaemonConfig,
 ) where
     I: PersistentIndex + Send + Sync + 'static,
@@ -185,10 +252,16 @@ fn daemon_loop<I>(
     // whose skew is *structural* (e.g. a hot range under hash-unfriendly
     // bounds) would otherwise be recompacted every pass forever.
     let mut last_compacted: Vec<Option<usize>> = vec![None; store.shard_count()];
+    // Apply-rate bookkeeping: groups applied across the rotation at the
+    // last pass, and when that pass ran.
+    let mut rate_mark: Option<(u64, Instant)> = None;
     while !shared.stop.load(Ordering::SeqCst) {
         std::thread::sleep(config.interval);
         if shared.paused.load(Ordering::SeqCst) > 0 {
             continue;
+        }
+        if let Some(watch) = watch {
+            repl_pass(shared, watch, config, &mut rate_mark);
         }
         for domain in tended.iter().chain(std::iter::once(store.reclaim_domain())) {
             let limbo = domain.limbo_len();
@@ -217,5 +290,49 @@ fn daemon_loop<I>(
                 shared.rebalances.fetch_add(1, Ordering::Relaxed);
             }
         }
+    }
+}
+
+/// One replication-watch pass: lag-police every rotation slot
+/// (hysteresis between `repl_lag_high_water` and `repl_lag_resume`)
+/// and refresh the lag / apply-rate gauges.
+fn repl_pass(
+    shared: &DaemonShared,
+    watch: &ReplWatch,
+    config: &DaemonConfig,
+    rate_mark: &mut Option<(u64, Instant)>,
+) {
+    let committed = watch.engine.last_committed();
+    let rotation = &watch.rotation;
+    let mut worst_lag = 0u64;
+    let mut applied_total = 0u64;
+    for slot in 0..rotation.len() {
+        let replica = rotation.replica(slot);
+        let lag = committed.saturating_sub(replica.watermark());
+        worst_lag = worst_lag.max(lag);
+        applied_total += replica.applied_groups();
+        if rotation.is_paused(slot) {
+            if lag <= config.repl_lag_resume {
+                rotation.resume(slot);
+            }
+        } else if lag > config.repl_lag_high_water {
+            rotation.pause(slot);
+            shared.repl_pauses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let rate = match rate_mark {
+        Some((prev, at)) => {
+            let secs = at.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                (applied_total.saturating_sub(*prev) as f64 / secs) as u64
+            } else {
+                0
+            }
+        }
+        None => 0,
+    };
+    *rate_mark = Some((applied_total, Instant::now()));
+    if let Some(stats) = &watch.stats {
+        stats.set_replication_gauges(worst_lag, rate);
     }
 }

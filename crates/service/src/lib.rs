@@ -59,12 +59,14 @@
 mod daemon;
 mod stats;
 
-pub use daemon::{DaemonConfig, MaintenanceDaemon, PauseGuard};
+pub use daemon::{DaemonConfig, MaintenanceDaemon, PauseGuard, ReplWatch};
 pub use stats::{LatencyHistogram, OpClass, OpStats, ServiceStats};
+
+pub use repl::ReadReplica;
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -261,9 +263,124 @@ enum Done {
     },
 }
 
+/// The read-replica rotation a [`Service`] serves
+/// [`ClientHandle::get_stale`] from: a fixed set of
+/// [`repl::ReadReplica`]s, each pausable out of the rotation (the
+/// [`MaintenanceDaemon`] pauses lagging replicas; operators can too),
+/// picked round-robin per read.
+///
+/// ```
+/// use std::sync::Arc;
+/// use service::{ReadReplica, ReadRotation};
+///
+/// struct Fixed(u64);
+/// impl ReadReplica for Fixed {
+///     fn read_stale(&self, _table: usize, _key: u64) -> Option<u64> { Some(self.0) }
+///     fn watermark(&self) -> u64 { self.0 }
+///     fn applied_groups(&self) -> u64 { 0 }
+/// }
+///
+/// let rot = ReadRotation::new(vec![Arc::new(Fixed(1)) as _, Arc::new(Fixed(2)) as _]);
+/// assert_eq!(rot.len(), 2);
+/// let (slot, _) = rot.pick().expect("someone serves");
+/// rot.pause(slot);
+/// let (other, _) = rot.pick().expect("the other still serves");
+/// assert_ne!(slot, other);
+/// rot.resume(slot);
+/// assert_eq!(rot.watermarks(), vec![1, 2]);
+/// ```
+pub struct ReadRotation {
+    replicas: Vec<Arc<dyn ReadReplica>>,
+    paused: Vec<AtomicBool>,
+    cursor: AtomicUsize,
+}
+
+impl fmt::Debug for ReadRotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReadRotation")
+            .field("replicas", &self.replicas.len())
+            .field(
+                "paused",
+                &self
+                    .paused
+                    .iter()
+                    .filter(|p| p.load(Ordering::Relaxed))
+                    .count(),
+            )
+            .finish()
+    }
+}
+
+impl ReadRotation {
+    /// A rotation over `replicas`, all initially serving.
+    pub fn new(replicas: Vec<Arc<dyn ReadReplica>>) -> ReadRotation {
+        let paused = replicas.iter().map(|_| AtomicBool::new(false)).collect();
+        ReadRotation {
+            replicas,
+            paused,
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of replicas in the rotation (paused ones included).
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// `true` when the rotation holds no replicas at all.
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// The replica in `slot` (paused or not).
+    pub fn replica(&self, slot: usize) -> &Arc<dyn ReadReplica> {
+        &self.replicas[slot]
+    }
+
+    /// Picks the next serving replica round-robin, skipping paused
+    /// slots. `None` when every slot is paused (callers fall back to
+    /// the primary).
+    pub fn pick(&self) -> Option<(usize, &Arc<dyn ReadReplica>)> {
+        let n = self.replicas.len();
+        if n == 0 {
+            return None;
+        }
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+        for i in 0..n {
+            let slot = (start + i) % n;
+            if !self.paused[slot].load(Ordering::Relaxed) {
+                return Some((slot, &self.replicas[slot]));
+            }
+        }
+        None
+    }
+
+    /// Takes `slot` out of the read rotation (idempotent).
+    pub fn pause(&self, slot: usize) {
+        self.paused[slot].store(true, Ordering::Relaxed);
+    }
+
+    /// Puts `slot` back into the read rotation (idempotent).
+    pub fn resume(&self, slot: usize) {
+        self.paused[slot].store(false, Ordering::Relaxed);
+    }
+
+    /// Whether `slot` is currently paused out of the rotation.
+    pub fn is_paused(&self, slot: usize) -> bool {
+        self.paused[slot].load(Ordering::Relaxed)
+    }
+
+    /// Every replica's watermark, in slot order — subtract from the
+    /// primary's `last_committed` for per-replica lag.
+    pub fn watermarks(&self) -> Vec<u64> {
+        self.replicas.iter().map(|r| r.watermark()).collect()
+    }
+}
+
 struct Shared<I> {
     tables: Vec<Arc<I>>,
     engine: Option<Arc<TxnEngine>>,
+    rotation: Option<Arc<ReadRotation>>,
     stats: Arc<ServiceStats>,
     stop: AtomicBool,
     max_group: usize,
@@ -323,7 +440,33 @@ impl<I: PmIndex + Send + Sync + 'static> Service<I> {
     ///
     /// Panics if `tables` is empty or the config names zero lanes.
     pub fn with_engine(tables: Vec<Arc<I>>, engine: Arc<TxnEngine>, config: ServiceConfig) -> Self {
-        Service::start(tables, Some(engine), config)
+        Service::start(tables, Some(engine), None, config)
+    }
+
+    /// Starts an engine-backed service (as [`Service::with_engine`])
+    /// that additionally serves [`ClientHandle::get_stale`] from a
+    /// rotation of read replicas. The caller keeps the replication
+    /// plumbing (shipper, transports, apply loops) — the service only
+    /// *reads* from the replicas, round-robin, skipping paused slots.
+    ///
+    /// Pair with [`MaintenanceDaemon::spawn_with_replication`] to keep
+    /// lagging replicas out of the rotation automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tables` is empty or the config names zero lanes.
+    pub fn with_replicas(
+        tables: Vec<Arc<I>>,
+        engine: Arc<TxnEngine>,
+        replicas: Vec<Arc<dyn ReadReplica>>,
+        config: ServiceConfig,
+    ) -> Self {
+        Service::start(
+            tables,
+            Some(engine),
+            Some(Arc::new(ReadRotation::new(replicas))),
+            config,
+        )
     }
 
     /// Starts an engine-less service: writes apply directly to the
@@ -337,7 +480,7 @@ impl<I: PmIndex + Send + Sync + 'static> Service<I> {
     ///
     /// Panics if `tables` is empty or the config names zero lanes.
     pub fn direct(tables: Vec<Arc<I>>, config: ServiceConfig) -> Self {
-        Service::start(tables, None, config)
+        Service::start(tables, None, None, config)
     }
 
     /// Boots a service from a [`catalog::Catalog`]: every name in
@@ -401,16 +544,22 @@ impl<I: PmIndex + Send + Sync + 'static> Service<I> {
             }
             None => None,
         };
-        Ok(Service::start(tables, engine, config))
+        Ok(Service::start(tables, engine, None, config))
     }
 
-    fn start(tables: Vec<Arc<I>>, engine: Option<Arc<TxnEngine>>, config: ServiceConfig) -> Self {
+    fn start(
+        tables: Vec<Arc<I>>,
+        engine: Option<Arc<TxnEngine>>,
+        rotation: Option<Arc<ReadRotation>>,
+        config: ServiceConfig,
+    ) -> Self {
         assert!(!tables.is_empty(), "a service needs at least one table");
         assert!(config.lanes > 0, "a service needs at least one lane");
         assert!(config.max_group > 0, "max_group must be at least 1");
         let shared = Arc::new(Shared {
             tables,
             engine,
+            rotation,
             stats: Arc::new(ServiceStats::new()),
             stop: AtomicBool::new(false),
             max_group: config.max_group,
@@ -457,6 +606,14 @@ impl<I: PmIndex + Send + Sync + 'static> Service<I> {
     /// Number of worker lanes.
     pub fn lanes(&self) -> usize {
         self.shared.lanes
+    }
+
+    /// The read-replica rotation, when the service was built with
+    /// [`Service::with_replicas`] — hand it to
+    /// [`MaintenanceDaemon::spawn_with_replication`] or pause slots by
+    /// hand around replica maintenance.
+    pub fn rotation(&self) -> Option<&Arc<ReadRotation>> {
+        self.shared.rotation.as_ref()
     }
 
     /// Requests currently queued on `lane` (racy snapshot).
@@ -666,6 +823,44 @@ impl<I: PmIndex + Send + Sync + 'static> ClientHandle<I> {
     /// Admission errors, or the group's commit failure.
     pub fn get(&self, key: Key) -> Result<Option<Value>, ServiceError> {
         self.submit_get(key)?.wait()
+    }
+
+    /// Stale-tolerant point lookup on table 0 that **skips group
+    /// linearization**: the read never enters a lane queue, never joins
+    /// a commit group, and pays no admission control — it is answered
+    /// immediately, by a read replica when the service has one serving
+    /// ([`Service::with_replicas`]), else directly from the primary's
+    /// table.
+    ///
+    /// # Consistency contract
+    ///
+    /// The answer is a **consistent prefix, not the latest state**:
+    ///
+    /// * Served by a replica, it reflects exactly the primary's
+    ///   committed history up to that replica's watermark — a
+    ///   group-atomic prefix (never a torn group), but missing every
+    ///   commit after the watermark. Successive calls may rotate to a
+    ///   different replica at a different watermark, so stale reads are
+    ///   *not* monotonic across calls.
+    /// * Served by the primary fallback (no rotation, or every replica
+    ///   paused), it reads the table as-is: commits the workers have
+    ///   not yet applied, and writes pipelined in the caller's own lane,
+    ///   are invisible.
+    ///
+    /// Use [`ClientHandle::get`] when read-your-writes or linearizable
+    /// freshness matters; use this when throughput does — the lag the
+    /// answer can trail by is [`ServiceStats::replication_lag`], and
+    /// the [`MaintenanceDaemon`] keeps replicas lagging beyond the
+    /// configured bound out of the rotation.
+    pub fn get_stale(&self, key: Key) -> Option<Value> {
+        if let Some(rotation) = &self.shared.rotation {
+            if let Some((_, replica)) = rotation.pick() {
+                self.shared.stats.note_stale_read(true);
+                return replica.read_stale(0, key);
+            }
+        }
+        self.shared.stats.note_stale_read(false);
+        self.shared.tables[0].get(key)
     }
 
     /// Upsert into table 0; returns the replaced value as observed when
@@ -1229,6 +1424,131 @@ mod tests {
         assert_eq!(done, 50, "queued requests must drain on shutdown");
         assert_eq!(store.len(), 50);
         assert!(matches!(c.get(1), Err(ServiceError::ShuttingDown)));
+    }
+
+    type ReplicaRig = (
+        Arc<ShardedStore<FastFairTree>>,
+        Arc<TxnEngine>,
+        Arc<repl::LogShipper>,
+        Arc<repl::ChannelTransport>,
+        u64,
+        Arc<repl::Replica<FastFairTree>>,
+        Service<ShardedStore<FastFairTree>>,
+    );
+
+    /// An engine service with one subscribed read replica (not yet
+    /// caught up — tests drive `catch_up` themselves).
+    fn replica_service() -> ReplicaRig {
+        use repl::{ChannelTransport, LogShipper, Replica};
+
+        let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(16 << 20)).unwrap());
+        let store = Arc::new(
+            ShardedStore::create(
+                Arc::clone(&pool),
+                vec![Arc::clone(&pool), Arc::clone(&pool)],
+                Partitioning::Hash { shards: 2 },
+            )
+            .unwrap(),
+        );
+        let engine = Arc::new(TxnEngine::create(pool).unwrap());
+        let shipper = LogShipper::new(1024);
+        engine.add_tap(Arc::clone(&shipper) as _);
+        let transport = ChannelTransport::new();
+        let sub = shipper.subscribe(Arc::clone(&transport) as _);
+        let replica: Arc<Replica<FastFairTree>> = Arc::new(
+            Replica::create(
+                &mut |_slot: usize| {
+                    Ok(Arc::new(pmem::Pool::new(
+                        pmem::PoolConfig::default().size(4 << 20),
+                    )?))
+                },
+                1,
+                &["kv"],
+            )
+            .unwrap(),
+        );
+        let service = Service::with_replicas(
+            vec![Arc::clone(&store)],
+            Arc::clone(&engine),
+            vec![Arc::clone(&replica) as Arc<dyn ReadReplica>],
+            ServiceConfig {
+                lanes: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        (store, engine, shipper, transport, sub, replica, service)
+    }
+
+    #[test]
+    fn stale_reads_serve_from_replica_and_fall_back_when_paused() {
+        let (_store, engine, shipper, transport, sub, replica, service) = replica_service();
+        let c = service.handle();
+        assert_eq!(c.insert(7, 70).unwrap(), None);
+        replica.catch_up(transport.as_ref(), &shipper, sub).unwrap();
+        assert_eq!(replica.watermark(), engine.last_committed());
+
+        assert_eq!(c.get_stale(7), Some(70));
+        assert_eq!(service.stats().stale_reads(), 1);
+        assert_eq!(service.stats().stale_fallbacks(), 0);
+
+        // Every replica paused: the stale read falls back to the
+        // primary's tables (still no lane, no linearization).
+        let rotation = Arc::clone(service.rotation().unwrap());
+        rotation.pause(0);
+        assert_eq!(c.get_stale(7), Some(70));
+        assert_eq!(service.stats().stale_fallbacks(), 1);
+        rotation.resume(0);
+        assert!(!rotation.is_paused(0));
+    }
+
+    #[test]
+    fn daemon_pauses_lagging_replica_and_resumes_after_catch_up() {
+        let (store, engine, shipper, transport, sub, replica, service) = replica_service();
+        let rotation = Arc::clone(service.rotation().unwrap());
+        let daemon = MaintenanceDaemon::spawn_with_replication(
+            Arc::clone(&store),
+            vec![],
+            ReplWatch {
+                engine: Arc::clone(&engine),
+                rotation: Arc::clone(&rotation),
+                stats: Some(Arc::clone(service.stats())),
+            },
+            DaemonConfig {
+                interval: Duration::from_millis(1),
+                repl_lag_high_water: 4,
+                repl_lag_resume: 0,
+                ..DaemonConfig::default()
+            },
+        );
+        let c = service.handle();
+        for k in 1..=16u64 {
+            c.insert(k, k + 1).unwrap();
+        }
+        // The replica is not applying at all: lag grows past the
+        // high-water mark and the daemon benches it.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !rotation.is_paused(0) {
+            assert!(Instant::now() < deadline, "daemon never paused the laggard");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(daemon.repl_pauses() >= 1);
+        assert!(service.stats().replication_lag() > 4);
+        // A paused rotation falls back to the primary.
+        assert_eq!(c.get_stale(1), Some(2));
+        assert!(service.stats().stale_fallbacks() >= 1);
+
+        // Catch the replica up; lag hits 0 and the daemon reinstates it.
+        replica.catch_up(transport.as_ref(), &shipper, sub).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while rotation.is_paused(0) {
+            assert!(
+                Instant::now() < deadline,
+                "daemon never resumed the caught-up replica"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(c.get_stale(1), Some(2));
+        assert!(service.stats().stale_reads() >= 1);
     }
 
     #[test]

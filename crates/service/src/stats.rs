@@ -210,6 +210,10 @@ pub struct ServiceStats {
     queue_high_water: AtomicU64,
     fences: AtomicU64,
     flushes: AtomicU64,
+    stale_reads: AtomicU64,
+    stale_fallbacks: AtomicU64,
+    repl_lag: AtomicU64,
+    repl_apply_rate: AtomicU64,
 }
 
 impl ServiceStats {
@@ -277,6 +281,31 @@ impl ServiceStats {
         self.flushes.load(Ordering::Relaxed)
     }
 
+    /// Stale reads ([`crate::ClientHandle::get_stale`]) answered by a
+    /// read replica.
+    pub fn stale_reads(&self) -> u64 {
+        self.stale_reads.load(Ordering::Relaxed)
+    }
+
+    /// Stale reads that fell back to the primary's tables (no rotation
+    /// configured, or every replica paused out of it).
+    pub fn stale_fallbacks(&self) -> u64 {
+        self.stale_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Replication lag gauge: worst `last_committed - watermark` across
+    /// the read rotation, as of the maintenance daemon's latest pass
+    /// (0 until a replication-watching daemon runs).
+    pub fn replication_lag(&self) -> u64 {
+        self.repl_lag.load(Ordering::Relaxed)
+    }
+
+    /// Replication apply-rate gauge: groups applied per second summed
+    /// over the rotation, as of the daemon's latest pass.
+    pub fn replication_apply_rate(&self) -> u64 {
+        self.repl_apply_rate.load(Ordering::Relaxed)
+    }
+
     pub(crate) fn note_submitted(&self, class: OpClass) {
         self.ops[class.index()]
             .submitted
@@ -311,6 +340,19 @@ impl ServiceStats {
     pub(crate) fn harvest_pmem(&self, fences: u64, flushes: u64) {
         self.fences.fetch_add(fences, Ordering::Relaxed);
         self.flushes.fetch_add(flushes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_stale_read(&self, from_replica: bool) {
+        if from_replica {
+            self.stale_reads.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stale_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn set_replication_gauges(&self, lag: u64, apply_rate: u64) {
+        self.repl_lag.store(lag, Ordering::Relaxed);
+        self.repl_apply_rate.store(apply_rate, Ordering::Relaxed);
     }
 }
 

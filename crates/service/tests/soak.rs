@@ -196,6 +196,7 @@ fn daemon_compacts_hot_shard_and_collects_limbo_under_churn() {
             limbo_high_water: 0,
             skew_ratio: 1.5,
             min_shard_keys: 256,
+            ..DaemonConfig::default()
         },
     );
 

@@ -200,7 +200,27 @@ impl WriteBatch {
 /// (e.g. `shard::ShardedStore`'s per-shard grouping) amortizes its gate
 /// acquisitions. Tables hold disjoint keyspaces, so regrouping across
 /// tables cannot reorder conflicting ops.
-fn apply_grouped<T: PmIndex + ?Sized>(
+///
+/// Public because it is the redo half every journal consumer shares:
+/// `crates/repl` replays shipped groups onto replica tables through the
+/// exact same grouping the primary's apply phase used.
+///
+/// ```
+/// use pmindex::{BatchOp, PmIndex};
+/// use std::sync::Arc;
+///
+/// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+/// let tree = fastfair::FastFairTree::create(pool, fastfair::TreeOptions::new())?;
+/// txn::apply_grouped(&[(0, BatchOp::Put(1, 10))], &[&tree])?;
+/// assert_eq!(tree.get(1), Some(10));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Errors
+///
+/// Propagates [`PmIndex::apply_batch`] failures; a table id outside
+/// `tables` panics (callers validate ids first, as the engine does).
+pub fn apply_grouped<T: PmIndex + ?Sized>(
     ops: &[(u64, BatchOp)],
     tables: &[&T],
 ) -> Result<(), IndexError> {
@@ -214,6 +234,50 @@ fn apply_grouped<T: PmIndex + ?Sized>(
         }
     }
     Ok(())
+}
+
+/// Observer of committed groups — the change-data-capture seam.
+///
+/// A tap registered with [`TxnEngine::add_tap`] is called once per
+/// committed group, **in sequence order** (the call happens under the
+/// engine's journal lock, immediately after the group's failure-atomic
+/// commit store and *before* its apply phase), with the group's sequence
+/// number and its flattened `(table id, op)` list. `crates/repl`'s
+/// `LogShipper` is the canonical implementation; tests use closures via
+/// the blanket impl below.
+///
+/// Taps must not call back into the engine (the journal lock is held)
+/// and should return quickly — they run on the committing thread.
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+/// use txn::{TxnEngine, WriteBatch};
+///
+/// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+/// let tree = fastfair::FastFairTree::create(Arc::clone(&pool), fastfair::TreeOptions::new())?;
+/// let engine = TxnEngine::create(pool)?;
+/// let seen = Arc::new(AtomicU64::new(0));
+/// let seen2 = Arc::clone(&seen);
+/// engine.add_tap(Arc::new(move |seq: u64, _ops: &[(u64, pmindex::BatchOp)]| {
+///     seen2.store(seq, Ordering::SeqCst);
+/// }));
+/// let mut batch = WriteBatch::new();
+/// batch.put(0, 1, 10);
+/// engine.commit(batch, &[&tree])?;
+/// assert_eq!(seen.load(Ordering::SeqCst), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub trait CommitTap: Send + Sync {
+    /// Called once per committed group with its sequence number and
+    /// flattened ops, in strictly increasing `seq` order.
+    fn on_commit(&self, seq: u64, ops: &[(u64, BatchOp)]);
+}
+
+impl<F: Fn(u64, &[(u64, BatchOp)]) + Send + Sync> CommitTap for F {
+    fn on_commit(&self, seq: u64, ops: &[(u64, BatchOp)]) {
+        self(seq, ops);
+    }
 }
 
 /// The transaction engine: owns a pmem-resident redo journal inside one
@@ -242,6 +306,9 @@ pub struct TxnEngine {
     apply_gate: RwLock<()>,
     /// Pin point for snapshot reads; drained quiescently by `recover`.
     epoch: Arc<epoch::EpochDomain>,
+    /// Change-data-capture observers, invoked per committed group under
+    /// the journal lock (so they see groups in sequence order).
+    taps: RwLock<Vec<Arc<dyn CommitTap>>>,
 }
 
 impl std::fmt::Debug for TxnEngine {
@@ -298,6 +365,7 @@ impl TxnEngine {
             applied: AtomicU64::new(0),
             apply_gate: RwLock::new(()),
             epoch: epoch::EpochDomain::new(),
+            taps: RwLock::new(Vec::new()),
         })
     }
 
@@ -347,7 +415,26 @@ impl TxnEngine {
             applied: AtomicU64::new(applied),
             apply_gate: RwLock::new(()),
             epoch: epoch::EpochDomain::new(),
+            taps: RwLock::new(Vec::new()),
         })
+    }
+
+    /// Registers a change-data-capture observer: from now on every
+    /// committed group is handed to `tap` in sequence order. Attach taps
+    /// *before* serving writes (and after [`TxnEngine::recover`], which
+    /// also emits any group it replays) so no group slips past unseen.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use txn::TxnEngine;
+    ///
+    /// let pool = Arc::new(pmem::Pool::new(pmem::PoolConfig::default().size(1 << 20))?);
+    /// let engine = TxnEngine::create(pool)?;
+    /// engine.add_tap(Arc::new(|_seq: u64, _ops: &[(u64, pmindex::BatchOp)]| {}));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn add_tap(&self, tap: Arc<dyn CommitTap>) {
+        self.taps.write().push(tap);
     }
 
     /// Sequence number of the most recently committed batch (0 before
@@ -517,10 +604,11 @@ impl TxnEngine {
             return Ok(committed);
         }
         self.ensure_capacity(&mut j, total as u64)?;
+        let ops: Vec<(u64, BatchOp)> = batches.iter().flat_map(|b| b.ops.iter().copied()).collect();
         // 1. STAGE: every member batch's entries back to back, plus the
         // count word, persisted with ONE flush+fence round before the
         // commit word can name them. Nothing is reachable yet.
-        for (i, &(t, op)) in batches.iter().flat_map(|b| b.ops.iter()).enumerate() {
+        for (i, &(t, op)) in ops.iter().enumerate() {
             let base = j.off + J_ENTRIES + (i as u64) * ENTRY_WORDS * 8;
             let (kind, k, v) = match op {
                 BatchOp::Put(k, v) => (OP_PUT, k, v),
@@ -545,14 +633,21 @@ impl TxnEngine {
         self.pool.persist(j.off + J_COMMITTED, 8);
         pmem::stats::count_txn_commit();
         self.seq.store(seq, Ordering::SeqCst);
+        // 2b. SHIP: the group is durably committed, so hand it to the
+        // CDC taps *before* the apply — a replica may therefore apply a
+        // group its primary has not finished applying (or, if the apply
+        // below fails, one the primary will only apply on recover());
+        // both sides converge because apply is idempotent redo. Emitting
+        // under the journal lock keeps the stream in sequence order.
+        for tap in self.taps.read().iter() {
+            tap.on_commit(seq, &ops);
+        }
         // 3. APPLY: idempotent redo onto the live tables, atomically
         // with respect to snapshot readers. The applied counter advances
         // inside the gate so a snapshot's seq always matches what its
         // reads can observe.
         {
             let _excl = self.apply_gate.write();
-            let ops: Vec<(u64, BatchOp)> =
-                batches.iter().flat_map(|b| b.ops.iter().copied()).collect();
             apply_grouped(&ops, tables)?;
             self.applied.store(seq, Ordering::SeqCst);
         }
@@ -622,6 +717,12 @@ impl TxnEngine {
                     BatchOp::Delete(key)
                 },
             ));
+        }
+        // A replayed group was committed, so CDC taps attached before
+        // recovery hear it too (replicas dedup by sequence, so hearing a
+        // group twice across a primary restart is harmless).
+        for tap in self.taps.read().iter() {
+            tap.on_commit(committed, &ops);
         }
         {
             let _excl = self.apply_gate.write();

@@ -1,0 +1,201 @@
+//! Differential check of the replication stream against a model.
+//!
+//! A primary (two FAST+FAIR tables under one `TxnEngine`) commits a
+//! randomized put/delete stream while a `BTreeMap`-per-table model
+//! applies the same groups in commit order. The shipped stream crosses
+//! a `FaultTransport` **storm** (10% drops, 10% duplicates, 10%
+//! reorders, 10% delays) on its way to a live replica. The claim under
+//! test: the replica's sequence check plus shipper retransmits absorb
+//! arbitrary weather — after `catch_up`, every table equals the model
+//! *exactly*, not approximately.
+//!
+//! Then the replica is promoted and becomes the system under test
+//! itself: the same differential stream drives the promoted engine
+//! directly, proving a promoted replica is a full primary.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use fastfair_repro::fastfair::{FastFairTree, TreeOptions};
+use fastfair_repro::pmem::{Pool, PoolConfig};
+use fastfair_repro::pmindex::{IndexError, PmIndex};
+use fastfair_repro::repl::{ChannelTransport, FaultConfig, FaultTransport, LogShipper, Replica};
+use fastfair_repro::txn::{TxnEngine, WriteBatch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TABLES: usize = 2;
+const KEY_SPACE: u64 = 512;
+
+/// One randomized commit group: 1–4 ops, ~1/3 deletes, applied to both
+/// the `WriteBatch` and the model so they diverge only if replication
+/// does.
+fn random_group(rng: &mut StdRng, model: &mut [BTreeMap<u64, u64>], tick: u64) -> WriteBatch {
+    let mut batch = WriteBatch::new();
+    for _ in 0..rng.gen_range(1..=4usize) {
+        let table = rng.gen_range(0..TABLES);
+        let key = rng.gen_range(0..KEY_SPACE);
+        if rng.gen_range(0..3u32) == 0 {
+            batch.delete(table, key);
+            model[table].remove(&key);
+        } else {
+            let value = (tick << 16) | key;
+            batch.put(table, key, value);
+            model[table].insert(key, value);
+        }
+    }
+    batch
+}
+
+/// Every table must equal its model exactly: same cardinality, same
+/// values — equal size plus all-model-keys-present rules out strays.
+fn assert_matches_model<S: PmIndex>(tables: &[Arc<S>], model: &[BTreeMap<u64, u64>], ctx: &str) {
+    for (t, m) in tables.iter().zip(model) {
+        assert_eq!(t.len(), m.len(), "{ctx}: cardinality diverged");
+        for (&k, &v) in m {
+            assert_eq!(t.get(k), Some(v), "{ctx}: key {k} diverged");
+        }
+    }
+}
+
+#[test]
+fn replica_converges_exactly_under_fault_storm_and_promotes() {
+    let seed: u64 = std::env::var("FF_REPL_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Primary: two tables + engine in one pool, shipper tapped.
+    let pool = Arc::new(Pool::new(PoolConfig::new().size(32 << 20)).unwrap());
+    let tables: Vec<Arc<FastFairTree>> = (0..TABLES)
+        .map(|_| Arc::new(FastFairTree::create(Arc::clone(&pool), TreeOptions::new()).unwrap()))
+        .collect();
+    let engine = TxnEngine::create(Arc::clone(&pool)).unwrap();
+    let shipper = LogShipper::new(1 << 12);
+    engine.add_tap(Arc::clone(&shipper) as _);
+
+    // The weather: a seeded storm between shipper and replica. The
+    // replica polls the storm; retransmits re-enter through it too.
+    let faulty = FaultTransport::new(ChannelTransport::new(), FaultConfig::storm(seed));
+    let sub = shipper.subscribe(Arc::clone(&faulty) as _);
+    let replica: Replica<FastFairTree> = Replica::create(
+        &mut |_slot: usize| {
+            Ok::<_, IndexError>(Arc::new(
+                Pool::new(PoolConfig::default().size(8 << 20)).unwrap(),
+            ))
+        },
+        1,
+        &["left", "right"],
+    )
+    .unwrap();
+
+    // Drive the stream, catching up mid-flight every 64 groups so the
+    // replica works through live weather, not one final batch.
+    let mut model: Vec<BTreeMap<u64, u64>> = vec![BTreeMap::new(); TABLES];
+    let groups = 600u64;
+    let table_refs: Vec<&FastFairTree> = tables.iter().map(Arc::as_ref).collect();
+    for tick in 1..=groups {
+        let batch = random_group(&mut rng, &mut model, tick);
+        engine.commit(batch, &table_refs).unwrap();
+        if tick % 64 == 0 {
+            replica
+                .catch_up(faulty.as_ref(), &shipper, sub)
+                .expect("mid-flight catch-up");
+            assert_eq!(replica.watermark(), tick, "mid-flight convergence");
+        }
+    }
+    replica
+        .catch_up(faulty.as_ref(), &shipper, sub)
+        .expect("final catch-up");
+
+    // The storm must actually have stormed — every fault class fired.
+    let stats = faulty.stats();
+    assert!(stats.dropped > 0, "storm never dropped: {stats:?}");
+    assert!(stats.duplicated > 0, "storm never duplicated: {stats:?}");
+    assert!(stats.reordered > 0, "storm never reordered: {stats:?}");
+    assert!(stats.delayed > 0, "storm never delayed: {stats:?}");
+
+    // Exact convergence: replica == primary == model.
+    assert_eq!(replica.watermark(), engine.last_committed());
+    assert_matches_model(&tables, &model, "primary vs model");
+    assert_matches_model(replica.tables(), &model, "replica vs model");
+
+    // Promotion: the replica becomes a primary and must pass the same
+    // differential under its own engine.
+    shipper.unsubscribe(sub);
+    let promoted = replica.promote().unwrap();
+    assert_eq!(promoted.engine.last_committed(), 0, "fresh journal");
+    let promoted_refs: Vec<&FastFairTree> = promoted.tables.iter().map(Arc::as_ref).collect();
+    for tick in 1..=200u64 {
+        let batch = random_group(&mut rng, &mut model, groups + tick);
+        promoted.engine.commit(batch, &promoted_refs).unwrap();
+    }
+    assert_matches_model(&promoted.tables, &model, "promoted vs model");
+
+    // And the promoted primary can feed a next-generation replica: the
+    // full cycle (bootstrap + tail) closes over a calm link.
+    let next_shipper = LogShipper::new(1 << 12);
+    promoted.engine.add_tap(Arc::clone(&next_shipper) as _);
+    let next_transport = ChannelTransport::new();
+    let next_sub = next_shipper.subscribe(Arc::clone(&next_transport) as _);
+    let next: Replica<FastFairTree> = Replica::create(
+        &mut |_slot: usize| {
+            Ok::<_, IndexError>(Arc::new(
+                Pool::new(PoolConfig::default().size(8 << 20)).unwrap(),
+            ))
+        },
+        1,
+        &["left", "right"],
+    )
+    .unwrap();
+    next.bootstrap(&promoted_refs, &promoted.engine).unwrap();
+    for tick in 1..=50u64 {
+        let batch = random_group(&mut rng, &mut model, groups + 200 + tick);
+        promoted.engine.commit(batch, &promoted_refs).unwrap();
+    }
+    next.catch_up(next_transport.as_ref(), &next_shipper, next_sub)
+        .expect("next-generation catch-up");
+    assert_eq!(next.watermark(), promoted.engine.last_committed());
+    assert_matches_model(next.tables(), &model, "next-generation replica vs model");
+}
+
+#[test]
+fn calm_link_differential_is_storm_free_baseline() {
+    // A/B control: the same differential over a calm FaultTransport
+    // must also converge — proving the storm test's machinery (not the
+    // weather) is what the assertions exercise.
+    let mut rng = StdRng::seed_from_u64(7);
+    let pool = Arc::new(Pool::new(PoolConfig::new().size(16 << 20)).unwrap());
+    let tables: Vec<Arc<FastFairTree>> = (0..TABLES)
+        .map(|_| Arc::new(FastFairTree::create(Arc::clone(&pool), TreeOptions::new()).unwrap()))
+        .collect();
+    let engine = TxnEngine::create(Arc::clone(&pool)).unwrap();
+    let shipper = LogShipper::new(1 << 12);
+    engine.add_tap(Arc::clone(&shipper) as _);
+    let calm = FaultTransport::new(ChannelTransport::new(), FaultConfig::calm(7));
+    let sub = shipper.subscribe(Arc::clone(&calm) as _);
+    let replica: Replica<FastFairTree> = Replica::create(
+        &mut |_slot: usize| {
+            Ok::<_, IndexError>(Arc::new(
+                Pool::new(PoolConfig::default().size(8 << 20)).unwrap(),
+            ))
+        },
+        1,
+        &["left", "right"],
+    )
+    .unwrap();
+
+    let mut model: Vec<BTreeMap<u64, u64>> = vec![BTreeMap::new(); TABLES];
+    let table_refs: Vec<&FastFairTree> = tables.iter().map(Arc::as_ref).collect();
+    for tick in 1..=200u64 {
+        let batch = random_group(&mut rng, &mut model, tick);
+        engine.commit(batch, &table_refs).unwrap();
+    }
+    replica
+        .catch_up(calm.as_ref(), &shipper, sub)
+        .expect("calm catch-up");
+    assert_eq!(calm.stats(), fastfair_repro::repl::FaultStats::default());
+    assert_eq!(replica.watermark(), engine.last_committed());
+    assert_matches_model(replica.tables(), &model, "calm replica vs model");
+}
